@@ -1,0 +1,215 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 7). Each BenchmarkTableN / BenchmarkFigureN runs the experiment
+// campaign the artifact needs (cached across benchmarks, quick suite by
+// default) and reports the artifact's headline numbers as benchmark
+// metrics, so `go test -bench .` doubles as a reproduction run:
+//
+//	pct_avg_time_imp   average % time improvement vs FSAI
+//	pct_best_time_imp  same with the best filter per matrix
+//	...
+//
+// Set -benchfull to run the full 72-matrix suite (minutes, not seconds).
+package fsaie_test
+
+import (
+	"flag"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	fsai "repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/matgen"
+	"repro/internal/stats"
+)
+
+var benchFull = flag.Bool("benchfull", false, "benchmark the full 72-matrix suite instead of the quick suite")
+
+var (
+	rawMu    sync.Mutex
+	rawCache = map[int]*experiments.RawCampaign{}
+)
+
+func benchSpecs() []matgen.Spec {
+	if *benchFull {
+		return matgen.Suite()
+	}
+	return matgen.QuickSuite()
+}
+
+// rawFor builds (once) and returns the raw campaign for the given line
+// size, with the random-extension and standard-filtering extras enabled so
+// every artifact can be rendered from it.
+func rawFor(b *testing.B, m arch.Arch) *experiments.RawCampaign {
+	b.Helper()
+	rawMu.Lock()
+	defer rawMu.Unlock()
+	if c, ok := rawCache[m.LineBytes]; ok {
+		return c
+	}
+	raw, err := experiments.RunRaw(benchSpecs(), experiments.RawOptions{
+		L1:           m.L1Sim,
+		WithRandom:   true,
+		WithStandard: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rawCache[m.LineBytes] = raw
+	return raw
+}
+
+func priced(b *testing.B, m arch.Arch) *experiments.PricedCampaign {
+	return experiments.Price(rawFor(b, m), m)
+}
+
+var sink string
+
+// reportSummary attaches the Tables 2/4/5 headline metrics.
+func reportSummary(b *testing.B, c *experiments.PricedCampaign) {
+	s := c.Summaries(fsai.VariantFull)
+	b.ReportMetric(s[c.RefIndex()].AvgTimePct, "pct_avg_time_imp")
+	b.ReportMetric(s[len(s)-1].AvgTimePct, "pct_best_time_imp")
+	b.ReportMetric(s[len(s)-1].AvgIterPct, "pct_best_iter_imp")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.Table1()
+	}
+	reportSummary(b, c)
+}
+
+func BenchmarkTable2(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.SummaryTable()
+	}
+	reportSummary(b, c)
+}
+
+func BenchmarkTable3(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.Table3()
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	c := priced(b, arch.POWER9())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.SummaryTable()
+	}
+	reportSummary(b, c)
+}
+
+func BenchmarkTable5(b *testing.B) {
+	c := priced(b, arch.A64FX())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.SummaryTable()
+	}
+	reportSummary(b, c)
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.FigureTimeDecrease()
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.Figure3()
+	}
+	// Headline: misses per nnz, FSAI vs FSAIE(full) vs random.
+	var fs, ext, rnd []float64
+	fi := c.RefIndex()
+	for i := range c.Results {
+		fs = append(fs, c.Results[i].FSAI.MissPerNNZ)
+		ext = append(ext, c.Results[i].Full[fi].MissPerNNZ)
+		rnd = append(rnd, c.Results[i].RandomMissPerNNZ)
+	}
+	b.ReportMetric(stats.Mean(fs), "missPerNNZ_fsai")
+	b.ReportMetric(stats.Mean(ext), "missPerNNZ_fsaie")
+	b.ReportMetric(stats.Mean(rnd), "missPerNNZ_random")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.Figure4()
+	}
+	var fs, ext, rnd []float64
+	fi := c.RefIndex()
+	for i := range c.Results {
+		fs = append(fs, c.Results[i].FSAI.GFlops)
+		ext = append(ext, c.Results[i].Full[fi].GFlops)
+		rnd = append(rnd, c.Results[i].RandomGFlops)
+	}
+	b.ReportMetric(stats.Mean(fs), "gflops_fsai")
+	b.ReportMetric(stats.Mean(ext), "gflops_fsaie")
+	b.ReportMetric(stats.Mean(rnd), "gflops_random")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	c := priced(b, arch.POWER9())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.FigureTimeDecrease()
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	c := priced(b, arch.A64FX())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.FigureTimeDecrease()
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	sky := priced(b, arch.Skylake())
+	p9 := priced(b, arch.POWER9())
+	a64 := priced(b, arch.A64FX())
+	all := []*experiments.PricedCampaign{sky, p9, a64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = experiments.Figure7(all)
+	}
+	for _, c := range all {
+		var vals []float64
+		for i := range c.Results {
+			bi := c.Results[i].BestFilterIndex(fsai.VariantFull)
+			vals = append(vals, c.Results[i].TimeImprovementPct(fsai.VariantFull, bi))
+		}
+		b.ReportMetric(stats.Median(vals), "median_imp_"+c.Machine.Name)
+	}
+}
+
+func BenchmarkSetupOverhead(b *testing.B) {
+	c := priced(b, arch.Skylake())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.SetupOverheadSummary()
+	}
+	fi := c.RefIndex()
+	var ratios []float64
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.FSAI.Setup > 0 {
+			ratios = append(ratios, 100*(r.Full[fi].Setup-r.FSAI.Setup)/r.FSAI.Setup)
+		}
+	}
+	b.ReportMetric(stats.Mean(ratios), "pct_setup_overhead")
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseList(t *testing.T) {
+	got, err := parseList("1, 3,5")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got, err := parseList(""); err != nil || got != nil {
+		t.Errorf("empty list: %v %v", got, err)
+	}
+	if _, err := parseList("1,x"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !contains([]int{1, 2, 3}, 2) || contains([]int{1, 3}, 2) || contains(nil, 0) {
+		t.Error("contains wrong")
+	}
+}

@@ -1,0 +1,253 @@
+// Command fsaisolve is the production entry point of the library: it reads
+// an SPD system from a Matrix Market file, builds the requested
+// preconditioner and solves with PCG, reporting setup/solve times,
+// iteration counts and (optionally) the Lanczos-estimated condition number
+// of the preconditioned operator.
+//
+// Usage:
+//
+//	fsaisolve [flags] matrix.mtx
+//
+//	-precond NAME   none|jacobi|bjacobi|ssor|ic0|cheby|fsai|fsaie-sp|fsaie|adaptive (default fsaie)
+//	-filter F       FSAIE filter threshold (default 0.01)
+//	-line N         cache line size in bytes for the extension (default 64)
+//	-power N        initial pattern = lower(Ã^N) (default 1)
+//	-tau T          threshold A before powering (default 0)
+//	-tol T          PCG relative tolerance (default 1e-8)
+//	-maxiter N      PCG iteration cap (default 10000)
+//	-rcm            reorder the system with reverse Cuthill-McKee first
+//	-rhs FILE       right-hand side, one value per line (default: all ones)
+//	-out FILE       write the solution, one value per line
+//	-cond           estimate condition numbers with Lanczos (extra cost)
+//	-history        print an ASCII convergence plot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cachesim"
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+	"repro/internal/mmio"
+	"repro/internal/precond"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		precName = flag.String("precond", "fsaie", "preconditioner: none|jacobi|bjacobi|ssor|ic0|cheby|fsai|fsaie-sp|fsaie|adaptive")
+		filter   = flag.Float64("filter", 0.01, "FSAIE filter threshold")
+		line     = flag.Int("line", 64, "cache line size in bytes")
+		power    = flag.Int("power", 1, "initial pattern power N of Ã^N")
+		tau      = flag.Float64("tau", 0, "threshold for Ã")
+		tol      = flag.Float64("tol", 1e-8, "PCG relative residual tolerance")
+		maxIter  = flag.Int("maxiter", 10000, "PCG iteration cap")
+		useRCM   = flag.Bool("rcm", false, "reorder with reverse Cuthill-McKee")
+		rhsPath  = flag.String("rhs", "", "right-hand side file (one value per line)")
+		outPath  = flag.String("out", "", "solution output file")
+		withCond = flag.Bool("cond", false, "estimate condition numbers (Lanczos)")
+		history  = flag.Bool("history", false, "print convergence plot")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, err := mmio.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	if a.Rows != a.Cols {
+		fatal("matrix is %dx%d, need square", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-10 * a.MaxNorm()) {
+		fatal("matrix is not symmetric; PCG requires SPD input")
+	}
+	fmt.Printf("system: %d unknowns, %d nonzeros\n", a.Rows, a.NNZ())
+
+	b := make([]float64, a.Rows)
+	if *rhsPath != "" {
+		if b, err = readVector(*rhsPath, a.Rows); err != nil {
+			fatal("rhs: %v", err)
+		}
+	} else {
+		for i := range b {
+			b[i] = 1
+		}
+	}
+
+	var perm reorder.Permutation
+	if *useRCM {
+		perm = reorder.RCM(a)
+		bwBefore := reorder.Bandwidth(a)
+		a = reorder.ApplySym(a, perm)
+		b = reorder.PermuteVec(b, perm)
+		fmt.Printf("rcm: bandwidth %d -> %d\n", bwBefore, reorder.Bandwidth(a))
+	}
+
+	x := make([]float64, a.Rows)
+	align := cachesim.AlignOf(x, *line)
+
+	t0 := time.Now()
+	m, g, err := buildPreconditioner(*precName, a, fsai.Options{
+		Filter:       *filter,
+		LineBytes:    *line,
+		AlignElems:   align,
+		PatternPower: *power,
+		ThresholdTau: *tau,
+		MaxRowNNZ:    512,
+	})
+	if err != nil {
+		fatal("preconditioner: %v", err)
+	}
+	setup := time.Since(t0)
+
+	opts := krylov.Options{Tol: *tol, MaxIter: *maxIter, RecordHistory: *history}
+	t0 = time.Now()
+	res := krylov.Solve(a, x, b, m, opts)
+	solve := time.Since(t0)
+
+	fmt.Printf("precond=%s setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
+		*precName, msec(setup), msec(solve), res.Iterations, res.Converged, res.RelResidual)
+
+	if *withCond {
+		base, err := spectral.CondOfMatrix(a, 80)
+		if err == nil {
+			fmt.Printf("κ(A) ≈ %.4g\n", base.Cond())
+		}
+		if g != nil {
+			pc, err := spectral.CondFSAI(a, g.G, g.GT, 80)
+			if err == nil {
+				fmt.Printf("κ(G·A·Gᵀ) ≈ %.4g\n", pc.Cond())
+			}
+		}
+	}
+	if *history && len(res.History) > 1 {
+		fmt.Println(stats.ConvergencePlot(
+			[]string{*precName}, [][]float64{res.History}, 72, 8))
+	}
+
+	if *outPath != "" {
+		if perm != nil {
+			x = reorder.UnpermuteVec(x, perm)
+		}
+		if err := writeVector(*outPath, x); err != nil {
+			fatal("out: %v", err)
+		}
+		fmt.Printf("wrote solution to %s\n", *outPath)
+	}
+}
+
+// buildPreconditioner constructs the named preconditioner; the second
+// return is non-nil for FSAI-family preconditioners (for -cond).
+func buildPreconditioner(name string, a *sparse.CSR, fo fsai.Options) (krylov.Preconditioner, *fsai.Preconditioner, error) {
+	switch name {
+	case "none":
+		return krylov.Identity{}, nil, nil
+	case "jacobi":
+		return krylov.NewJacobi(a), nil, nil
+	case "bjacobi":
+		m, err := precond.NewBlockJacobi(a, 16)
+		return m, nil, err
+	case "ssor":
+		m, err := precond.NewSSOR(a, 1.0)
+		return m, nil, err
+	case "ic0":
+		m, err := precond.NewIC0(a)
+		return m, nil, err
+	case "cheby":
+		ext, err := spectral.CondOfMatrix(a, 60)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := precond.NewChebyshev(a, 8, ext.Min*0.3, ext.Max*1.05)
+		return m, nil, err
+	case "fsai":
+		fo.Variant = fsai.VariantFSAI
+		p, err := fsai.Compute(a, fo)
+		return p, p, err
+	case "fsaie-sp":
+		fo.Variant = fsai.VariantSp
+		p, err := fsai.Compute(a, fo)
+		return p, p, err
+	case "fsaie":
+		fo.Variant = fsai.VariantFull
+		p, err := fsai.Compute(a, fo)
+		return p, p, err
+	case "adaptive":
+		p, err := fsai.ComputeAdaptive(a, fsai.AdaptiveOptions{
+			MaxPerRow:   12,
+			Tol:         0.02,
+			CacheExtend: fo.LineBytes,
+			AlignElems:  fo.AlignElems,
+			Filter:      fo.Filter,
+		})
+		return p, p, err
+	default:
+		return nil, nil, fmt.Errorf("unknown preconditioner %q", name)
+	}
+}
+
+func readVector(path string, n int) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", line)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("got %d values, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+func writeVector(path string, x []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, v := range x {
+		if _, err := fmt.Fprintf(w, "%.17g\n", v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsaisolve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+)
+
+func TestBuildPreconditionerAllKinds(t *testing.T) {
+	a := matgen.Laplace2D(12, 12)
+	fo := fsai.DefaultOptions()
+	for _, name := range []string{"none", "jacobi", "bjacobi", "ssor", "ic0", "fsai", "fsaie-sp", "fsaie", "adaptive"} {
+		m, g, err := buildPreconditioner(name, a, fo)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("%s: nil preconditioner", name)
+		}
+		isFSAI := name == "fsai" || name == "fsaie-sp" || name == "fsaie" || name == "adaptive"
+		if isFSAI != (g != nil) {
+			t.Errorf("%s: factor handle mismatch", name)
+		}
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, a.Rows)
+		if res := krylov.Solve(a, x, b, m, krylov.DefaultOptions()); !res.Converged {
+			t.Errorf("%s: solve failed", name)
+		}
+	}
+	if _, _, err := buildPreconditioner("magic", a, fo); err == nil {
+		t.Error("unknown preconditioner accepted")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.txt")
+	want := []float64{1.5, -2, 3e-7, 0}
+	if err := writeVector(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readVector(path, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("v[%d]=%g want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := readVector(path, 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("1.0\nnot-a-number\n"), 0o644)
+	if _, err := readVector(bad, 2); err == nil {
+		t.Error("bad value accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Command mmtool generates, inspects and converts the matrices of the
+// evaluation suite in Matrix Market format.
+//
+// Usage:
+//
+//	mmtool list                      # list the 72 suite matrices
+//	mmtool gen <name> <out.mtx>      # write a suite matrix to a file
+//	mmtool info <file.mtx>           # print size/nnz/symmetry of a file
+//	mmtool solve <file.mtx>          # PCG-solve a file with FSAI & FSAIE
+package main
+
+import (
+	"fmt"
+	"os"
+
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, s := range matgen.Suite() {
+			a := s.Generate()
+			fmt.Printf("%2d  %-22s %-20s %7d rows %9d nnz\n", s.ID, s.Name, s.Type, a.Rows, a.NNZ())
+		}
+	case "gen":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		spec, ok := matgen.ByName(os.Args[2])
+		if !ok {
+			fatal("unknown suite matrix %q (try 'mmtool list')", os.Args[2])
+		}
+		a := spec.Generate()
+		if err := mmio.WriteFile(os.Args[3], a, true); err != nil {
+			fatal("write: %v", err)
+		}
+		fmt.Printf("wrote %s: %d x %d, %d nnz (symmetric coordinate)\n", os.Args[3], a.Rows, a.Cols, a.NNZ())
+	case "info":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		a := read(os.Args[2])
+		fmt.Printf("%s: %d x %d, nnz=%d, symmetric=%v, maxnorm=%g\n",
+			os.Args[2], a.Rows, a.Cols, a.NNZ(), a.IsSymmetric(1e-12), a.MaxNorm())
+	case "solve":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		a := read(os.Args[2])
+		if a.Rows != a.Cols {
+			fatal("matrix is not square")
+		}
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, a.Rows)
+		kopt := krylov.DefaultOptions()
+		for _, v := range []fsai.Variant{fsai.VariantFSAI, fsai.VariantSp, fsai.VariantFull} {
+			o := fsai.DefaultOptions()
+			o.Variant = v
+			p, err := fsai.Compute(a, o)
+			if err != nil {
+				fatal("%v setup: %v", v, err)
+			}
+			res := krylov.Solve(a, x, b, p, kopt)
+			fmt.Printf("%-12v iters=%5d converged=%-5v relres=%.2e nnz(G)=%d (+%.1f%%)\n",
+				v, res.Iterations, res.Converged, res.RelResidual, p.NNZ(), p.ExtensionPct())
+		}
+	default:
+		usage()
+	}
+}
+
+func read(path string) *sparse.CSR {
+	a, err := mmio.ReadFile(path)
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	return a
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mmtool list | gen <name> <out.mtx> | info <file.mtx> | solve <file.mtx>")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mmtool: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Architecture comparison: the same matrix preconditioned with FSAIE(full)
+// under the three machine models of the paper — Skylake and POWER9 (64-byte
+// cache lines) and A64FX (256-byte lines) — plus a sweep of hypothetical
+// line sizes, showing how line size alone controls how many cache-friendly
+// entries the extension can add and therefore how many iterations it saves
+// (Section 7.7).
+//
+// Run with: go run ./examples/archcompare
+package main
+
+import (
+	"fmt"
+
+	fsaie "repro"
+	"repro/internal/arch"
+	"repro/internal/matgen"
+)
+
+func main() {
+	a := matgen.JumpCoefficient2D(64, 64, 8, 1e3, 11)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	solverOpts := fsaie.SolverDefaults()
+
+	base := fsaie.DefaultOptions()
+	base.Variant = fsaie.FSAI
+	pb, err := fsaie.New(a, base)
+	if err != nil {
+		panic(err)
+	}
+	resBase := fsaie.Solve(a, x, b, pb, solverOpts)
+	fmt.Printf("heterogeneous diffusion: %d unknowns, %d nonzeros\n", n, a.NNZ())
+	fmt.Printf("FSAI baseline: %d iterations, nnz(G)=%d\n\n", resBase.Iterations, pb.NNZ())
+
+	fmt.Println("FSAIE(full), filter=0.01, per machine model:")
+	for _, m := range arch.All() {
+		opts := fsaie.DefaultOptions()
+		opts.LineBytes = m.LineBytes
+		opts.AlignElems = fsaie.AlignOf(x, m.LineBytes)
+		p, err := fsaie.New(a, opts)
+		if err != nil {
+			panic(err)
+		}
+		res := fsaie.Solve(a, x, b, p, solverOpts)
+		fmt.Printf("  %-8s line=%3dB: %4d iterations (-%4.1f%%), +%5.1f%% pattern entries\n",
+			m.Name, m.LineBytes, res.Iterations,
+			100*float64(resBase.Iterations-res.Iterations)/float64(resBase.Iterations),
+			p.ExtensionPct())
+	}
+
+	fmt.Println("\nhypothetical line-size sweep (same algorithm, one parameter):")
+	for _, lineBytes := range []int{32, 64, 128, 256, 512} {
+		opts := fsaie.DefaultOptions()
+		opts.LineBytes = lineBytes
+		opts.AlignElems = fsaie.AlignOf(x, lineBytes)
+		p, err := fsaie.New(a, opts)
+		if err != nil {
+			panic(err)
+		}
+		res := fsaie.Solve(a, x, b, p, solverOpts)
+		fmt.Printf("  line=%3dB: %4d iterations, +%5.1f%% pattern entries\n",
+			lineBytes, res.Iterations, p.ExtensionPct())
+	}
+	fmt.Println("\nLarger lines admit more zero-cost fill-in, which is why the paper's",
+		"\nA64FX (256 B) improvements dwarf the Skylake/POWER9 (64 B) ones.")
+}

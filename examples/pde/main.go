@@ -1,0 +1,69 @@
+// End-to-end PDE pipeline: discretize a heterogeneous diffusion equation
+// with the built-in P1 finite elements, precondition the resulting SPD
+// system with FSAI and cache-aware FSAIE(full), and compare the measured
+// convergence histories and the Lanczos-estimated condition numbers of the
+// preconditioned operators — the spectral mechanism behind the paper's
+// iteration columns, visualized.
+//
+// Run with: go run ./examples/pde
+package main
+
+import (
+	"fmt"
+	"math"
+
+	fsaie "repro"
+	"repro/internal/fem"
+	"repro/internal/krylov"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+)
+
+func main() {
+	// -∇·(k∇u) = 1 on the unit square, u = 0 on the boundary, with a
+	// smoothly graded conductivity spanning three orders of magnitude.
+	mesh := fem.UnitSquare(56)
+	k := func(x, y float64) float64 { return math.Pow(10, 3*x) } // k spans 1..1000
+	a0 := fem.AssembleStiffness(mesh, k)
+	b0 := fem.AssembleLoad(mesh, fem.Const(1))
+	a, b, _ := fem.ApplyDirichlet(mesh, a0, b0)
+	fmt.Printf("P1 FEM system: %d unknowns, %d nonzeros (conductivity 1..1e3)\n\n", a.Rows, a.NNZ())
+
+	x := make([]float64, a.Rows)
+	solverOpts := krylov.Options{Tol: 1e-8, MaxIter: 10000, RecordHistory: true}
+
+	plainRes := krylov.Solve(a, x, b, nil, solverOpts)
+
+	var labels []string
+	var histories [][]float64
+	labels = append(labels, fmt.Sprintf("plain CG (%d iters)", plainRes.Iterations))
+	histories = append(histories, plainRes.History)
+
+	kappa, _ := spectral.CondOfMatrix(a, 80)
+	fmt.Printf("%-22s κ≈%9.1f  iterations %d\n", "unpreconditioned", kappa.Cond(), plainRes.Iterations)
+
+	for _, variant := range []fsaie.Variant{fsaie.FSAI, fsaie.FSAIEFull} {
+		opts := fsaie.DefaultOptions()
+		opts.Variant = variant
+		opts.AlignElems = fsaie.AlignOf(x, opts.LineBytes)
+		p, err := fsaie.New(a, opts)
+		if err != nil {
+			panic(err)
+		}
+		res := krylov.Solve(a, x, b, p, solverOpts)
+		cond, err := spectral.CondFSAI(a, p.G, p.GT, 80)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22v κ≈%9.1f  iterations %d  (+%.0f%% pattern entries)\n",
+			variant, cond.Cond(), res.Iterations, p.ExtensionPct())
+		labels = append(labels, fmt.Sprintf("%v (%d iters)", variant, res.Iterations))
+		histories = append(histories, res.History)
+	}
+
+	fmt.Println("\nconvergence histories (relative residual, semilog):")
+	fmt.Println(stats.ConvergencePlot(labels, histories, 72, 8))
+	fmt.Println("The cache-aware extension tightens the preconditioned spectrum, which",
+		"\nsteepens the convergence slope; its extra entries live in already-loaded",
+		"\ncache lines, so each iteration costs nearly the same.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a 2D Poisson system, precondition it with the
+// cache-aware FSAIE(full) preconditioner and solve it with PCG, comparing
+// against plain CG and classical FSAI.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	fsaie "repro"
+	"repro/internal/matgen"
+)
+
+func main() {
+	// A 96x96 five-point Laplacian: the "hello world" of SPD systems.
+	a := matgen.Laplace2D(96, 96)
+	n := a.Rows
+	fmt.Printf("system: %d unknowns, %d nonzeros\n\n", n, a.NNZ())
+
+	// Right-hand side: all ones. Allocate the solution wherever Go puts it;
+	// the preconditioner reads the actual alignment off the vector, exactly
+	// like the paper derives it from the virtual address (Section 4.1).
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+
+	solverOpts := fsaie.SolverDefaults() // tol 1e-8, <= 10000 iterations
+
+	// Plain CG.
+	res := fsaie.Solve(a, x, b, nil, solverOpts)
+	fmt.Printf("%-22s %5d iterations (converged=%v)\n", "plain CG:", res.Iterations, res.Converged)
+
+	// Classical FSAI (Algorithm 1).
+	opts := fsaie.DefaultOptions()
+	opts.Variant = fsaie.FSAI
+	p, err := fsaie.New(a, opts)
+	if err != nil {
+		panic(err)
+	}
+	res = fsaie.Solve(a, x, b, p, solverOpts)
+	fmt.Printf("%-22s %5d iterations, nnz(G)=%d\n", "FSAI:", res.Iterations, p.NNZ())
+
+	// Cache-aware FSAIE(full) (Algorithm 4) with the paper's best common
+	// filter value. Tell it the alignment of the vector it will multiply.
+	opts = fsaie.DefaultOptions() // FSAIEFull, filter=0.01, 64-byte lines
+	opts.AlignElems = fsaie.AlignOf(x, opts.LineBytes)
+	p, err = fsaie.New(a, opts)
+	if err != nil {
+		panic(err)
+	}
+	res = fsaie.Solve(a, x, b, p, solverOpts)
+	fmt.Printf("%-22s %5d iterations, nnz(G)=%d (+%.1f%% cache-resident fill-in)\n",
+		"FSAIE(full) f=0.01:", res.Iterations, p.NNZ(), p.ExtensionPct())
+	fmt.Println("\nThe added entries live in cache lines the original pattern already",
+		"\ntouches, so each PCG iteration costs nearly the same while the",
+		"\npreconditioner is strictly more accurate.")
+}

@@ -1,0 +1,68 @@
+// Structural-mechanics scenario: a 2-dof-per-node elasticity operator (the
+// paper's dominant Table 1 family) solved repeatedly from many load vectors,
+// the regime Section 7.4 argues amortizes the FSAIE setup overhead: the
+// preconditioner is built once and the solve phase repeats per right-hand
+// side/time step.
+//
+// It also contrasts the one-sided FSAIE(sp) against the two-sided
+// FSAIE(full) extension (Section 6).
+//
+// Run with: go run ./examples/structural
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	fsaie "repro"
+	"repro/internal/matgen"
+)
+
+func main() {
+	a := matgen.Elasticity2D(40, 40, 50)
+	n := a.Rows
+	fmt.Printf("elasticity operator: %d dof, %d nonzeros\n\n", n, a.NNZ())
+
+	const loads = 8
+	rng := rand.New(rand.NewSource(7))
+	rhs := make([][]float64, loads)
+	for k := range rhs {
+		rhs[k] = make([]float64, n)
+		for i := range rhs[k] {
+			rhs[k][i] = rng.Float64()*2 - 1
+		}
+	}
+	x := make([]float64, n)
+	solverOpts := fsaie.SolverDefaults()
+
+	for _, variant := range []fsaie.Variant{fsaie.FSAI, fsaie.FSAIESp, fsaie.FSAIEFull} {
+		opts := fsaie.DefaultOptions()
+		opts.Variant = variant
+		opts.AlignElems = fsaie.AlignOf(x, opts.LineBytes)
+
+		t0 := time.Now()
+		p, err := fsaie.New(a, opts)
+		if err != nil {
+			panic(err)
+		}
+		setup := time.Since(t0)
+
+		totalIters := 0
+		t0 = time.Now()
+		for k := 0; k < loads; k++ {
+			res := fsaie.Solve(a, x, rhs[k], p, solverOpts)
+			if !res.Converged {
+				panic("solve did not converge")
+			}
+			totalIters += res.Iterations
+		}
+		solve := time.Since(t0)
+		fmt.Printf("%-12v setup %8.1fms  |  %d loads: %5d total iterations, %8.1fms solve (%.1f%% extra pattern entries)\n",
+			variant, float64(setup.Microseconds())/1e3, loads, totalIters,
+			float64(solve.Microseconds())/1e3, p.ExtensionPct())
+	}
+	fmt.Println("\nThe two-sided FSAIE(full) extension adds entries for both the Gp and",
+		"\nGᵀp products (spatial + temporal locality), cutting the most iterations.",
+		"\nIts higher setup cost is paid once and amortized across the load cases.")
+}

@@ -1,0 +1,105 @@
+// Package fsaie is the public facade of the reproduction of "Cache-aware
+// Sparse Patterns for the Factorized Sparse Approximate Inverse
+// Preconditioner" (Laut, Borrell, Casas — HPDC 2021).
+//
+// It re-exports the pieces a solver integrator needs: sparse CSR matrices,
+// the preconditioned Conjugate Gradient solver, and the FSAI preconditioner
+// family with the paper's cache-aware pattern extensions:
+//
+//	a, _ := fsaie.FromTriplets(n, n, entries)     // or matgen generators
+//	opts := fsaie.DefaultOptions()                // FSAIE(full), filter 0.01
+//	opts.LineBytes = fsaie.DetectLineBytes()      // 64 on most machines
+//	p, _ := fsaie.New(a, opts)
+//	res := fsaie.Solve(a, x, b, p, fsaie.SolverDefaults())
+//
+// The deeper layers live in internal/: sparse kernels (internal/sparse),
+// patterns (internal/pattern), the preconditioner core (internal/core), the
+// CG/PCG solvers (internal/krylov), the cache simulator (internal/cachesim),
+// machine models (internal/arch), the performance model
+// (internal/perfmodel), matrix generators (internal/matgen), Matrix Market
+// I/O (internal/mmio) and the paper's full evaluation campaign
+// (internal/experiments, driven by cmd/fsaibench).
+package fsaie
+
+import (
+	"repro/internal/cachesim"
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+	"repro/internal/sparse"
+)
+
+// Matrix is a sparse matrix in CSR format (see internal/sparse).
+type Matrix = sparse.CSR
+
+// Triplet is one (row, col, value) coordinate entry.
+type Triplet = sparse.Triplet
+
+// Options configures the FSAI preconditioner construction.
+type Options = fsai.Options
+
+// Preconditioner is a computed FSAI factorization GᵀG ≈ A⁻¹; it plugs into
+// Solve as the preconditioner.
+type Preconditioner = fsai.Preconditioner
+
+// Variant selects the preconditioner construction.
+type Variant = fsai.Variant
+
+// The preconditioner variants of the paper's evaluation.
+const (
+	// FSAI is the classical baseline (Algorithm 1).
+	FSAI = fsai.VariantFSAI
+	// FSAIESp extends the pattern one-sidedly for spatial locality of Gp
+	// (Algorithm 4 without steps 5-6).
+	FSAIESp = fsai.VariantSp
+	// FSAIEFull extends both G and Gᵀ patterns (full Algorithm 4).
+	FSAIEFull = fsai.VariantFull
+)
+
+// SolverOptions configures the (P)CG solver.
+type SolverOptions = krylov.Options
+
+// SolveResult reports a (P)CG solve outcome.
+type SolveResult = krylov.Result
+
+// FromTriplets builds an r×c CSR matrix from coordinate entries, summing
+// duplicates.
+func FromTriplets(r, c int, ts []Triplet) (*Matrix, error) {
+	return sparse.NewCSRFromTriplets(r, c, ts)
+}
+
+// DefaultOptions returns the paper's evaluation configuration: FSAIE(full),
+// filter 0.01, 64-byte cache lines, initial pattern = lower triangle of A.
+func DefaultOptions() Options { return fsai.DefaultOptions() }
+
+// New computes an FSAI-family preconditioner for the SPD matrix a.
+func New(a *Matrix, opts Options) (*Preconditioner, error) {
+	return fsai.Compute(a, opts)
+}
+
+// SolverDefaults mirrors the paper's solver setup: relative residual 1e-8,
+// at most 10000 iterations.
+func SolverDefaults() SolverOptions { return krylov.DefaultOptions() }
+
+// Solve runs (preconditioned) Conjugate Gradient on A x = b starting from
+// x = 0. Pass p == nil for plain CG.
+func Solve(a *Matrix, x, b []float64, p *Preconditioner, opts SolverOptions) SolveResult {
+	if p == nil {
+		return krylov.Solve(a, x, b, nil, opts)
+	}
+	return krylov.Solve(a, x, b, p, opts)
+}
+
+// AlignOf returns the cache-line element offset of x[0] for the given line
+// size — the quantity Section 4.1 derives from the virtual address. Feed it
+// to Options.AlignElems when x is the vector the preconditioner will
+// multiply.
+func AlignOf(x []float64, lineBytes int) int {
+	return cachesim.AlignOf(x, lineBytes)
+}
+
+// AllocAligned allocates an n-vector whose first element sits at the given
+// element offset within a lineBytes cache line, making extensions
+// reproducible across runs.
+func AllocAligned(n, lineBytes, offsetElems int) []float64 {
+	return cachesim.AllocAligned(n, lineBytes, offsetElems)
+}

@@ -1,0 +1,68 @@
+package fsaie_test
+
+import (
+	"testing"
+
+	fsaie "repro"
+)
+
+func poisson1D(n int) (*fsaie.Matrix, error) {
+	ts := make([]fsaie.Triplet, 0, 3*n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, fsaie.Triplet{Row: i, Col: i, Val: 2})
+		if i > 0 {
+			ts = append(ts, fsaie.Triplet{Row: i, Col: i - 1, Val: -1})
+		}
+		if i < n-1 {
+			ts = append(ts, fsaie.Triplet{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	return fsaie.FromTriplets(n, n, ts)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	a, err := poisson1D(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = 1
+	}
+	x := fsaie.AllocAligned(200, 64, 0)
+	if got := fsaie.AlignOf(x, 64); got != 0 {
+		t.Fatalf("alignment %d", got)
+	}
+
+	plain := fsaie.Solve(a, x, b, nil, fsaie.SolverDefaults())
+	if !plain.Converged {
+		t.Fatal("plain CG failed")
+	}
+
+	for _, v := range []fsaie.Variant{fsaie.FSAI, fsaie.FSAIESp, fsaie.FSAIEFull} {
+		opts := fsaie.DefaultOptions()
+		opts.Variant = v
+		opts.AlignElems = fsaie.AlignOf(x, opts.LineBytes)
+		p, err := fsaie.New(a, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		res := fsaie.Solve(a, x, b, p, fsaie.SolverDefaults())
+		if !res.Converged {
+			t.Fatalf("%v: PCG failed: %+v", v, res)
+		}
+		if res.Iterations > plain.Iterations {
+			t.Errorf("%v: %d iterations worse than plain CG's %d", v, res.Iterations, plain.Iterations)
+		}
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	a, _ := fsaie.FromTriplets(2, 3, []fsaie.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := fsaie.New(a, fsaie.DefaultOptions()); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := fsaie.FromTriplets(1, 1, []fsaie.Triplet{{Row: 5, Col: 0, Val: 1}}); err == nil {
+		t.Error("out-of-range triplet accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func benchPattern(n, perRow int) *pattern.Pattern {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = append(rows[i], i)
+		for k := 0; k < perRow-1; k++ {
+			rows[i] = append(rows[i], rng.Intn(i+1))
+		}
+	}
+	return pattern.FromRows(n, n, rows)
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkTraceSpMV(b *testing.B) {
+	p := benchPattern(4096, 8)
+	c := New(Config{SizeBytes: 2 << 10, LineBytes: 64, Ways: 8})
+	opt := TraceOptions{IncludeStreams: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TraceSpMV(c, p, opt)
+	}
+	b.SetBytes(int64(p.NNZ()))
+}
+
+func BenchmarkCountLineVisits(b *testing.B) {
+	p := benchPattern(4096, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountLineVisits(p, 8, 3)
+	}
+	b.SetBytes(int64(p.NNZ()))
+}

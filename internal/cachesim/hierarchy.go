@@ -1,0 +1,79 @@
+package cachesim
+
+import "fmt"
+
+// Hierarchy simulates an inclusive multi-level data-cache hierarchy: an
+// access probes level 0 (L1) first and, on a miss, descends until it hits
+// or reaches memory; the line is then filled into every level above the
+// hit. This refines the single-level model for studies where the L2's
+// larger capacity matters (the FSAI campaign itself reports L1 misses,
+// matching the paper's Figure 3 measurements).
+type Hierarchy struct {
+	levels []*Cache
+	// fills[k] counts accesses whose data came from level k (fills[len]
+	// counts memory accesses).
+	fills     []uint64
+	nAccesses uint64
+}
+
+// NewHierarchy builds a hierarchy from level configs ordered L1 first.
+// All levels must share the same line size (mixed-line hierarchies exist,
+// e.g. POWER9's 128-byte L2 sectors, but are out of scope).
+func NewHierarchy(cfgs ...Config) *Hierarchy {
+	if len(cfgs) == 0 {
+		panic("cachesim: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{fills: make([]uint64, len(cfgs)+1)}
+	line := cfgs[0].LineBytes
+	for _, cfg := range cfgs {
+		if cfg.LineBytes != line {
+			panic(fmt.Sprintf("cachesim: mixed line sizes %d vs %d", cfg.LineBytes, line))
+		}
+		h.levels = append(h.levels, New(cfg))
+	}
+	return h
+}
+
+// Levels returns the number of cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Access simulates a load and returns the level that served it: 0 for an
+// L1 hit, 1 for an L2 hit, ..., Levels() for memory.
+func (h *Hierarchy) Access(addr uint64) int {
+	h.nAccesses++
+	served := len(h.levels)
+	for k, c := range h.levels {
+		if c.Access(addr) {
+			served = k
+			break
+		}
+	}
+	// Access already filled every missed level down to the hit (or all of
+	// them on a memory access), because Cache.Access installs on miss.
+	h.fills[served]++
+	return served
+}
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+	for i := range h.fills {
+		h.fills[i] = 0
+	}
+	h.nAccesses = 0
+}
+
+// Accesses returns the total accesses since the last Reset.
+func (h *Hierarchy) Accesses() uint64 { return h.nAccesses }
+
+// ServedBy returns how many accesses were served by level k (k == Levels()
+// means memory).
+func (h *Hierarchy) ServedBy(k int) uint64 { return h.fills[k] }
+
+// MissesAt returns the miss count of level k's cache.
+func (h *Hierarchy) MissesAt(k int) uint64 { return h.levels[k].Misses() }
+
+// Level exposes level k's cache (for geometry queries in reports).
+func (h *Hierarchy) Level(k int) *Cache { return h.levels[k] }

@@ -1,0 +1,90 @@
+package cachesim
+
+import "testing"
+
+func twoLevel() *Hierarchy {
+	return NewHierarchy(
+		Config{SizeBytes: 256, LineBytes: 64, Ways: 4},  // 4-line L1
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 4}, // 16-line L2
+	)
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := twoLevel()
+	if h.Levels() != 2 {
+		t.Fatalf("levels=%d", h.Levels())
+	}
+	// Cold access: served by memory.
+	if lvl := h.Access(0); lvl != 2 {
+		t.Errorf("cold access served by %d, want memory (2)", lvl)
+	}
+	// Immediate repeat: L1 hit.
+	if lvl := h.Access(32); lvl != 0 {
+		t.Errorf("repeat served by %d, want L1 (0)", lvl)
+	}
+}
+
+func TestHierarchyL2CatchesL1Evictions(t *testing.T) {
+	h := twoLevel()
+	// Touch 8 distinct lines: L1 (4 lines) evicts the first ones, L2 (16
+	// lines) keeps them all.
+	for i := 0; i < 8; i++ {
+		h.Access(uint64(i * 64))
+	}
+	// Line 0 was evicted from L1 but must hit in L2.
+	if lvl := h.Access(0); lvl != 1 {
+		t.Errorf("evicted line served by %d, want L2 (1)", lvl)
+	}
+	if h.ServedBy(2) != 8 {
+		t.Errorf("memory accesses %d, want 8 compulsory", h.ServedBy(2))
+	}
+}
+
+func TestHierarchyInclusionOnFill(t *testing.T) {
+	h := twoLevel()
+	h.Access(0)
+	// After a memory fill the line must be resident in both levels:
+	// flush-check via counters — a second access is an L1 hit.
+	if lvl := h.Access(0); lvl != 0 {
+		t.Errorf("after fill, served by %d", lvl)
+	}
+}
+
+func TestHierarchyCounters(t *testing.T) {
+	h := twoLevel()
+	for i := 0; i < 20; i++ {
+		h.Access(uint64((i % 5) * 64))
+	}
+	var sum uint64
+	for k := 0; k <= h.Levels(); k++ {
+		sum += h.ServedBy(k)
+	}
+	if sum != h.Accesses() || h.Accesses() != 20 {
+		t.Errorf("counters inconsistent: sum=%d accesses=%d", sum, h.Accesses())
+	}
+	h.Reset()
+	if h.Accesses() != 0 || h.ServedBy(0) != 0 || h.MissesAt(0) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestHierarchyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty hierarchy")
+		}
+	}()
+	NewHierarchy()
+}
+
+func TestHierarchyMixedLinesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mixed line sizes")
+		}
+	}()
+	NewHierarchy(
+		Config{SizeBytes: 256, LineBytes: 64, Ways: 4},
+		Config{SizeBytes: 1024, LineBytes: 128, Ways: 4},
+	)
+}

@@ -1,0 +1,56 @@
+package fsai
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/pattern"
+)
+
+// TestCalibrationSurvey is a diagnostic (skipped in -short) that prints, for
+// a sample of suite matrices, the iteration counts and x-access miss
+// profiles of FSAI vs FSAIE(full) at two line sizes. It guards the
+// qualitative properties the perf model is calibrated against.
+func TestCalibrationSurvey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic survey")
+	}
+	names := []string{"lap64x64", "band1200-bw8-d0.25", "aniso56x56-e0.001",
+		"wathen20x20", "circuit500-d5", "elas28x28-s100", "jump56x56-b4-j1e4"}
+	l1 := cachesim.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}
+	for _, name := range names {
+		spec, ok := matgen.ByName(name)
+		if !ok {
+			t.Fatalf("no spec %s", name)
+		}
+		a := spec.Generate()
+		b := spec.RHS(a)
+		x := make([]float64, a.Rows)
+		kopt := krylov.DefaultOptions()
+		for _, lineBytes := range []int{64, 256} {
+			for _, cfg := range []struct {
+				variant Variant
+				filter  float64
+			}{{VariantFSAI, 0}, {VariantFull, 0.01}, {VariantFull, 0.0}} {
+				o := DefaultOptions()
+				o.Variant = cfg.variant
+				o.Filter = cfg.filter
+				o.LineBytes = lineBytes
+				p, err := Compute(a, o)
+				if err != nil {
+					t.Fatalf("%s %v: %v", name, cfg.variant, err)
+				}
+				res := krylov.Solve(a, x, b, p, kopt)
+				c := cachesim.New(l1)
+				gp := pattern.FromCSR(p.G)
+				gm, gtm := cachesim.TracePrecondition(c, gp, cachesim.TraceOptions{IncludeStreams: true})
+				am := cachesim.TraceCSR(c, a, cachesim.TraceOptions{IncludeStreams: true})
+				t.Logf("%-22s line=%3d %-12v f=%-5v iters=%5d nnzG=%7d ext=%6.1f%% missG=%6d missGT=%6d missA=%6d missG/nnz=%.3f",
+					name, lineBytes, cfg.variant, cfg.filter, res.Iterations, p.NNZ(),
+					p.ExtensionPct(), gm, gtm, am, float64(gm+gtm)/float64(2*p.NNZ()))
+			}
+		}
+	}
+}

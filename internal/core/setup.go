@@ -1,0 +1,189 @@
+package fsai
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pattern"
+	"repro/internal/sparse"
+)
+
+// Compute builds an FSAI-family preconditioner for the SPD matrix a
+// according to opts. It is the entry point covering Algorithms 1, 2 and 4.
+func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("fsai: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	opts.normalize()
+	elems := opts.LineBytes / 8
+	if elems < 1 {
+		return nil, fmt.Errorf("fsai: line size %dB smaller than one element", opts.LineBytes)
+	}
+
+	p := &Preconditioner{Workers: opts.Workers}
+	base := InitialPattern(a, opts.ThresholdTau, opts.PatternPower)
+	p.BasePattern = base
+	p.Stats.PatternOps += float64(base.NNZ())
+
+	switch opts.Variant {
+	case VariantFSAI:
+		g, err := computeRows(a, base, opts.Workers, &p.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if opts.PostFilter > 0 {
+			g = postFilterRescale(a, diagonalOnly(base), g, opts.PostFilter)
+		}
+		p.G = g
+		p.FinalPattern = pattern.FromCSR(g)
+
+	case VariantSp, VariantFull:
+		// Step 3: cache-friendly extension of S optimizing the Gp product.
+		sx := ExtendPattern(base, elems, opts.AlignElems, ClipLower, opts.MaxRowNNZ)
+		p.Stats.PatternOps += float64(sx.NNZ())
+		sext, err := resolveExtension(a, base, sx, opts, &p.Stats)
+		if err != nil {
+			return nil, err
+		}
+		final := sext
+		if opts.Variant == VariantFull {
+			// Steps 5-6: repeat on the transposed pattern, optimizing the
+			// Gᵀp product, then transpose back.
+			tx := ExtendPattern(sext.Transpose(), elems, opts.AlignElems, ClipUpper, opts.MaxRowNNZ)
+			sx2 := tx.Transpose()
+			p.Stats.PatternOps += float64(sx2.NNZ())
+			final, err = resolveExtension(a, sext, sx2, opts, &p.Stats)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Step 7: compute the final G coefficients on the resulting pattern,
+		// a Frobenius-minimal inverse approximation on that pattern.
+		g, err := computeRows(a, final, opts.Workers, &p.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if opts.StandardFiltering {
+			// Table 3 comparison path: the extension is kept whole through
+			// the exact solve and filtered after the fact with rescaling.
+			// Only extension entries (positions outside the original
+			// numerical pattern) are eligible for dropping, the same
+			// eligible set the precalculation strategy filters.
+			g = postFilterRescale(a, base, g, opts.Filter)
+		}
+		p.G = g
+		p.FinalPattern = pattern.FromCSR(g)
+
+	default:
+		return nil, fmt.Errorf("fsai: unknown variant %d", opts.Variant)
+	}
+
+	p.GT = p.G.Transpose()
+	return p, nil
+}
+
+// resolveExtension turns a candidate extended pattern sx (⊇ base) into the
+// final extension pattern according to the filtering strategy: the
+// precalculation strategy of Section 5 (default) precalculates an
+// approximate G on sx and drops weak extension entries *before* the exact
+// solve; the standard strategy keeps sx whole here (filtering happens after
+// the exact solve, in Compute).
+func resolveExtension(a *sparse.CSR, base, sx *pattern.Pattern, opts Options, stats *SetupStats) (*pattern.Pattern, error) {
+	if opts.StandardFiltering {
+		return sx, nil
+	}
+	if opts.Filter <= 0 {
+		return sx, nil // filter 0.0 keeps the full extension
+	}
+	gpre := precalcRows(a, sx, opts.PrecalcTol, opts.PrecalcMaxIter, opts.Workers, stats)
+	return filterExtension(base, sx, gpre, opts.Filter), nil
+}
+
+// ComputeOnPattern evaluates the Frobenius-optimal G of A on an arbitrary
+// lower-triangular pattern p (diagonal included in every row), bypassing
+// extension and filtering. It backs the randomly-extended control
+// preconditioners of Figures 3-4 and is useful to compose the FSAI value
+// computation with externally produced patterns (Section 8: the method
+// applies to any given sparse pattern).
+func ComputeOnPattern(a *sparse.CSR, p *pattern.Pattern, workers int, stats *SetupStats) (*sparse.CSR, error) {
+	return computeRows(a, p, workers, stats)
+}
+
+// diagonalOnly returns the pattern containing just the diagonal positions of
+// p's rows; used as the protected set when post-filtering a baseline FSAI.
+func diagonalOnly(p *pattern.Pattern) *pattern.Pattern {
+	out := pattern.New(p.Rows, p.NCols)
+	for i := 0; i < p.Rows; i++ {
+		if i < p.NCols {
+			out.AppendCol(i)
+		}
+		out.CloseRow(i)
+	}
+	return out
+}
+
+// RandomExtendPattern extends base with extra randomly placed admissible
+// entries (subject to clip), reproducing the G_random control of
+// Figures 3-4: the same number of new entries as the cache-friendly
+// extension, but scattered without regard for cache lines.
+//
+// The RNG makes placement deterministic per seed. If fewer than extra free
+// admissible positions exist, all of them are added.
+func RandomExtendPattern(base *pattern.Pattern, extra int, rng *rand.Rand, clip Clip) *pattern.Pattern {
+	rows := make([][]int, base.Rows)
+	for i := range rows {
+		rows[i] = append([]int(nil), base.Row(i)...)
+	}
+	n := base.Rows
+	added := 0
+	attempts := 0
+	maxAttempts := 50 * (extra + 1)
+	for added < extra && attempts < maxAttempts {
+		attempts++
+		i := rng.Intn(n)
+		var j int
+		switch clip {
+		case ClipLower:
+			j = rng.Intn(i + 1)
+		case ClipUpper:
+			j = i + rng.Intn(base.NCols-i)
+		default:
+			j = rng.Intn(base.NCols)
+		}
+		if containsSorted(rows[i], j) {
+			continue
+		}
+		rows[i] = insertSorted(rows[i], j)
+		added++
+	}
+	return pattern.FromRows(base.Rows, base.NCols, rows)
+}
+
+func containsSorted(row []int, j int) bool {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == j
+}
+
+func insertSorted(row []int, j int) []int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	row = append(row, 0)
+	copy(row[lo+1:], row[lo:])
+	row[lo] = j
+	return row
+}

@@ -1,0 +1,52 @@
+package fsai
+
+import (
+	"testing"
+
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+)
+
+// TestSmokeVariantsReduceIterations is the end-to-end sanity check: on a 2D
+// Laplacian, PCG with FSAI beats plain CG, and the cache-aware extensions
+// reduce iterations further (FSAIE(full) <= FSAIE(sp) <= FSAI in count).
+func TestSmokeVariantsReduceIterations(t *testing.T) {
+	a := matgen.Laplace2D(40, 40)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, a.Rows)
+	opt := krylov.DefaultOptions()
+
+	plain := krylov.Solve(a, x, b, nil, opt)
+	if !plain.Converged {
+		t.Fatalf("plain CG did not converge: %+v", plain)
+	}
+
+	iters := map[Variant]int{}
+	for _, v := range []Variant{VariantFSAI, VariantSp, VariantFull} {
+		o := DefaultOptions()
+		o.Variant = v
+		p, err := Compute(a, o)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		res := krylov.Solve(a, x, b, p, opt)
+		if !res.Converged {
+			t.Fatalf("%v: PCG did not converge: %+v", v, res)
+		}
+		iters[v] = res.Iterations
+		t.Logf("%-12v iters=%4d nnz(G)=%6d ext=%.1f%%", v, res.Iterations, p.NNZ(), p.ExtensionPct())
+	}
+	t.Logf("plain CG iters=%d", plain.Iterations)
+	if iters[VariantFSAI] >= plain.Iterations {
+		t.Errorf("FSAI (%d) should beat plain CG (%d)", iters[VariantFSAI], plain.Iterations)
+	}
+	if iters[VariantSp] > iters[VariantFSAI] {
+		t.Errorf("FSAIE(sp) (%d) should not exceed FSAI (%d)", iters[VariantSp], iters[VariantFSAI])
+	}
+	if iters[VariantFull] > iters[VariantSp] {
+		t.Errorf("FSAIE(full) (%d) should not exceed FSAIE(sp) (%d)", iters[VariantFull], iters[VariantSp])
+	}
+}

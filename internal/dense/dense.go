@@ -1,0 +1,220 @@
+// Package dense implements the small dense linear-algebra kernels the FSAI
+// setup needs for the local Frobenius systems A(S_i,S_i) g = e: Cholesky and
+// LDLᵀ factorizations with triangular solves (the paper's "direct solver",
+// provided there by MKL/LAPACK/OpenBLAS), and a dense CG solver used for the
+// loose-tolerance precalculation of Section 5.
+//
+// Matrices are stored column-major in a flat []float64 of length n*n;
+// element (i,j) is a[j*n+i]. All systems here are symmetric positive
+// definite restrictions of an SPD matrix, so Cholesky is the primary path
+// and LDLᵀ is the fallback for near-singular cases.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot, i.e. the matrix is not numerically positive definite.
+var ErrNotSPD = errors.New("dense: matrix is not positive definite")
+
+// Cholesky overwrites the lower triangle of the column-major n x n matrix a
+// with its Cholesky factor L (a = L Lᵀ). The strict upper triangle is left
+// untouched. It returns ErrNotSPD on a non-positive pivot.
+func Cholesky(a []float64, n int) error {
+	if len(a) < n*n {
+		panic(fmt.Sprintf("dense: Cholesky buffer %d for n=%d", len(a), n))
+	}
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			l := a[k*n+j]
+			d -= l * l
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a[j*n+i]
+			for k := 0; k < j; k++ {
+				s -= a[k*n+i] * a[k*n+j]
+			}
+			a[j*n+i] = s * inv
+		}
+	}
+	return nil
+}
+
+// CholeskySolve solves (L Lᵀ) x = b in place on b, where a holds the
+// Cholesky factor produced by Cholesky.
+func CholeskySolve(a []float64, n int, b []float64) {
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[k*n+i] * b[k]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	// Backward solve Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[i*n+k] * b[k]
+		}
+		b[i] = s / a[i*n+i]
+	}
+}
+
+// LDLT overwrites the lower triangle of a with the unit lower factor L and
+// the diagonal with D of an LDLᵀ factorization (no pivoting; intended for
+// symmetric quasi-definite fallback when Cholesky fails by a hair). It
+// returns an error when a diagonal element of D underflows to zero.
+func LDLT(a []float64, n int) error {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			l := a[k*n+j]
+			d -= l * l * a[k*n+k]
+		}
+		if d == 0 || math.IsNaN(d) {
+			return fmt.Errorf("dense: LDLT zero pivot at %d", j)
+		}
+		a[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a[j*n+i]
+			for k := 0; k < j; k++ {
+				s -= a[k*n+i] * a[k*n+k] * a[k*n+j]
+			}
+			a[j*n+i] = s / d
+		}
+	}
+	return nil
+}
+
+// LDLTSolve solves (L D Lᵀ) x = b in place on b for factors from LDLT.
+func LDLTSolve(a []float64, n int, b []float64) {
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[k*n+i] * b[k]
+		}
+		b[i] = s
+	}
+	for i := 0; i < n; i++ {
+		b[i] /= a[i*n+i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[i*n+k] * b[k]
+		}
+		b[i] = s
+	}
+}
+
+// SolveSPD solves the symmetric positive definite system a x = b, where a is
+// column-major n x n with at least its lower triangle filled. a is destroyed;
+// the solution overwrites b. Cholesky is attempted first, then LDLᵀ on a
+// fresh copy is used as fallback. It returns an error if both fail.
+func SolveSPD(a []float64, n int, b []float64) error {
+	backup := append([]float64(nil), a[:n*n]...)
+	if err := Cholesky(a, n); err == nil {
+		CholeskySolve(a, n, b)
+		return nil
+	}
+	copy(a, backup)
+	if err := LDLT(a, n); err != nil {
+		return ErrNotSPD
+	}
+	LDLTSolve(a, n, b)
+	return nil
+}
+
+// SymMulVec computes y = a x for a column-major symmetric matrix a of which
+// at least the lower triangle is filled. Used by the dense CG precalculation.
+func SymMulVec(a []float64, n int, y, x []float64) {
+	for i := range y[:n] {
+		y[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		xj := x[j]
+		y[j] += a[j*n+j] * xj
+		for i := j + 1; i < n; i++ {
+			v := a[j*n+i]
+			y[i] += v * xj
+			y[j] += v * x[i]
+		}
+	}
+}
+
+// CGResult reports how a dense CG solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ||b-Ax|| / ||b||
+	Converged  bool
+}
+
+// CG runs the conjugate gradient method on the dense SPD system a x = b,
+// starting from x = 0, until the relative residual drops below tol or
+// maxIter iterations elapse. a needs only its lower triangle. The solution
+// is written to x (length n). This is the loose-tolerance approximate solver
+// used by the precalculation filtering of Section 5: a handful of CG sweeps
+// is enough to estimate the order of magnitude of each G entry.
+func CG(a []float64, n int, x, b []float64, tol float64, maxIter int) CGResult {
+	for i := range x[:n] {
+		x[i] = 0
+	}
+	r := append([]float64(nil), b[:n]...)
+	p := append([]float64(nil), r...)
+	ap := make([]float64, n)
+	bnorm := norm2(b[:n])
+	if bnorm == 0 {
+		return CGResult{Converged: true}
+	}
+	rr := dot(r, r)
+	res := CGResult{Residual: math.Sqrt(rr) / bnorm}
+	for it := 0; it < maxIter; it++ {
+		if math.Sqrt(rr)/bnorm <= tol {
+			res.Converged = true
+			break
+		}
+		SymMulVec(a, n, ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			break // loss of positive definiteness in finite precision
+		}
+		alpha := rr / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+		res.Iterations = it + 1
+		res.Residual = math.Sqrt(rr) / bnorm
+	}
+	if math.Sqrt(rr)/bnorm <= tol {
+		res.Converged = true
+	}
+	return res
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }

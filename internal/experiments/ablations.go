@@ -1,0 +1,479 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cachesim"
+	fsai "repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+	"repro/internal/precond"
+	"repro/internal/reorder"
+	"repro/internal/roofline"
+	"repro/internal/sparse"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out beyond the
+// paper's headline tables: alignment sensitivity, the line-size knob,
+// composition with pattern powers (Section 8), classical-preconditioner
+// context, and the role of the matrix ordering.
+
+// solveIters builds the preconditioner described by opts for a and returns
+// (iterations, nnz(G), extension %, modelled solve seconds on m).
+func solveIters(a *sparse.CSR, b []float64, opts fsai.Options, m arch.Arch) (int, int, float64, float64, error) {
+	p, err := fsai.Compute(a, opts)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	x := make([]float64, a.Rows)
+	res := krylov.Solve(a, x, b, p, krylov.DefaultOptions())
+	cache := cachesim.New(m.L1Sim)
+	tr := cachesim.TraceOptions{AlignElems: opts.AlignElems, IncludeStreams: true}
+	gp := pattern.FromCSR(p.G)
+	gm, gtm := cachesim.TracePrecondition(cache, gp, tr)
+	am := cachesim.TraceCSR(cache, a, tr)
+	elems := m.ElemsPerLine()
+	ic := perfmodel.IterCost{
+		A:    perfmodel.SpMVCost{NNZ: a.NNZ(), Rows: a.Rows, LineVisits: cachesim.CountLineVisits(pattern.FromCSR(a), elems, opts.AlignElems), XMisses: am},
+		G:    perfmodel.SpMVCost{NNZ: p.NNZ(), Rows: a.Rows, LineVisits: cachesim.CountLineVisits(gp, elems, opts.AlignElems), XMisses: gm},
+		GT:   perfmodel.SpMVCost{NNZ: p.NNZ(), Rows: a.Rows, LineVisits: cachesim.CountLineVisits(gp.Transpose(), elems, opts.AlignElems), XMisses: gtm},
+		Rows: a.Rows,
+	}
+	return res.Iterations, p.NNZ(), p.ExtensionPct(), perfmodel.SolveTime(m, ic, res.Iterations), nil
+}
+
+// AblationAlignment sweeps the cache-line offset of the multiplying vector
+// for one matrix: the extension pattern, and hence iterations and cost,
+// shift with alignment (the effect behind the paper's Skylake-vs-POWER9
+// residual differences).
+func AblationAlignment(spec matgen.Spec) (string, error) {
+	a := spec.Generate()
+	b := spec.RHS(a)
+	m := arch.Skylake()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: alignment sensitivity — %s (%s), FSAIE(full) filter=%g, %s\n",
+		spec.Name, spec.Type, ReferenceFilter, m.Name)
+	fmt.Fprintf(&sb, "%8s %12s %10s %8s %14s\n", "align", "iterations", "nnz(G)", "%NNZ", "modelled time")
+	for align := 0; align < m.ElemsPerLine(); align++ {
+		opts := fsai.DefaultOptions()
+		opts.AlignElems = align
+		iters, nnz, ext, tsolve, err := solveIters(a, b, opts, m)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%8d %12d %10d %7.1f%% %12.3fms\n", align, iters, nnz, ext, tsolve*1e3)
+	}
+	return sb.String(), nil
+}
+
+// AblationLineSize sweeps hypothetical cache-line sizes on one matrix,
+// isolating the single architecture parameter the method consumes.
+func AblationLineSize(spec matgen.Spec) (string, error) {
+	a := spec.Generate()
+	b := spec.RHS(a)
+	m := arch.Skylake()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: cache-line-size sweep — %s (%s), FSAIE(full) filter=%g\n",
+		spec.Name, spec.Type, ReferenceFilter)
+	fmt.Fprintf(&sb, "%8s %12s %10s %8s\n", "line(B)", "iterations", "nnz(G)", "%NNZ")
+	for _, lineBytes := range []int{32, 64, 128, 256, 512} {
+		opts := fsai.DefaultOptions()
+		opts.LineBytes = lineBytes
+		iters, nnz, ext, _, err := solveIters(a, b, opts, m)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%8d %12d %10d %7.1f%%\n", lineBytes, iters, nnz, ext)
+	}
+	sb.WriteString("Larger lines admit more zero-cost fill-in: iterations fall, nnz grows.\n")
+	return sb.String(), nil
+}
+
+// AblationPatternPower composes the cache-friendly extension with richer
+// initial patterns Ã^N (the Section 8 claim that the method is
+// complementary to any numerical pattern choice).
+func AblationPatternPower(spec matgen.Spec) (string, error) {
+	a := spec.Generate()
+	b := spec.RHS(a)
+	m := arch.Skylake()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: initial pattern power — %s (%s), filter=%g\n", spec.Name, spec.Type, ReferenceFilter)
+	fmt.Fprintf(&sb, "%6s %-12s %12s %10s %14s\n", "N", "variant", "iterations", "nnz(G)", "modelled time")
+	for _, power := range []int{1, 2, 3} {
+		for _, v := range []fsai.Variant{fsai.VariantFSAI, fsai.VariantFull} {
+			opts := fsai.DefaultOptions()
+			opts.Variant = v
+			opts.PatternPower = power
+			iters, nnz, _, tsolve, err := solveIters(a, b, opts, m)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%6d %-12v %12d %10d %12.3fms\n", power, v, iters, nnz, tsolve*1e3)
+		}
+	}
+	sb.WriteString("The extension keeps paying on top of denser numerical patterns.\n")
+	return sb.String(), nil
+}
+
+// AblationPreconditioners situates FSAI/FSAIE among the classical
+// preconditioners (Jacobi, block-Jacobi, SSOR, IC(0)): iteration counts
+// plus host wall-clock per solve. IC(0)/SSOR apply through sequential
+// triangular solves — strong iteration counts, poor parallel scaling —
+// which is the paper's motivation for SpMV-applied approximate inverses.
+func AblationPreconditioners(specs []matgen.Spec) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: preconditioner landscape (iterations | host solve wall-clock)\n")
+	fmt.Fprintf(&sb, "%-22s %12s %10s %10s %10s %10s %10s %12s\n",
+		"matrix", "plain CG", "Jacobi", "BJacobi16", "SSOR", "IC(0)", "FSAI", "FSAIE(full)")
+	for _, spec := range specs {
+		a := spec.Generate()
+		b := spec.RHS(a)
+		x := make([]float64, a.Rows)
+		kopt := krylov.DefaultOptions()
+		run := func(m krylov.Preconditioner) string {
+			t0 := time.Now()
+			res := krylov.Solve(a, x, b, m, kopt)
+			el := time.Since(t0)
+			if !res.Converged {
+				return "n/c"
+			}
+			return fmt.Sprintf("%d|%.0fms", res.Iterations, float64(el.Microseconds())/1e3)
+		}
+		cells := []string{run(nil), run(krylov.NewJacobi(a))}
+		if bj, err := precond.NewBlockJacobi(a, 16); err == nil {
+			cells = append(cells, run(bj))
+		} else {
+			cells = append(cells, "fail")
+		}
+		if ss, err := precond.NewSSOR(a, 1.0); err == nil {
+			cells = append(cells, run(ss))
+		} else {
+			cells = append(cells, "fail")
+		}
+		if ic, err := precond.NewIC0(a); err == nil {
+			cells = append(cells, run(ic))
+		} else {
+			cells = append(cells, "brkdwn")
+		}
+		for _, v := range []fsai.Variant{fsai.VariantFSAI, fsai.VariantFull} {
+			opts := fsai.DefaultOptions()
+			opts.Variant = v
+			p, err := fsai.Compute(a, opts)
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, run(p))
+		}
+		fmt.Fprintf(&sb, "%-22s %12s %10s %10s %10s %10s %10s %12s\n", spec.Name,
+			cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], cells[6])
+	}
+	return sb.String(), nil
+}
+
+// AblationOrdering measures how the matrix ordering conditions the value of
+// cache-aware fill-in: on a bandwidth-minimizing (RCM) ordering, index
+// neighbours are graph neighbours and the extension entries carry real
+// numerical weight; on a random ordering they are numerical noise and the
+// filter removes them.
+func AblationOrdering(spec matgen.Spec) (string, error) {
+	orig := spec.Generate()
+	b := spec.RHS(orig)
+	m := arch.Skylake()
+	rng := rand.New(rand.NewSource(99))
+	scramble := make(reorder.Permutation, orig.Rows)
+	for i := range scramble {
+		scramble[i] = i
+	}
+	rng.Shuffle(len(scramble), func(i, j int) { scramble[i], scramble[j] = scramble[j], scramble[i] })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: ordering — %s (%s), FSAIE(full) filter=%g\n", spec.Name, spec.Type, ReferenceFilter)
+	fmt.Fprintf(&sb, "%-10s %10s %12s %12s %8s %12s\n", "ordering", "bandwidth", "FSAI iters", "FSAIE iters", "%NNZ", "iter gain")
+	cases := []struct {
+		name string
+		a    *sparse.CSR
+		b    []float64
+	}{
+		{"natural", orig, b},
+		{"rcm", nil, nil},
+		{"random", nil, nil},
+	}
+	p := reorder.RCM(orig)
+	cases[1].a = reorder.ApplySym(orig, p)
+	cases[1].b = reorder.PermuteVec(b, p)
+	cases[2].a = reorder.ApplySym(orig, scramble)
+	cases[2].b = reorder.PermuteVec(b, scramble)
+	for _, c := range cases {
+		base := fsai.DefaultOptions()
+		base.Variant = fsai.VariantFSAI
+		itBase, _, _, _, err := solveIters(c.a, c.b, base, m)
+		if err != nil {
+			return "", err
+		}
+		full := fsai.DefaultOptions()
+		itFull, _, ext, _, err := solveIters(c.a, c.b, full, m)
+		if err != nil {
+			return "", err
+		}
+		gain := 0.0
+		if itBase > 0 {
+			gain = 100 * float64(itBase-itFull) / float64(itBase)
+		}
+		fmt.Fprintf(&sb, "%-10s %10d %12d %12d %7.1f%% %11.1f%%\n",
+			c.name, reorder.Bandwidth(c.a), itBase, itFull, ext, gain)
+	}
+	sb.WriteString("Locality-aware orderings make index-adjacent fill numerically useful.\n")
+	return sb.String(), nil
+}
+
+// AblationAdaptive contrasts the static a-priori patterns with the dynamic
+// (FSPAI-style) pattern search of internal/core's ComputeAdaptive, with and
+// without the cache-friendly extension on top — exercising the paper's
+// Section 8 claim that the extension composes with any pattern strategy,
+// dynamic ones included.
+func AblationAdaptive(spec matgen.Spec) (string, error) {
+	a := spec.Generate()
+	b := spec.RHS(a)
+	x := make([]float64, a.Rows)
+	kopt := krylov.DefaultOptions()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: static vs dynamic patterns — %s (%s)\n", spec.Name, spec.Type)
+	fmt.Fprintf(&sb, "%-30s %12s %10s\n", "strategy", "iterations", "nnz(G)")
+
+	report := func(label string, p *fsai.Preconditioner) {
+		res := krylov.Solve(a, x, b, p, kopt)
+		it := fmt.Sprintf("%d", res.Iterations)
+		if !res.Converged {
+			it = "n/c"
+		}
+		fmt.Fprintf(&sb, "%-30s %12s %10d\n", label, it, p.NNZ())
+	}
+
+	static := fsai.DefaultOptions()
+	static.Variant = fsai.VariantFSAI
+	p, err := fsai.Compute(a, static)
+	if err != nil {
+		return "", err
+	}
+	report("static lower(A) (FSAI)", p)
+
+	full := fsai.DefaultOptions()
+	if p, err = fsai.Compute(a, full); err != nil {
+		return "", err
+	}
+	report("static + cache ext (FSAIE)", p)
+
+	ad := fsai.AdaptiveOptions{MaxPerRow: 8, Tol: 0.02}
+	if p, err = fsai.ComputeAdaptive(a, ad); err != nil {
+		return "", err
+	}
+	report("dynamic greedy (FSPAI-like)", p)
+
+	ad.CacheExtend = 64
+	ad.Filter = ReferenceFilter
+	if p, err = fsai.ComputeAdaptive(a, ad); err != nil {
+		return "", err
+	}
+	report("dynamic + cache ext", p)
+	sb.WriteString("The cache extension composes with dynamic patterns too (Section 8).\n")
+	return sb.String(), nil
+}
+
+// AblationRoofline places the solver's kernels on each machine's roofline,
+// before and after the cache-aware extension: SpMV-class kernels sit deep
+// in the bandwidth-bound region (the paper's premise), and the extension
+// raises the preconditioner kernel's effective arithmetic intensity.
+func AblationRoofline(spec matgen.Spec) (string, error) {
+	a := spec.Generate()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: roofline placement — %s (%s)\n\n", spec.Name, spec.Type)
+	for _, m := range arch.All() {
+		opts := fsai.DefaultOptions()
+		opts.Variant = fsai.VariantFSAI
+		opts.LineBytes = m.LineBytes
+		base, err := fsai.Compute(a, opts)
+		if err != nil {
+			return "", err
+		}
+		opts.Variant = fsai.VariantFull
+		ext, err := fsai.Compute(a, opts)
+		if err != nil {
+			return "", err
+		}
+		kernelOf := func(name string, p *fsai.Preconditioner) roofline.Kernel {
+			gp := pattern.FromCSR(p.G)
+			lvG := cachesim.CountLineVisits(gp, m.ElemsPerLine(), 0)
+			lvGT := cachesim.CountLineVisits(gp.Transpose(), m.ElemsPerLine(), 0)
+			k := roofline.PrecondKernel(p.G, lvG, lvGT, m.LineBytes)
+			k.Name = name
+			return k
+		}
+		ap := pattern.FromCSR(a)
+		kernels := []roofline.Kernel{
+			roofline.SpMVKernel(a, cachesim.CountLineVisits(ap, m.ElemsPerLine(), 0), m.LineBytes),
+			kernelOf("GᵀGp", base),
+			kernelOf("GᵀGp-ext", ext),
+			roofline.DotKernel(a.Rows),
+			roofline.AxpyKernel(a.Rows),
+		}
+		sb.WriteString(roofline.Report(m, kernels))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("All kernels are bandwidth bound; the extension raises the effective AI of GᵀGp.\n")
+	return sb.String(), nil
+}
+
+// AblationSpectrum estimates, per preconditioner variant and filter, the
+// condition number of the preconditioned operator κ(G·A·Gᵀ) with Lanczos —
+// the spectral quantity whose square root governs CG's iteration count and
+// which the cache-aware extension improves. The table pairs each κ with
+// the measured iterations to show the mechanism end to end.
+func AblationSpectrum(spec matgen.Spec) (string, error) {
+	a := spec.Generate()
+	b := spec.RHS(a)
+	x := make([]float64, a.Rows)
+	steps := 80
+	var sb strings.Builder
+	plain, err := spectral.CondOfMatrix(a, steps)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "Ablation: preconditioned spectrum — %s (%s), κ(A) ≈ %.1f\n",
+		spec.Name, spec.Type, plain.Cond())
+	fmt.Fprintf(&sb, "%-12s %8s %12s %12s %12s\n", "variant", "filter", "κ(GAGᵀ)", "sqrt(κ)", "iterations")
+	report := func(v fsai.Variant, filter float64) error {
+		o := fsai.DefaultOptions()
+		o.Variant = v
+		o.Filter = filter
+		p, err := fsai.Compute(a, o)
+		if err != nil {
+			return err
+		}
+		res, err := spectral.CondFSAI(a, p.G, p.GT, steps)
+		if err != nil {
+			return err
+		}
+		it := krylov.Solve(a, x, b, p, krylov.DefaultOptions())
+		fmt.Fprintf(&sb, "%-12v %8.3g %12.1f %12.2f %12d\n",
+			v, filter, res.Cond(), math.Sqrt(res.Cond()), it.Iterations)
+		return nil
+	}
+	if err := report(fsai.VariantFSAI, 0); err != nil {
+		return "", err
+	}
+	for _, f := range DefaultFilters() {
+		if err := report(fsai.VariantFull, f); err != nil {
+			return "", err
+		}
+	}
+	sb.WriteString("CG iterations track sqrt(κ) of the preconditioned operator: the\nextension's iteration savings are spectral, its cost savings architectural.\n")
+	return sb.String(), nil
+}
+
+// AblationFEM is the out-of-suite generalization check: instead of the
+// synthetic stencil generators of the campaign, it assembles four systems
+// with the repository's own P1 finite elements (graded-conductivity
+// Poisson, quadrant-jump diffusion, clamped plane-strain elasticity, and a
+// mass matrix) and verifies the headline effect — FSAIE(full) cutting
+// iterations at near-constant modelled per-iteration cost — on genuinely
+// assembled matrices.
+func AblationFEM() (string, error) {
+	mesh := fem.UnitSquare(48)
+	type sys struct {
+		name string
+		a    *sparse.CSR
+		b    []float64
+	}
+	var systems []sys
+
+	graded := fem.AssembleStiffness(mesh, func(x, y float64) float64 { return math.Pow(10, 3*x) })
+	a1, b1, _ := fem.ApplyDirichlet(mesh, graded, fem.AssembleLoad(mesh, fem.Const(1)))
+	systems = append(systems, sys{"poisson-graded", a1, b1})
+
+	jump := fem.AssembleStiffness(mesh, func(x, y float64) float64 {
+		if (x < 0.5) != (y < 0.5) {
+			return 1e3
+		}
+		return 1
+	})
+	a2, b2, _ := fem.ApplyDirichlet(mesh, jump, fem.AssembleLoad(mesh, fem.Const(1)))
+	systems = append(systems, sys{"diffusion-jump", a2, b2})
+
+	elas := fem.AssembleElasticity(mesh, func(x, y float64) fem.Material {
+		return fem.Material{E: 200, Nu: 0.3}
+	})
+	loadV := make([]float64, elas.Rows)
+	for i := 0; i < mesh.NumNodes(); i++ {
+		loadV[2*i+1] = -1
+	}
+	a3, b3, _ := fem.ApplyDirichletVector(mesh, elas, loadV)
+	systems = append(systems, sys{"elasticity-clamped", a3, b3})
+
+	mass := fem.AssembleMass(mesh, fem.Const(1))
+	a4, b4, _ := fem.ApplyDirichlet(mesh, mass, fem.AssembleLoad(mesh, fem.Const(1)))
+	systems = append(systems, sys{"mass", a4, b4})
+
+	m := arch.Skylake()
+	var sb strings.Builder
+	sb.WriteString("Ablation: FEM-assembled systems (P1 elements, not the synthetic suite)\n")
+	fmt.Fprintf(&sb, "%-20s %8s %10s | %-10s %-10s %10s | %-12s\n",
+		"system", "n", "nnz", "FSAI it", "FSAIE it", "%NNZ", "time imp.")
+	for _, s := range systems {
+		base := fsai.DefaultOptions()
+		base.Variant = fsai.VariantFSAI
+		itB, _, _, tB, err := solveIters(s.a, s.b, base, m)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", s.name, err)
+		}
+		full := fsai.DefaultOptions()
+		itF, _, ext, tF, err := solveIters(s.a, s.b, full, m)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", s.name, err)
+		}
+		imp := 0.0
+		if tB > 0 {
+			imp = 100 * (tB - tF) / tB
+		}
+		fmt.Fprintf(&sb, "%-20s %8d %10d | %-10d %-10d %9.1f%% | %+10.1f%%\n",
+			s.name, s.a.Rows, s.a.NNZ(), itB, itF, ext, imp)
+	}
+	sb.WriteString("The cache-aware extension generalizes beyond the synthetic suite to\nmatrices assembled by the repository's own finite elements.\n")
+	return sb.String(), nil
+}
+
+// AblationFigure3Histogram reproduces the Figure 3 comparison per line size
+// rather than per arch: the distribution of misses per nnz for FSAI vs
+// FSAIE(full) as the line grows.
+func AblationFigure3Histogram(specs []matgen.Spec) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Ablation: misses/nnz(G) distribution vs line size (FSAIE(full), filter=0.01)\n")
+	for _, lineBytes := range []int{64, 256} {
+		cfg := cachesim.Config{SizeBytes: 32 * lineBytes, LineBytes: lineBytes, Ways: 8}
+		var vals []float64
+		for _, spec := range specs {
+			a := spec.Generate()
+			opts := fsai.DefaultOptions()
+			opts.LineBytes = lineBytes
+			p, err := fsai.Compute(a, opts)
+			if err != nil {
+				return "", err
+			}
+			c := cachesim.New(cfg)
+			gm, gtm := cachesim.TracePrecondition(c, pattern.FromCSR(p.G), cachesim.TraceOptions{IncludeStreams: true})
+			vals = append(vals, float64(gm+gtm)/float64(p.NNZ()))
+		}
+		fmt.Fprintf(&sb, "\nline=%dB (mean %.4f):\n%s", lineBytes, stats.Mean(vals),
+			stats.NewHistogram(vals, 8, 0, 0.5).Render(40))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	fsai "repro/internal/core"
+)
+
+// The JSON export serializes a priced campaign for downstream analysis
+// (plotting the figures with external tooling, regression-tracking the
+// reproduction's numbers in CI).
+
+// exportMethod is the serialized form of one preconditioner measurement.
+type exportMethod struct {
+	Variant    string  `json:"variant"`
+	Filter     float64 `json:"filter"`
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	NNZG       int     `json:"nnz_g"`
+	ExtPct     float64 `json:"ext_pct"`
+	MissG      uint64  `json:"miss_g"`
+	MissGT     uint64  `json:"miss_gt"`
+	MissPerNNZ float64 `json:"miss_per_nnz"`
+	SetupSec   float64 `json:"setup_sec"`
+	SolveSec   float64 `json:"solve_sec"`
+	GFlops     float64 `json:"gflops"`
+}
+
+// exportMatrix is the serialized form of one suite matrix's results.
+type exportMatrix struct {
+	ID    int            `json:"id"`
+	Name  string         `json:"name"`
+	Type  string         `json:"type"`
+	Rows  int            `json:"rows"`
+	NNZ   int            `json:"nnz"`
+	Align int            `json:"align_elems"`
+	FSAI  exportMethod   `json:"fsai"`
+	Sp    []exportMethod `json:"fsaie_sp"`
+	Full  []exportMethod `json:"fsaie_full"`
+
+	RandomMissPerNNZ float64 `json:"random_miss_per_nnz,omitempty"`
+	RandomGFlops     float64 `json:"random_gflops,omitempty"`
+}
+
+// exportCampaign is the top-level JSON document.
+type exportCampaign struct {
+	Machine   string          `json:"machine"`
+	LineBytes int             `json:"line_bytes"`
+	Filters   []float64       `json:"filters"`
+	Results   []exportMatrix  `json:"results"`
+	Summary   []exportSummary `json:"summary_fsaie_full"`
+}
+
+type exportSummary struct {
+	Filter     string  `json:"filter"`
+	AvgIterPct float64 `json:"avg_iter_improvement_pct"`
+	AvgTimePct float64 `json:"avg_time_improvement_pct"`
+	HighestImp float64 `json:"highest_improvement_pct"`
+	HighestDeg float64 `json:"highest_degradation_pct"`
+}
+
+func exportOf(m MethodPriced) exportMethod {
+	return exportMethod{
+		Variant:    m.Variant.String(),
+		Filter:     m.Filter,
+		Iterations: m.Iterations,
+		Converged:  m.Converged,
+		NNZG:       m.NNZG,
+		ExtPct:     m.ExtPct,
+		MissG:      m.MissG,
+		MissGT:     m.MissGT,
+		MissPerNNZ: m.MissPerNNZ,
+		SetupSec:   m.Setup,
+		SolveSec:   m.Solve,
+		GFlops:     m.GFlops,
+	}
+}
+
+// WriteJSON serializes the campaign to w as indented JSON.
+func (c *PricedCampaign) WriteJSON(w io.Writer) error {
+	doc := exportCampaign{
+		Machine:   c.Machine.Name,
+		LineBytes: c.Machine.LineBytes,
+		Filters:   c.Filters,
+	}
+	for i := range c.Results {
+		r := &c.Results[i]
+		em := exportMatrix{
+			ID:    r.Spec.ID,
+			Name:  r.Spec.Name,
+			Type:  r.Spec.Type,
+			Rows:  r.Rows,
+			NNZ:   r.NNZ,
+			Align: r.AlignElems,
+			FSAI:  exportOf(r.FSAI),
+		}
+		for _, m := range r.Sp {
+			em.Sp = append(em.Sp, exportOf(m))
+		}
+		for _, m := range r.Full {
+			em.Full = append(em.Full, exportOf(m))
+		}
+		if r.RandomMeasured {
+			em.RandomMissPerNNZ = r.RandomMissPerNNZ
+			em.RandomGFlops = r.RandomGFlops
+		}
+		doc.Results = append(doc.Results, em)
+	}
+	for _, s := range c.Summaries(fsai.VariantFull) {
+		doc.Summary = append(doc.Summary, exportSummary{
+			Filter:     s.Label,
+			AvgIterPct: s.AvgIterPct,
+			AvgTimePct: s.AvgTimePct,
+			HighestImp: s.HighestImp,
+			HighestDeg: s.HighestDeg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestWriteJSON(t *testing.T) {
+	raw, err := RunRaw(miniSpecs(), RawOptions{L1: arch.Skylake().L1Sim, WithRandom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Price(raw, arch.Skylake())
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Parse back and verify structure.
+	var doc struct {
+		Machine   string `json:"machine"`
+		LineBytes int    `json:"line_bytes"`
+		Results   []struct {
+			Name string `json:"name"`
+			FSAI struct {
+				Iterations int     `json:"iterations"`
+				SolveSec   float64 `json:"solve_sec"`
+			} `json:"fsai"`
+			Full []struct {
+				Filter float64 `json:"filter"`
+			} `json:"fsaie_full"`
+			RandomMissPerNNZ float64 `json:"random_miss_per_nnz"`
+		} `json:"results"`
+		Summary []struct {
+			Filter string `json:"filter"`
+		} `json:"summary_fsaie_full"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Machine != "Skylake" || doc.LineBytes != 64 {
+		t.Errorf("machine fields wrong: %+v", doc)
+	}
+	if len(doc.Results) != len(miniSpecs()) {
+		t.Fatalf("results %d, want %d", len(doc.Results), len(miniSpecs()))
+	}
+	for _, r := range doc.Results {
+		if r.FSAI.Iterations <= 0 || r.FSAI.SolveSec <= 0 {
+			t.Errorf("%s: empty baseline", r.Name)
+		}
+		if len(r.Full) != len(DefaultFilters()) {
+			t.Errorf("%s: %d full entries", r.Name, len(r.Full))
+		}
+		if r.RandomMissPerNNZ <= 0 {
+			t.Errorf("%s: random control missing", r.Name)
+		}
+	}
+	// Summary has the four filters plus the best-filter row.
+	if len(doc.Summary) != len(DefaultFilters())+1 {
+		t.Errorf("summary rows %d", len(doc.Summary))
+	}
+	if doc.Summary[len(doc.Summary)-1].Filter != "Best filter" {
+		t.Error("missing best-filter summary row")
+	}
+}

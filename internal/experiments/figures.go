@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	fsai "repro/internal/core"
+	"repro/internal/stats"
+)
+
+// FigureTimeDecrease renders the per-matrix time-decrease chart of Figures
+// 2 (Skylake), 5 (POWER9) and 6 (A64FX): for every matrix ID, the %
+// time decrease of FSAIE(full) vs FSAI using the best filter per matrix and
+// using the common reference filter.
+func (c *PricedCampaign) FigureTimeDecrease() string {
+	fi := c.RefIndex()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure (%s): time decrease of FSAIE(full) vs FSAI per matrix\n", c.Machine.Name)
+	fmt.Fprintf(&sb, "%4s %-22s %10s %10s\n", "ID", "Matrix", "best-filter", fmt.Sprintf("f=%g", c.Filters[fi]))
+	var labels []string
+	var best []float64
+	for i := range c.Results {
+		r := &c.Results[i]
+		bi := r.BestFilterIndex(fsai.VariantFull)
+		bImp := r.TimeImprovementPct(fsai.VariantFull, bi)
+		refImp := r.TimeImprovementPct(fsai.VariantFull, fi)
+		fmt.Fprintf(&sb, "%4d %-22s %9.2f%% %9.2f%%\n", r.Spec.ID, r.Spec.Name, bImp, refImp)
+		labels = append(labels, fmt.Sprintf("%d:%s", r.Spec.ID, r.Spec.Name))
+		best = append(best, bImp)
+	}
+	sb.WriteString("\nBest-filter time decrease per matrix (bar chart):\n")
+	sb.WriteString(stats.BarChart(labels, best, 60))
+	return sb.String()
+}
+
+// Figure3 renders the histograms of L1 data-cache misses on p accesses in
+// the GᵀGp operation, normalized to nnz(G), for the state-of-the-art FSAI
+// patterns, the cache-friendly FSAIE(full) extensions and the random
+// extensions (paper Figure 3). Requires WithRandom raw data.
+func (c *PricedCampaign) Figure3() string {
+	fi := c.RefIndex()
+	var fsaiVals, extVals, randVals []float64
+	for i := range c.Results {
+		r := &c.Results[i]
+		fsaiVals = append(fsaiVals, r.FSAI.MissPerNNZ)
+		extVals = append(extVals, r.Full[fi].MissPerNNZ)
+		if r.RandomMeasured {
+			randVals = append(randVals, r.RandomMissPerNNZ)
+		}
+	}
+	hi := stats.Max(append(append(append([]float64{}, fsaiVals...), extVals...), randVals...))
+	if hi == 0 {
+		hi = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3 (%s): L1 misses on p per nnz(G) in GᵀGp (histograms over matrices)\n", c.Machine.Name)
+	fmt.Fprintf(&sb, "\nG_FSAI (mean %.4f):\n%s", stats.Mean(fsaiVals), stats.NewHistogram(fsaiVals, 10, 0, hi).Render(40))
+	fmt.Fprintf(&sb, "\nG_FSAIE(full) (mean %.4f):\n%s", stats.Mean(extVals), stats.NewHistogram(extVals, 10, 0, hi).Render(40))
+	if len(randVals) > 0 {
+		fmt.Fprintf(&sb, "\nG_random (mean %.4f):\n%s", stats.Mean(randVals), stats.NewHistogram(randVals, 10, 0, hi).Render(40))
+	}
+	return sb.String()
+}
+
+// Figure4 renders the histograms of Gflop/s reached by the GᵀGp operation
+// for the same three pattern constructions (paper Figure 4).
+func (c *PricedCampaign) Figure4() string {
+	fi := c.RefIndex()
+	var fsaiVals, extVals, randVals []float64
+	for i := range c.Results {
+		r := &c.Results[i]
+		fsaiVals = append(fsaiVals, r.FSAI.GFlops)
+		extVals = append(extVals, r.Full[fi].GFlops)
+		if r.RandomMeasured {
+			randVals = append(randVals, r.RandomGFlops)
+		}
+	}
+	hi := stats.Max(append(append(append([]float64{}, fsaiVals...), extVals...), randVals...))
+	if hi == 0 {
+		hi = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4 (%s): Gflop/s of the GᵀGp operation (histograms over matrices)\n", c.Machine.Name)
+	fmt.Fprintf(&sb, "\nG_FSAI (mean %.1f Gflop/s):\n%s", stats.Mean(fsaiVals), stats.NewHistogram(fsaiVals, 10, 0, hi).Render(40))
+	fmt.Fprintf(&sb, "\nG_FSAIE(full) (mean %.1f Gflop/s):\n%s", stats.Mean(extVals), stats.NewHistogram(extVals, 10, 0, hi).Render(40))
+	if len(randVals) > 0 {
+		fmt.Fprintf(&sb, "\nG_random (mean %.1f Gflop/s):\n%s", stats.Mean(randVals), stats.NewHistogram(randVals, 10, 0, hi).Render(40))
+	}
+	return sb.String()
+}
+
+// Figure7 renders the cross-architecture comparison (paper Figure 7):
+// histograms of the per-matrix time improvement of FSAIE(full) with the
+// best filter, one histogram per machine, with the median marked.
+func Figure7(campaigns []*PricedCampaign) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: % time improvement of FSAIE(full), best filter per matrix\n")
+	for _, c := range campaigns {
+		var vals []float64
+		for i := range c.Results {
+			bi := c.Results[i].BestFilterIndex(fsai.VariantFull)
+			vals = append(vals, c.Results[i].TimeImprovementPct(fsai.VariantFull, bi))
+		}
+		fmt.Fprintf(&sb, "\n%s (median %.2f%%, mean %.2f%%):\n%s",
+			c.Machine.Name, stats.Median(vals), stats.Mean(vals),
+			stats.NewHistogram(vals, 12, -30, 90).Render(40))
+	}
+	return sb.String()
+}

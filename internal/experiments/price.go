@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	fsai "repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// MethodPriced extends a raw measurement with simulated times on one
+// machine.
+type MethodPriced struct {
+	MethodRaw
+	Setup  float64 // simulated setup seconds
+	Solve  float64 // simulated solve seconds (iterations × iteration time)
+	GFlops float64 // Gflop/s of the GᵀGp preconditioning operation
+}
+
+// MatrixPriced aggregates priced results for one matrix on one machine.
+type MatrixPriced struct {
+	MatrixRaw
+	Machine arch.Arch
+
+	FSAI MethodPriced
+	Sp   []MethodPriced
+	Full []MethodPriced
+
+	RandomGFlops float64
+	RandomSolve  float64
+}
+
+// PricedCampaign is a raw campaign priced on one machine.
+type PricedCampaign struct {
+	Machine arch.Arch
+	Filters []float64
+	Results []MatrixPriced
+}
+
+// Price converts a raw campaign into simulated times on machine m. The raw
+// campaign must have been run with m's cache-line size (Skylake and POWER9
+// share a 64-byte raw run).
+func Price(raw *RawCampaign, m arch.Arch) *PricedCampaign {
+	out := &PricedCampaign{Machine: m, Filters: raw.Opts.Filters}
+	for _, mr := range raw.Results {
+		pm := MatrixPriced{MatrixRaw: mr, Machine: m}
+		pm.FSAI = priceMethod(mr, mr.FSAI, m)
+		for _, r := range mr.Sp {
+			pm.Sp = append(pm.Sp, priceMethod(mr, r, m))
+		}
+		for _, r := range mr.Full {
+			pm.Full = append(pm.Full, priceMethod(mr, r, m))
+		}
+		if mr.RandomMeasured {
+			g := perfmodel.SpMVCost{NNZ: mr.RandomNNZG, Rows: mr.Rows, LineVisits: mr.RandomLVG, XMisses: mr.RandomMissG}
+			gt := perfmodel.SpMVCost{NNZ: mr.RandomNNZG, Rows: mr.Rows, LineVisits: mr.RandomLVGT, XMisses: mr.RandomMissGT}
+			pm.RandomGFlops = perfmodel.PrecondGFlops(m, g, gt)
+			ic := perfmodel.IterCost{A: aCost(mr), G: g, GT: gt, Rows: mr.Rows}
+			pm.RandomSolve = perfmodel.SolveTime(m, ic, mr.RandomIterations)
+		}
+		out.Results = append(out.Results, pm)
+	}
+	return out
+}
+
+func aCost(mr MatrixRaw) perfmodel.SpMVCost {
+	return perfmodel.SpMVCost{NNZ: mr.NNZ, Rows: mr.Rows, LineVisits: mr.FSAI.LVA, XMisses: mr.FSAI.MissA}
+}
+
+func priceMethod(mr MatrixRaw, r MethodRaw, m arch.Arch) MethodPriced {
+	g := perfmodel.SpMVCost{NNZ: r.NNZG, Rows: mr.Rows, LineVisits: r.LVG, XMisses: r.MissG}
+	gt := perfmodel.SpMVCost{NNZ: r.NNZG, Rows: mr.Rows, LineVisits: r.LVGT, XMisses: r.MissGT}
+	ic := perfmodel.IterCost{A: aCost(mr), G: g, GT: gt, Rows: mr.Rows}
+	return MethodPriced{
+		MethodRaw: r,
+		Setup: perfmodel.SetupTime(m, perfmodel.SetupCost{
+			DirectFlops:  r.Stats.DirectFlops,
+			PrecalcFlops: r.Stats.PrecalcFlops,
+			PatternOps:   r.Stats.PatternOps,
+			Rows:         r.Stats.Rows,
+		}),
+		Solve:  perfmodel.SolveTime(m, ic, r.Iterations),
+		GFlops: perfmodel.PrecondGFlops(m, g, gt),
+	}
+}
+
+// Improvement summaries -----------------------------------------------------
+
+// variantOf selects the Sp or Full slice of a priced matrix.
+func (p *MatrixPriced) variantOf(v fsai.Variant) []MethodPriced {
+	if v == fsai.VariantSp {
+		return p.Sp
+	}
+	return p.Full
+}
+
+// TimeImprovementPct returns 100·(t_FSAI − t_method)/t_FSAI for the method
+// at filter index fi of variant v: positive is a win over the baseline.
+func (p *MatrixPriced) TimeImprovementPct(v fsai.Variant, fi int) float64 {
+	ms := p.variantOf(v)
+	if fi >= len(ms) || p.FSAI.Solve == 0 {
+		return 0
+	}
+	return 100 * (p.FSAI.Solve - ms[fi].Solve) / p.FSAI.Solve
+}
+
+// IterImprovementPct returns the analogous iteration-count improvement.
+func (p *MatrixPriced) IterImprovementPct(v fsai.Variant, fi int) float64 {
+	ms := p.variantOf(v)
+	if fi >= len(ms) || p.FSAI.Iterations == 0 {
+		return 0
+	}
+	return 100 * float64(p.FSAI.Iterations-ms[fi].Iterations) / float64(p.FSAI.Iterations)
+}
+
+// BestFilterIndex returns the filter index with the highest time
+// improvement for variant v on this matrix (the paper's "best filter per
+// matrix" rows).
+func (p *MatrixPriced) BestFilterIndex(v fsai.Variant) int {
+	best, bestImp := 0, p.TimeImprovementPct(v, 0)
+	for fi := 1; fi < len(p.variantOf(v)); fi++ {
+		if imp := p.TimeImprovementPct(v, fi); imp > bestImp {
+			best, bestImp = fi, imp
+		}
+	}
+	return best
+}
+
+// FilterSummary is one row of Tables 2/4/5.
+type FilterSummary struct {
+	Label      string
+	AvgIterPct float64
+	AvgTimePct float64
+	HighestImp float64
+	HighestDeg float64 // most negative time improvement (a degradation)
+}
+
+// Summaries returns the per-filter rows plus the best-filter row for
+// variant v, in the layout of Tables 2/4/5.
+func (c *PricedCampaign) Summaries(v fsai.Variant) []FilterSummary {
+	var out []FilterSummary
+	for fi, f := range c.Filters {
+		var iters, times []float64
+		for i := range c.Results {
+			iters = append(iters, c.Results[i].IterImprovementPct(v, fi))
+			times = append(times, c.Results[i].TimeImprovementPct(v, fi))
+		}
+		out = append(out, summarize(formatFilter(f), iters, times))
+	}
+	var iters, times []float64
+	for i := range c.Results {
+		fi := c.Results[i].BestFilterIndex(v)
+		iters = append(iters, c.Results[i].IterImprovementPct(v, fi))
+		times = append(times, c.Results[i].TimeImprovementPct(v, fi))
+	}
+	out = append(out, summarize("Best filter", iters, times))
+	return out
+}
+
+func summarize(label string, iters, times []float64) FilterSummary {
+	s := FilterSummary{Label: label}
+	s.AvgIterPct = mean(iters)
+	s.AvgTimePct = mean(times)
+	hi, lo := 0.0, 0.0
+	for _, t := range times {
+		if t > hi {
+			hi = t
+		}
+		if t < lo {
+			lo = t
+		}
+	}
+	s.HighestImp = hi
+	s.HighestDeg = lo
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// formatFilter renders a filter value the way the paper's tables do.
+func formatFilter(f float64) string {
+	if f == 0 {
+		return "0.0"
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	fsai "repro/internal/core"
+	"repro/internal/matgen"
+)
+
+// miniSpecs returns a 3-matrix subset for fast render tests.
+func miniSpecs() []matgen.Spec {
+	qs := matgen.QuickSuite()
+	return qs[:3]
+}
+
+func TestCampaignRendersAllArtifacts(t *testing.T) {
+	raw, err := RunRaw(miniSpecs(), RawOptions{
+		L1:           arch.Skylake().L1Sim,
+		WithRandom:   true,
+		WithStandard: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Price(raw, arch.Skylake())
+
+	t1 := c.Table1()
+	for _, want := range []string{"Table 1", "FSAI", "Setup", "%NNZ", "Setup overhead"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, t1)
+		}
+	}
+	st := c.SummaryTable()
+	for _, want := range []string{"FSAIE(sp)", "FSAIE(full)", "Best filter", "0.001"} {
+		if !strings.Contains(st, want) {
+			t.Errorf("SummaryTable missing %q", want)
+		}
+	}
+	t3 := c.Table3()
+	if !strings.Contains(t3, "Table 3") || !strings.Contains(t3, "0.1") {
+		t.Errorf("Table3 malformed:\n%s", t3)
+	}
+	// Filter 0.0 row must report zeros (identical patterns).
+	for _, line := range strings.Split(t3, "\n") {
+		if strings.HasPrefix(line, "0.0 ") {
+			if !strings.Contains(line, "0.00") {
+				t.Errorf("Table3 filter-0 row should be zero: %q", line)
+			}
+		}
+	}
+	for name, s := range map[string]string{
+		"FigureTimeDecrease": c.FigureTimeDecrease(),
+		"Figure3":            c.Figure3(),
+		"Figure4":            c.Figure4(),
+		"Figure7":            Figure7([]*PricedCampaign{c}),
+	} {
+		if len(s) < 100 {
+			t.Errorf("%s suspiciously short:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(c.Figure3(), "G_random") {
+		t.Error("Figure3 missing random histogram")
+	}
+}
+
+func TestSkylakePOWER9ShareRawButDifferInTime(t *testing.T) {
+	raw, err := RunRaw(miniSpecs(), RawOptions{L1: arch.Skylake().L1Sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := Price(raw, arch.Skylake())
+	p9 := Price(raw, arch.POWER9())
+	for i := range sky.Results {
+		s, p := sky.Results[i], p9.Results[i]
+		if s.FSAI.Iterations != p.FSAI.Iterations {
+			t.Error("iteration counts must match across 64-byte machines")
+		}
+		if s.FSAI.Solve == p.FSAI.Solve {
+			t.Error("solve times should differ across machines")
+		}
+	}
+}
+
+func TestRawDeterminism(t *testing.T) {
+	opts := RawOptions{L1: arch.Skylake().L1Sim}
+	r1, err := RunRaw(miniSpecs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunRaw(miniSpecs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Results {
+		a, b := r1.Results[i], r2.Results[i]
+		if a.FSAI.Iterations != b.FSAI.Iterations || a.FSAI.MissG != b.FSAI.MissG {
+			t.Fatalf("%s: raw campaign not deterministic", a.Spec.Name)
+		}
+		for fi := range a.Full {
+			if a.Full[fi].NNZG != b.Full[fi].NNZG || a.Full[fi].Iterations != b.Full[fi].Iterations {
+				t.Fatalf("%s: FSAIE(full) results differ across runs", a.Spec.Name)
+			}
+		}
+	}
+}
+
+func TestMethodInvariants(t *testing.T) {
+	raw, err := RunRaw(miniSpecs(), RawOptions{L1: arch.Skylake().L1Sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mr := range raw.Results {
+		if !mr.FSAI.Converged {
+			t.Errorf("%s: baseline did not converge", mr.Spec.Name)
+		}
+		if mr.FSAI.ExtPct != 0 {
+			t.Errorf("%s: baseline has extension %g%%", mr.Spec.Name, mr.FSAI.ExtPct)
+		}
+		for fi := range mr.Full {
+			full, sp := mr.Full[fi], mr.Sp[fi]
+			if full.NNZG < sp.NNZG {
+				t.Errorf("%s filter[%d]: full pattern smaller than sp", mr.Spec.Name, fi)
+			}
+			if !full.Converged || !sp.Converged {
+				t.Errorf("%s filter[%d]: non-convergence", mr.Spec.Name, fi)
+			}
+			// Extended patterns keep misses within a whisker of baseline
+			// (capacity noise aside, the mechanism of Section 4).
+			if float64(full.MissG) > 1.25*float64(mr.FSAI.MissG)+16 {
+				t.Errorf("%s filter[%d]: extension added G misses %d -> %d",
+					mr.Spec.Name, fi, mr.FSAI.MissG, full.MissG)
+			}
+		}
+	}
+}
+
+func TestBestFilterIndexPicksMaximum(t *testing.T) {
+	raw, err := RunRaw(miniSpecs(), RawOptions{L1: arch.Skylake().L1Sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Price(raw, arch.Skylake())
+	for i := range c.Results {
+		r := &c.Results[i]
+		bi := r.BestFilterIndex(fsai.VariantFull)
+		best := r.TimeImprovementPct(fsai.VariantFull, bi)
+		for fi := range c.Filters {
+			if r.TimeImprovementPct(fsai.VariantFull, fi) > best+1e-12 {
+				t.Errorf("%s: filter %d beats chosen best %d", r.Spec.Name, fi, bi)
+			}
+		}
+	}
+}
+
+func TestHostWallClockTable(t *testing.T) {
+	raw, err := RunRaw(miniSpecs(), RawOptions{L1: arch.Skylake().L1Sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := HostWallClockTable(raw)
+	if !strings.Contains(out, "wall imp.") || !strings.Contains(out, "average measured improvement") {
+		t.Errorf("host table malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < len(miniSpecs())+3 {
+		t.Errorf("missing rows:\n%s", out)
+	}
+}

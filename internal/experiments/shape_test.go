@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	fsai "repro/internal/core"
+	"repro/internal/matgen"
+)
+
+// runQuick runs the quick-suite raw campaign at the given machine's cache
+// geometry; shared across shape tests.
+func runQuick(t testing.TB, m arch.Arch, withRandom, withStandard bool) *PricedCampaign {
+	t.Helper()
+	raw, err := RunRaw(matgen.QuickSuite(), RawOptions{
+		L1:           m.L1Sim,
+		WithRandom:   withRandom,
+		WithStandard: withStandard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Price(raw, m)
+}
+
+// TestShapeSkylake checks the headline qualitative results of the paper on
+// the Skylake model over the quick suite: FSAIE(full) with the reference
+// filter improves average time over FSAI, filter 0.0 is worse than 0.01,
+// and the best-filter average beats every fixed filter.
+func TestShapeSkylake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	c := runQuick(t, arch.Skylake(), true, false)
+	sums := c.Summaries(fsai.VariantFull)
+	for _, s := range sums {
+		t.Logf("full filter=%-11s avgIter=%6.2f%% avgTime=%6.2f%% hi=%6.2f%% lo=%6.2f%%", s.Label, s.AvgIterPct, s.AvgTimePct, s.HighestImp, s.HighestDeg)
+	}
+	ref := sums[2]  // 0.01
+	zero := sums[0] // 0.0
+	best := sums[len(sums)-1]
+	if ref.AvgTimePct <= 0 {
+		t.Errorf("FSAIE(full) filter=0.01 average time improvement %.2f%%, want > 0", ref.AvgTimePct)
+	}
+	if zero.AvgTimePct >= ref.AvgTimePct {
+		t.Errorf("filter=0.0 (%.2f%%) should underperform 0.01 (%.2f%%)", zero.AvgTimePct, ref.AvgTimePct)
+	}
+	if best.AvgTimePct < ref.AvgTimePct {
+		t.Errorf("best filter (%.2f%%) should be >= 0.01 (%.2f%%)", best.AvgTimePct, ref.AvgTimePct)
+	}
+	t.Log("\n" + c.Figure3())
+	t.Log("\n" + c.Figure4())
+}
+
+// TestShapeA64FXBeatsSkylake checks the cross-architecture contrast: the
+// 256-byte lines of A64FX allow richer extensions and larger average
+// improvements than the 64-byte machines (paper Section 7.7).
+func TestShapeA64FXBeatsSkylake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	sky := runQuick(t, arch.Skylake(), false, false)
+	a64 := runQuick(t, arch.A64FX(), false, false)
+	sb := sky.Summaries(fsai.VariantFull)
+	ab := a64.Summaries(fsai.VariantFull)
+	skyBest := sb[len(sb)-1].AvgTimePct
+	a64Best := ab[len(ab)-1].AvgTimePct
+	t.Logf("best-filter avg time improvement: Skylake %.2f%%, A64FX %.2f%%", skyBest, a64Best)
+	if a64Best <= skyBest {
+		t.Errorf("A64FX (%.2f%%) should beat Skylake (%.2f%%)", a64Best, skyBest)
+	}
+	t.Log("\n" + Figure7([]*PricedCampaign{sky, a64}))
+}

@@ -1,0 +1,115 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+)
+
+func steel(x, y float64) Material { return Material{E: 200, Nu: 0.3} }
+
+func TestLame(t *testing.T) {
+	lambda, mu := Material{E: 200, Nu: 0.3}.Lame()
+	// λ = Eν/((1+ν)(1-2ν)) = 200·0.3/(1.3·0.4), μ = E/(2(1+ν)).
+	if math.Abs(lambda-200*0.3/(1.3*0.4)) > 1e-12 {
+		t.Errorf("lambda=%g", lambda)
+	}
+	if math.Abs(mu-200/2.6) > 1e-12 {
+		t.Errorf("mu=%g", mu)
+	}
+}
+
+func TestElasticitySymmetricWithNullspace(t *testing.T) {
+	m := UnitSquare(6)
+	a := AssembleElasticity(m, steel)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 2*m.NumNodes() {
+		t.Fatalf("rows=%d", a.Rows)
+	}
+	if !a.IsSymmetric(1e-9) {
+		t.Error("elasticity matrix not symmetric")
+	}
+	// Rigid translations lie in the kernel before boundary conditions:
+	// A·(1,0,1,0,...) = 0 and A·(0,1,0,1,...) = 0.
+	n2 := a.Rows
+	for d := 0; d < 2; d++ {
+		v := make([]float64, n2)
+		for i := d; i < n2; i += 2 {
+			v[i] = 1
+		}
+		y := make([]float64, n2)
+		a.MulVec(y, v)
+		for i, yv := range y {
+			if math.Abs(yv) > 1e-9 {
+				t.Fatalf("translation %d not in kernel: y[%d]=%g", d, i, yv)
+			}
+		}
+	}
+	// Rigid rotation (-y, x) is in the kernel too.
+	v := make([]float64, n2)
+	for i := 0; i < m.NumNodes(); i++ {
+		p := m.Nodes[i]
+		v[2*i] = -p[1]
+		v[2*i+1] = p[0]
+	}
+	y := make([]float64, n2)
+	a.MulVec(y, v)
+	for i, yv := range y {
+		if math.Abs(yv) > 1e-9 {
+			t.Fatalf("rotation not in kernel: y[%d]=%g", i, yv)
+		}
+	}
+}
+
+func TestElasticityClampedSolve(t *testing.T) {
+	// Clamped boundary, gravity-like body load: the reduced system is SPD
+	// and every FSAI variant solves it.
+	m := UnitSquare(12)
+	a0 := AssembleElasticity(m, steel)
+	b0 := make([]float64, a0.Rows)
+	for i := 0; i < m.NumNodes(); i++ {
+		b0[2*i+1] = -1 // downward load on the y dof
+	}
+	a, b, keep := ApplyDirichletVector(m, a0, b0)
+	if a.Rows%2 != 0 || len(keep) != a.Rows {
+		t.Fatalf("reduced system shape wrong")
+	}
+	if !a.IsSymmetric(1e-9) {
+		t.Fatal("reduced system not symmetric")
+	}
+	x := make([]float64, a.Rows)
+	plain := krylov.Solve(a, x, b, nil, krylov.DefaultOptions())
+	if !plain.Converged {
+		t.Fatal("plain CG failed on clamped elasticity")
+	}
+	for _, v := range []fsai.Variant{fsai.VariantFSAI, fsai.VariantFull} {
+		o := fsai.DefaultOptions()
+		o.Variant = v
+		p, err := fsai.Compute(a, o)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		res := krylov.Solve(a, x, b, p, krylov.DefaultOptions())
+		if !res.Converged {
+			t.Fatalf("%v failed", v)
+		}
+		if res.Iterations > plain.Iterations {
+			t.Errorf("%v (%d iters) worse than plain CG (%d)", v, res.Iterations, plain.Iterations)
+		}
+		t.Logf("%v: %d iterations (plain %d)", v, res.Iterations, plain.Iterations)
+	}
+	// Sanity: displacements point downward on average under a downward load.
+	sumY := 0.0
+	for r, dof := range keep {
+		if dof%2 == 1 {
+			sumY += x[r]
+		}
+	}
+	if sumY >= 0 {
+		t.Errorf("mean vertical displacement %g, want negative under downward load", sumY)
+	}
+}

@@ -1,0 +1,160 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/krylov"
+)
+
+func TestMeshConstruction(t *testing.T) {
+	m := UnitSquare(4)
+	if m.NumNodes() != 25 {
+		t.Fatalf("nodes=%d", m.NumNodes())
+	}
+	if len(m.Elements) != 32 {
+		t.Fatalf("elements=%d", len(m.Elements))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nb := 0
+	for _, bd := range m.Boundary {
+		if bd {
+			nb++
+		}
+	}
+	if nb != 16 {
+		t.Errorf("boundary nodes %d, want 16", nb)
+	}
+}
+
+func TestMeshValidateCatchesErrors(t *testing.T) {
+	m := UnitSquare(2)
+	m.Elements[0][1] = 99
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	m = UnitSquare(2)
+	m.Elements[0][1], m.Elements[0][2] = m.Elements[0][2], m.Elements[0][1] // flip orientation
+	if err := m.Validate(); err == nil {
+		t.Error("clockwise element accepted")
+	}
+}
+
+func TestStiffnessProperties(t *testing.T) {
+	m := UnitSquare(8)
+	a := AssembleStiffness(m, Const(1))
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Error("stiffness not symmetric")
+	}
+	// Rows sum to zero (constants are in the kernel before BCs).
+	for i := 0; i < a.Rows; i++ {
+		_, vals := a.Row(i)
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("row %d sum %g, want 0", i, s)
+		}
+	}
+}
+
+func TestMassTotalEqualsArea(t *testing.T) {
+	m := Rectangle(6, 4, 2, 3) // area 6
+	mm := AssembleMass(m, Const(1))
+	s := 0.0
+	for _, v := range mm.Val {
+		s += v
+	}
+	if math.Abs(s-6) > 1e-12 {
+		t.Errorf("mass total %g, want 6 (domain area)", s)
+	}
+	if !mm.IsSymmetric(1e-12) {
+		t.Error("mass not symmetric")
+	}
+}
+
+func TestLoadTotalEqualsIntegral(t *testing.T) {
+	m := UnitSquare(10)
+	b := AssembleLoad(m, Const(3))
+	s := 0.0
+	for _, v := range b {
+		s += v
+	}
+	if math.Abs(s-3) > 1e-12 {
+		t.Errorf("load total %g, want 3 (∫f)", s)
+	}
+}
+
+// TestPoissonManufacturedSolution solves -Δu = f with
+// u = sin(πx)sin(πy), f = 2π²u on the unit square, and checks the discrete
+// solution against the exact one at the nodes (O(h²) accuracy).
+func TestPoissonManufacturedSolution(t *testing.T) {
+	exact := func(x, y float64) float64 { return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) }
+	f := func(x, y float64) float64 { return 2 * math.Pi * math.Pi * exact(x, y) }
+	var prevErr float64
+	for _, n := range []int{8, 16, 32} {
+		m := UnitSquare(n)
+		a := AssembleStiffness(m, Const(1))
+		load := AssembleLoad(m, f)
+		ar, br, keep := ApplyDirichlet(m, a, load)
+		x := make([]float64, ar.Rows)
+		res := krylov.Solve(ar, x, br, nil, krylov.Options{Tol: 1e-12, MaxIter: 10000})
+		if !res.Converged {
+			t.Fatalf("n=%d: CG failed", n)
+		}
+		maxErr := 0.0
+		for r, node := range keep {
+			p := m.Nodes[node]
+			if e := math.Abs(x[r] - exact(p[0], p[1])); e > maxErr {
+				maxErr = e
+			}
+		}
+		t.Logf("n=%d: max nodal error %.2e", n, maxErr)
+		if prevErr > 0 && maxErr > prevErr/2.5 {
+			t.Errorf("n=%d: error %.2e not converging at O(h²) from %.2e", n, maxErr, prevErr)
+		}
+		prevErr = maxErr
+	}
+}
+
+func TestApplyDirichletShapes(t *testing.T) {
+	m := UnitSquare(4)
+	a := AssembleStiffness(m, Const(1))
+	b := AssembleLoad(m, Const(1))
+	ar, br, keep := ApplyDirichlet(m, a, b)
+	wantInterior := 9 // (5-2)²
+	if ar.Rows != wantInterior || len(br) != wantInterior || len(keep) != wantInterior {
+		t.Fatalf("reduced sizes %d/%d/%d, want %d", ar.Rows, len(br), len(keep), wantInterior)
+	}
+	if !ar.IsSymmetric(1e-12) {
+		t.Error("reduced matrix not symmetric")
+	}
+	for _, node := range keep {
+		if m.Boundary[node] {
+			t.Error("boundary node kept")
+		}
+	}
+}
+
+func TestVariableCoefficientStiffnessSPD(t *testing.T) {
+	m := UnitSquare(12)
+	k := func(x, y float64) float64 {
+		if x < 0.5 {
+			return 1
+		}
+		return 100 // coefficient jump
+	}
+	a := AssembleStiffness(m, k)
+	ar, br, _ := ApplyDirichlet(m, a, AssembleLoad(m, Const(1)))
+	x := make([]float64, ar.Rows)
+	res := krylov.Solve(ar, x, br, nil, krylov.DefaultOptions())
+	if !res.Converged {
+		t.Fatal("variable-coefficient system did not solve")
+	}
+}

@@ -1,0 +1,43 @@
+// Package krylov implements the iterative solvers of the reproduction: the
+// Conjugate Gradient method and its preconditioned variant (PCG), together
+// with the vector kernels (dot product, AXPY) that, with SpMV, make up the
+// paper's Section 2.1 solver loop.
+package krylov
+
+import "math"
+
+// Dot returns the dot product of a and b (equal lengths assumed).
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Axpy computes y += alpha * x.
+func Axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Xpay computes y = x + beta * y (the search-direction update of CG).
+func Xpay(x []float64, beta float64, y []float64) {
+	for i := range x {
+		y[i] = x[i] + beta*y[i]
+	}
+}
+
+// Copy copies src into dst.
+func Copy(dst, src []float64) { copy(dst, src) }
+
+// Fill sets every element of a to v.
+func Fill(a []float64, v float64) {
+	for i := range a {
+		a[i] = v
+	}
+}

@@ -1,0 +1,142 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Additional generators beyond the 72-matrix campaign suite, for users
+// composing their own studies.
+
+// Anisotropic3D returns the 7-point discretization of a 3D diffusion
+// operator with per-axis strengths (kx, ky, kz); the unit-stride (k)
+// direction carries kz. Strong anisotropy stretches the spectrum like the
+// hard CFD cases.
+func Anisotropic3D(nx, ny, nz int, kx, ky, kz float64) *sparse.CSR {
+	n := nx * ny * nz
+	b := sparse.NewCOO(n, n, 7*n)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				c := id(i, j, k)
+				b.Add(c, c, 2*(kx+ky+kz))
+				if i > 0 {
+					b.Add(c, id(i-1, j, k), -kx)
+				}
+				if i < nx-1 {
+					b.Add(c, id(i+1, j, k), -kx)
+				}
+				if j > 0 {
+					b.Add(c, id(i, j-1, k), -ky)
+				}
+				if j < ny-1 {
+					b.Add(c, id(i, j+1, k), -ky)
+				}
+				if k > 0 {
+					b.Add(c, id(i, j, k-1), -kz)
+				}
+				if k < nz-1 {
+					b.Add(c, id(i, j, k+1), -kz)
+				}
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// ShiftedHelmholtz2D returns K + sigma·h²·I for the 2D Laplacian stencil K
+// with mesh width h = 1/(nx+1): the positive-shift Helmholtz operator of
+// implicit time stepping (qa8fm-class acoustics problems). sigma > 0 keeps
+// it SPD; larger sigma means better conditioning.
+func ShiftedHelmholtz2D(nx, ny int, sigma float64) *sparse.CSR {
+	k := Laplace2D(nx, ny)
+	h := 1.0 / float64(nx+1)
+	return k.AddDiag(sigma * h * h)
+}
+
+// HighContrast2D returns a 5-point diffusion operator whose conductivity
+// alternates between 1 and `contrast` on thin horizontal layers of the
+// given period — a classic multiscale hardener whose condition number
+// scales with the contrast.
+func HighContrast2D(nx, ny, period int, contrast float64) *sparse.CSR {
+	n := nx * ny
+	b := sparse.NewCOO(n, n, 5*n)
+	id := func(i, j int) int { return i*ny + j }
+	coef := func(i int) float64 {
+		if period > 0 && (i/period)%2 == 1 {
+			return contrast
+		}
+		return 1
+	}
+	harm := func(a, c float64) float64 { return 2 * a * c / (a + c) }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			diag := coef(i) * 0.05 // Dirichlet-ish closure keeps SPD
+			if i > 0 {
+				w := harm(coef(i), coef(i-1))
+				b.Add(c, id(i-1, j), -w)
+				diag += w
+			}
+			if i < nx-1 {
+				w := harm(coef(i), coef(i+1))
+				b.Add(c, id(i+1, j), -w)
+				diag += w
+			}
+			if j > 0 {
+				b.Add(c, id(i, j-1), -coef(i))
+				diag += coef(i)
+			}
+			if j < ny-1 {
+				b.Add(c, id(i, j+1), -coef(i))
+				diag += coef(i)
+			}
+			b.Add(c, c, diag)
+		}
+	}
+	return b.ToCSR()
+}
+
+// RandomSPD returns B·Bᵀ + delta·I for a random sparse B with the given
+// entries per row: an unstructured SPD matrix with no mesh locality at all
+// — the stress case where cache-friendly fill is numerically useless and
+// the filter must remove it (see the ordering ablation).
+func RandomSPD(n, perRow int, delta float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewCOO(n, n, n*perRow*perRow)
+	// Accumulate B Bᵀ via random row supports.
+	rows := make([][]int, n)
+	vals := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < perRow; k++ {
+			rows[i] = append(rows[i], rng.Intn(n))
+			vals[i] = append(vals[i], rng.NormFloat64()/math.Sqrt(float64(perRow)))
+		}
+	}
+	// (B Bᵀ)(i,j) = Σ_c B(i,c) B(j,c): bucket B's entries by column and
+	// emit all pairwise products per bucket.
+	type entry struct {
+		row int
+		v   float64
+	}
+	buckets := make(map[int][]entry)
+	for i := 0; i < n; i++ {
+		for k, c := range rows[i] {
+			buckets[c] = append(buckets[c], entry{i, vals[i][k]})
+		}
+	}
+	for _, es := range buckets {
+		for _, a := range es {
+			for _, c := range es {
+				b.Add(a.row, c.row, a.v*c.v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, delta)
+	}
+	return b.ToCSR()
+}

@@ -1,0 +1,445 @@
+// Package matgen generates deterministic symmetric positive definite test
+// matrices covering the application families of the paper's 72-matrix
+// SuiteSparse selection (Table 1): structural mechanics, CFD, thermal,
+// electromagnetics, acoustics/materials (mass matrices), 2D/3D meshes,
+// random FEM (Wathen), circuit simulation, optimization and model
+// reduction.
+//
+// SuiteSparse itself is external data and the module is offline, so each
+// family is reproduced by a generator that controls the two properties the
+// FSAI experiments are sensitive to: the sparsity pattern (bandedness,
+// block structure, irregularity) and the spectrum (condition number, hence
+// CG iteration count). All generators are deterministic given their
+// parameters and seed.
+package matgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Laplace2D returns the 5-point finite-difference Laplacian on an nx × ny
+// grid with Dirichlet boundaries: the canonical "2D/3D" mesh matrix
+// (Dubcova/fv/apache families). SPD with condition ~ O(n²/π²).
+func Laplace2D(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	b := sparse.NewCOO(n, n, 5*n)
+	id := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			b.Add(c, c, 4)
+			if i > 0 {
+				b.Add(c, id(i-1, j), -1)
+			}
+			if i < nx-1 {
+				b.Add(c, id(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(c, id(i, j-1), -1)
+			}
+			if j < ny-1 {
+				b.Add(c, id(i, j+1), -1)
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// Laplace3D returns the 7-point Laplacian on an nx × ny × nz grid
+// (offshore/2cubes-style 3D discretizations).
+func Laplace3D(nx, ny, nz int) *sparse.CSR {
+	n := nx * ny * nz
+	b := sparse.NewCOO(n, n, 7*n)
+	id := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				c := id(i, j, k)
+				b.Add(c, c, 6)
+				if i > 0 {
+					b.Add(c, id(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					b.Add(c, id(i+1, j, k), -1)
+				}
+				if j > 0 {
+					b.Add(c, id(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					b.Add(c, id(i, j+1, k), -1)
+				}
+				if k > 0 {
+					b.Add(c, id(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					b.Add(c, id(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// Laplace9 returns the 9-point (compact) 2D Laplacian, a denser mesh
+// stencil used by higher-order discretizations.
+func Laplace9(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	b := sparse.NewCOO(n, n, 9*n)
+	id := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			b.Add(c, c, 8.0/3)
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					ii, jj := i+di, j+dj
+					if ii < 0 || ii >= nx || jj < 0 || jj >= ny {
+						continue
+					}
+					w := -1.0 / 3
+					if di != 0 && dj != 0 {
+						w = -1.0 / 12
+					}
+					b.Add(c, id(ii, jj), w)
+				}
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// Anisotropic2D returns a 5-point discretization of an anisotropic
+// diffusion operator: the anisotropy stretches the spectrum, emulating the
+// harder CFD matrices (cfd1/cfd2/parabolic_fem). eps in (0,1]; smaller is
+// harder. The strong coupling direction is the unit-stride (j) direction,
+// the natural ordering choice for such solvers — inverse entries along the
+// strong direction are then index-local.
+func Anisotropic2D(nx, ny int, eps float64) *sparse.CSR {
+	n := nx * ny
+	b := sparse.NewCOO(n, n, 5*n)
+	id := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			b.Add(c, c, 2+2*eps)
+			if i > 0 {
+				b.Add(c, id(i-1, j), -eps)
+			}
+			if i < nx-1 {
+				b.Add(c, id(i+1, j), -eps)
+			}
+			if j > 0 {
+				b.Add(c, id(i, j-1), -1)
+			}
+			if j < ny-1 {
+				b.Add(c, id(i, j+1), -1)
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// JumpCoefficient2D returns a 5-point diffusion matrix whose conductivity
+// jumps by factor jump on a checkerboard of blocks×blocks subdomains —
+// the classic heterogeneous-media hardener (thermal/groundwater problems,
+// thermal1-style iteration counts).
+func JumpCoefficient2D(nx, ny, blocks int, jump float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := nx * ny
+	coef := make([]float64, n)
+	id := func(i, j int) int { return i*ny + j }
+	bi := func(i, dim int) int { return i * blocks / dim }
+	blockCoef := make([]float64, blocks*blocks)
+	for k := range blockCoef {
+		if rng.Intn(2) == 0 {
+			blockCoef[k] = 1
+		} else {
+			blockCoef[k] = jump
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			coef[id(i, j)] = blockCoef[bi(i, nx)*blocks+bi(j, ny)]
+		}
+	}
+	b := sparse.NewCOO(n, n, 5*n)
+	harm := func(a, c float64) float64 { return 2 * a * c / (a + c) }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			diag := 0.0
+			if i > 0 {
+				w := harm(coef[c], coef[id(i-1, j)])
+				b.Add(c, id(i-1, j), -w)
+				diag += w
+			}
+			if i < nx-1 {
+				w := harm(coef[c], coef[id(i+1, j)])
+				b.Add(c, id(i+1, j), -w)
+				diag += w
+			}
+			if j > 0 {
+				w := harm(coef[c], coef[id(i, j-1)])
+				b.Add(c, id(i, j-1), -w)
+				diag += w
+			}
+			if j < ny-1 {
+				w := harm(coef[c], coef[id(i, j+1)])
+				b.Add(c, id(i, j+1), -w)
+				diag += w
+			}
+			// Dirichlet closure keeps the matrix nonsingular.
+			b.Add(c, c, diag+harm(coef[c], coef[c])*0.5)
+		}
+	}
+	return b.ToCSR()
+}
+
+// Elasticity2D returns a 2-dof-per-node plane-strain-like operator on an
+// nx × ny grid: each node carries (ux, uy) coupled to its neighbours with a
+// vector stencil. The interleaved block structure mimics the structural
+// matrices (shipsec/nasasrb/bcsstk families), whose rows come in small
+// dense blocks. stiff scales the coupling contrast (conditioning).
+func Elasticity2D(nx, ny int, stiff float64) *sparse.CSR {
+	nodes := nx * ny
+	n := 2 * nodes
+	b := sparse.NewCOO(n, n, 18*n)
+	id := func(i, j, d int) int { return 2*(i*ny+j) + d }
+	lam, mu := stiff, 1.0
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for d := 0; d < 2; d++ {
+				c := id(i, j, d)
+				// Direction-dependent stretch/shear weights.
+				var wx, wy float64
+				if d == 0 {
+					wx, wy = lam+2*mu, mu
+				} else {
+					wx, wy = mu, lam+2*mu
+				}
+				diag := 0.0
+				if i > 0 {
+					b.Add(c, id(i-1, j, d), -wx)
+					diag += wx
+				}
+				if i < nx-1 {
+					b.Add(c, id(i+1, j, d), -wx)
+					diag += wx
+				}
+				if j > 0 {
+					b.Add(c, id(i, j-1, d), -wy)
+					diag += wy
+				}
+				if j < ny-1 {
+					b.Add(c, id(i, j+1, d), -wy)
+					diag += wy
+				}
+				// Symmetric cross coupling between ux and uy at diagonal
+				// neighbours (keeps SPD via diagonal reinforcement below).
+				cross := (lam + mu) / 4
+				for _, dd := range [4][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+					ii, jj := i+dd[0], j+dd[1]
+					if ii < 0 || ii >= nx || jj < 0 || jj >= ny {
+						continue
+					}
+					s := cross * float64(dd[0]*dd[1])
+					b.Add(c, id(ii, jj, 1-d), -s)
+					diag += math.Abs(s)
+				}
+				b.Add(c, c, diag+mu*0.05)
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// Wathen returns the classical Wathen matrix: the consistent mass matrix of
+// an nx × ny mesh of 8-node serendipity elements with random density per
+// element — the paper's "Random 2D/3D" wathen100/wathen120 entries. SPD,
+// moderately conditioned.
+func Wathen(nx, ny int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	// Node count of the serendipity mesh: corner + edge nodes.
+	n := 3*nx*ny + 2*nx + 2*ny + 1
+	// Reference element matrix, em = [e1 e2; e2ᵀ e1]/45 (Wathen 1987, as in
+	// MATLAB's gallery('wathen',...)).
+	e1 := [4][4]float64{
+		{6, -6, 2, -8},
+		{-6, 32, -6, 20},
+		{2, -6, 6, -6},
+		{-8, 20, -6, 32},
+	}
+	e2 := [4][4]float64{
+		{3, -8, 2, -6},
+		{-8, 16, -8, 20},
+		{2, -8, 3, -8},
+		{-6, 20, -8, 16},
+	}
+	var em [8][8]float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			em[r][c] = e1[r][c] / 45
+			em[r][c+4] = e2[r][c] / 45
+			em[r+4][c] = e2[c][r] / 45
+			em[r+4][c+4] = e1[r][c] / 45
+		}
+	}
+	b := sparse.NewCOO(n, n, 64*nx*ny)
+	var nn [8]int
+	for j := 1; j <= ny; j++ {
+		for i := 1; i <= nx; i++ {
+			// Global node numbers (1-based, gallery ordering).
+			nn[0] = 3*nx*j + 2*i + 2*j + 1
+			nn[1] = nn[0] - 1
+			nn[2] = nn[1] - 1
+			nn[3] = (3*j-1)*nx + 2*j + i - 1
+			nn[4] = 3*nx*(j-1) + 2*i + 2*j - 3
+			nn[5] = nn[4] + 1
+			nn[6] = nn[5] + 1
+			nn[7] = nn[3] + 1
+			rho := 100 * rng.Float64() // random element density
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					b.Add(nn[r]-1, nn[c]-1, rho*em[r][c])
+				}
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// MassMatrix1D returns the tridiagonal FEM mass matrix h/6·tridiag(1,4,1)
+// of size n: extremely well conditioned (κ≈3), converging in ~10 CG
+// iterations like the acoustics/materials entries (qa8fm, crystm, Muu).
+func MassMatrix1D(n int, h float64) *sparse.CSR {
+	b := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4*h/6)
+		if i > 0 {
+			b.Add(i, i-1, h/6)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, h/6)
+		}
+	}
+	return b.ToCSR()
+}
+
+// MassMatrix2D returns the 2D bilinear FEM mass matrix on an nx × ny grid
+// (9-point, weights 4-2-1): κ ≈ 9, a well-conditioned "Materials" proxy.
+func MassMatrix2D(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	b := sparse.NewCOO(n, n, 9*n)
+	id := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			c := id(i, j)
+			b.Add(c, c, 16.0/36)
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					ii, jj := i+di, j+dj
+					if ii < 0 || ii >= nx || jj < 0 || jj >= ny {
+						continue
+					}
+					w := 4.0 / 36
+					if di != 0 && dj != 0 {
+						w = 1.0 / 36
+					}
+					b.Add(c, id(ii, jj), w)
+				}
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// GraphLaplacian returns the Laplacian of a random sparse graph with n
+// vertices and roughly deg edges per vertex, shifted by shift·I to make it
+// positive definite: the circuit-simulation proxy (G2_circuit). Its
+// irregular pattern exercises the cache extension on non-mesh structure.
+func GraphLaplacian(n, deg int, shift float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewCOO(n, n, (deg+2)*n)
+	diag := make([]float64, n)
+	// Ring backbone keeps the graph connected and banded-ish.
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		w := 0.5 + rng.Float64()
+		b.AddSym(i, j, -w)
+		diag[i] += w
+		diag[j] += w
+	}
+	// Random long-range edges.
+	for i := 0; i < n; i++ {
+		for e := 0; e < deg-2; e++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			w := 0.5 + rng.Float64()
+			b.AddSym(i, j, -w)
+			diag[i] += w
+			diag[j] += w
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, diag[i]+shift)
+	}
+	return b.ToCSR()
+}
+
+// BandedSPD returns a symmetric banded matrix of bandwidth bw with random
+// off-diagonal entries and diagonal dominance margin delta: the "model
+// reduction"/gyro proxy with wide rows. Smaller delta is harder.
+func BandedSPD(n, bw int, delta float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewCOO(n, n, (2*bw+1)*n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= bw; d++ {
+			j := i + d
+			if j >= n {
+				break
+			}
+			// Sparse band: keep ~half the positions.
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			w := rng.Float64()*2 - 1
+			b.AddSym(i, j, w)
+			diag[i] += math.Abs(w)
+			diag[j] += math.Abs(w)
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, diag[i]+delta)
+	}
+	return b.ToCSR()
+}
+
+// Obstacle2D returns the 5-point Laplacian plus a random nonnegative
+// diagonal potential up to pot: the bound-constrained-optimization proxies
+// (jnlbrng1, obstclae, torsion1, minsurfo) with their easier spectra.
+func Obstacle2D(nx, ny int, pot float64, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	base := Laplace2D(nx, ny)
+	out := base.Clone()
+	for i := 0; i < out.Rows; i++ {
+		cols, vals := out.Row(i)
+		for k, j := range cols {
+			if j == i {
+				vals[k] += pot * rng.Float64()
+			}
+		}
+	}
+	return out
+}

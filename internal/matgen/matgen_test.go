@@ -1,0 +1,282 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+
+	fsai "repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/krylov"
+	"repro/internal/sparse"
+)
+
+// checkSPD verifies symmetry and (for small matrices) positive definiteness
+// via a dense Cholesky factorization.
+func checkSPD(t *testing.T, name string, a *sparse.CSR) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if a.Rows != a.Cols {
+		t.Fatalf("%s: not square (%dx%d)", name, a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-10) {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	if a.Rows <= 700 {
+		n := a.Rows
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		d := a.Extract(idx, nil)
+		if err := dense.Cholesky(d, n); err != nil {
+			t.Fatalf("%s: not positive definite: %v", name, err)
+		}
+	}
+}
+
+func TestGeneratorsAreSPD(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"Laplace2D", Laplace2D(10, 12)},
+		{"Laplace3D", Laplace3D(5, 6, 4)},
+		{"Laplace9", Laplace9(9, 9)},
+		{"Anisotropic2D", Anisotropic2D(10, 10, 0.01)},
+		{"JumpCoefficient2D", JumpCoefficient2D(12, 12, 4, 1e3, 1)},
+		{"Elasticity2D", Elasticity2D(8, 8, 100)},
+		{"Wathen", Wathen(5, 4, 2)},
+		{"MassMatrix1D", MassMatrix1D(50, 1)},
+		{"MassMatrix2D", MassMatrix2D(9, 9)},
+		{"GraphLaplacian", GraphLaplacian(120, 5, 0.1, 3)},
+		{"BandedSPD", BandedSPD(100, 10, 0.5, 4)},
+		{"Obstacle2D", Obstacle2D(10, 10, 2, 5)},
+	}
+	for _, c := range cases {
+		checkSPD(t, c.name, c.a)
+	}
+}
+
+func TestLaplace2DKnownValues(t *testing.T) {
+	a := Laplace2D(3, 3)
+	if a.Rows != 9 {
+		t.Fatalf("rows=%d", a.Rows)
+	}
+	if a.At(4, 4) != 4 {
+		t.Errorf("center diag = %g", a.At(4, 4))
+	}
+	// Center node couples to its 4 neighbours.
+	for _, j := range []int{1, 3, 5, 7} {
+		if a.At(4, j) != -1 {
+			t.Errorf("a(4,%d)=%g", j, a.At(4, j))
+		}
+	}
+	// Corner has 2 neighbours: nnz of row 0 = 3.
+	if a.RowNNZ(0) != 3 {
+		t.Errorf("corner row nnz=%d", a.RowNNZ(0))
+	}
+}
+
+func TestLaplace3DStencilCount(t *testing.T) {
+	a := Laplace3D(4, 4, 4)
+	// Interior node has 7 entries.
+	interior := (1*4+1)*4 + 1
+	if a.RowNNZ(interior) != 7 {
+		t.Errorf("interior row nnz=%d", a.RowNNZ(interior))
+	}
+}
+
+func TestWathenSize(t *testing.T) {
+	for _, c := range []struct{ nx, ny, want int }{
+		{1, 1, 8}, {3, 3, 3*9 + 6 + 6 + 1}, {5, 4, 3*20 + 10 + 8 + 1},
+	} {
+		a := Wathen(c.nx, c.ny, 1)
+		if a.Rows != c.want {
+			t.Errorf("Wathen(%d,%d): %d rows, want %d", c.nx, c.ny, a.Rows, c.want)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a1 := BandedSPD(80, 8, 0.5, 42)
+	a2 := BandedSPD(80, 8, 0.5, 42)
+	if a1.NNZ() != a2.NNZ() {
+		t.Fatal("nondeterministic structure")
+	}
+	for k := range a1.Val {
+		if a1.Val[k] != a2.Val[k] {
+			t.Fatal("nondeterministic values")
+		}
+	}
+	a3 := BandedSPD(80, 8, 0.5, 43)
+	same := a1.NNZ() == a3.NNZ()
+	if same {
+		same = false
+		for k := range a1.Val {
+			if a1.Val[k] != a3.Val[k] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestSuiteHas72DistinctMatrices(t *testing.T) {
+	specs := Suite()
+	if len(specs) != 72 {
+		t.Fatalf("suite size %d", len(specs))
+	}
+	names := map[string]bool{}
+	for i, s := range specs {
+		if s.ID != i+1 {
+			t.Errorf("spec %d has ID %d", i, s.ID)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Type == "" {
+			t.Errorf("%s: empty type", s.Name)
+		}
+	}
+}
+
+func TestSuiteMatricesAreSymmetricAndSized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all 72 matrices")
+	}
+	for _, s := range Suite() {
+		a := s.Generate()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !a.IsSymmetric(1e-10) {
+			t.Errorf("%s: not symmetric", s.Name)
+		}
+		if a.Rows < 200 || a.Rows > 12000 {
+			t.Errorf("%s: %d rows outside the campaign range", s.Name, a.Rows)
+		}
+		if a.NNZ() < 3*a.Rows/2 {
+			t.Errorf("%s: suspiciously sparse (%d nnz for %d rows)", s.Name, a.NNZ(), a.Rows)
+		}
+	}
+}
+
+func TestRHSNormalizedAndDeterministic(t *testing.T) {
+	spec, ok := ByName("lap64x64")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	a := spec.Generate()
+	b1 := spec.RHS(a)
+	b2 := spec.RHS(a)
+	maxAbs := 0.0
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("RHS not deterministic")
+		}
+		if v := math.Abs(b1[i]); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	// Normalized to the matrix max norm: |b_i| <= 1/maxnorm.
+	if maxAbs > 1/a.MaxNorm()+1e-15 {
+		t.Errorf("RHS max %g exceeds 1/maxnorm %g", maxAbs, 1/a.MaxNorm())
+	}
+}
+
+func TestDuplicateSpecIsExactDuplicate(t *testing.T) {
+	orig, ok1 := ByName("obst56x56-p1")
+	dup, ok2 := ByName("obst56x56-p1-dup")
+	if !ok1 || !ok2 {
+		t.Fatal("duplicate pair missing")
+	}
+	a, b := orig.Generate(), dup.Generate()
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("duplicate differs in structure")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("duplicate differs in values")
+		}
+	}
+}
+
+func TestQuickSuite(t *testing.T) {
+	qs := QuickSuite()
+	if len(qs) != 10 {
+		t.Fatalf("quick suite size %d", len(qs))
+	}
+	types := map[string]bool{}
+	for _, s := range qs {
+		types[s.Type] = true
+	}
+	if len(types) < 6 {
+		t.Errorf("quick suite covers only %d families", len(types))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("definitely-not-a-matrix"); ok {
+		t.Error("bogus name found")
+	}
+	s, ok := ByName("wathen20x20")
+	if !ok || s.Name != "wathen20x20" {
+		t.Error("lookup failed")
+	}
+}
+
+func TestExtraGeneratorsAreSPD(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"Anisotropic3D", Anisotropic3D(6, 5, 4, 1, 0.1, 0.01)},
+		{"ShiftedHelmholtz2D", ShiftedHelmholtz2D(12, 12, 5)},
+		{"HighContrast2D", HighContrast2D(14, 14, 3, 1e4)},
+		{"RandomSPD", RandomSPD(150, 4, 0.5, 9)},
+	}
+	for _, c := range cases {
+		checkSPD(t, c.name, c.a)
+	}
+}
+
+func TestHighContrastHardensWithContrast(t *testing.T) {
+	// More contrast, slower plain CG (conditioning scales with contrast).
+	iters := func(contrast float64) int {
+		a := HighContrast2D(24, 24, 4, contrast)
+		b := make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+		x := make([]float64, a.Rows)
+		res := krylov.Solve(a, x, b, nil, krylov.DefaultOptions())
+		if !res.Converged {
+			t.Fatalf("contrast %g did not converge", contrast)
+		}
+		return res.Iterations
+	}
+	if lo, hi := iters(10), iters(1e4); hi <= lo {
+		t.Errorf("contrast 1e4 (%d iters) should be harder than 10 (%d)", hi, lo)
+	}
+}
+
+func TestRandomSPDHasNoLocalityGain(t *testing.T) {
+	// On an unstructured RandomSPD matrix the cache extension's entries
+	// are numerically useless: the filtered extension stays tiny.
+	a := RandomSPD(300, 4, 1.5, 11)
+	o := fsai.DefaultOptions()
+	p, err := fsai.Compute(a, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ExtensionPct() > 30 {
+		t.Errorf("random-structure extension kept %.1f%%, expected mostly filtered", p.ExtensionPct())
+	}
+}

@@ -1,0 +1,198 @@
+package matgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Spec describes one matrix of the evaluation suite: the synthetic analogue
+// of one row of the paper's Table 1.
+type Spec struct {
+	// ID is the 1-based matrix identifier used on figure axes.
+	ID int
+	// Name is a short generator-derived name (the suite is synthetic; names
+	// do not claim to be the SuiteSparse originals).
+	Name string
+	// Type is the application family, using the paper's Table 1 vocabulary.
+	Type string
+	// Gen builds the matrix. Deterministic.
+	Gen func() *sparse.CSR
+}
+
+// Generate builds the matrix.
+func (s Spec) Generate() *sparse.CSR { return s.Gen() }
+
+// RHS generates the right-hand side the paper prescribes: uniform random
+// values in [-1, 1], normalized by the matrix max-norm, deterministic per
+// matrix ID.
+func (s Spec) RHS(a *sparse.CSR) []float64 {
+	rng := rand.New(rand.NewSource(int64(7919 * (s.ID + 1))))
+	b := make([]float64, a.Rows)
+	norm := a.MaxNorm()
+	if norm == 0 {
+		norm = 1
+	}
+	for i := range b {
+		b[i] = (2*rng.Float64() - 1) / norm
+	}
+	return b
+}
+
+// Suite returns the 72-matrix evaluation suite. The families and the
+// difficulty mix (CG iteration counts from ~10 to several thousands) mirror
+// the paper's Table 1 selection; sizes are scaled down so the full campaign
+// runs on one node in minutes. Matrices are deterministic: generating the
+// suite twice yields identical matrices.
+func Suite() []Spec {
+	specs := []Spec{
+		// --- Structural: FEM elasticity with increasing stiffness contrast
+		// (shipsec/nasasrb/oilpan/bcsstk analogues). Block-structured rows;
+		// larger contrast means worse conditioning, more CG iterations.
+		{Type: "Structural", Name: "elas36x36-s2", Gen: func() *sparse.CSR { return Elasticity2D(36, 36, 2) }},
+		{Type: "Structural", Name: "elas48x24-s5", Gen: func() *sparse.CSR { return Elasticity2D(48, 24, 5) }},
+		{Type: "Structural", Name: "elas32x32-s20", Gen: func() *sparse.CSR { return Elasticity2D(32, 32, 20) }},
+		{Type: "Structural", Name: "elas28x28-s100", Gen: func() *sparse.CSR { return Elasticity2D(28, 28, 100) }},
+		{Type: "Structural", Name: "elas24x24-s400", Gen: func() *sparse.CSR { return Elasticity2D(24, 24, 400) }},
+		{Type: "Structural", Name: "elas40x20-s10", Gen: func() *sparse.CSR { return Elasticity2D(40, 20, 10) }},
+		{Type: "Structural", Name: "elas20x20-s1000", Gen: func() *sparse.CSR { return Elasticity2D(20, 20, 1000) }},
+		{Type: "Structural", Name: "elas48x16-s3", Gen: func() *sparse.CSR { return Elasticity2D(48, 16, 3) }},
+		{Type: "Structural", Name: "elas30x30-s50", Gen: func() *sparse.CSR { return Elasticity2D(30, 30, 50) }},
+		{Type: "Structural", Name: "elas26x26-s200", Gen: func() *sparse.CSR { return Elasticity2D(26, 26, 200) }},
+		{Type: "Structural", Name: "elas36x18-s8", Gen: func() *sparse.CSR { return Elasticity2D(36, 18, 8) }},
+		{Type: "Structural", Name: "elas16x16-s2000", Gen: func() *sparse.CSR { return Elasticity2D(16, 16, 2000) }},
+		{Type: "Structural", Name: "elas34x17-s30", Gen: func() *sparse.CSR { return Elasticity2D(34, 17, 30) }},
+		{Type: "Structural", Name: "elas22x22-s800", Gen: func() *sparse.CSR { return Elasticity2D(22, 22, 800) }},
+		{Type: "Structural", Name: "elas44x22-s15", Gen: func() *sparse.CSR { return Elasticity2D(44, 22, 15) }},
+		// Banded random stiffness (bcsstk/nasa-style rows with gaps inside
+		// the band — the pattern class where in-line fill is cheapest).
+		{Type: "Structural", Name: "band2200-bw12-d2", Gen: func() *sparse.CSR { return BandedSPD(2200, 12, 2, 101) }},
+		{Type: "Structural", Name: "band1800-bw16-d1", Gen: func() *sparse.CSR { return BandedSPD(1800, 16, 1, 102) }},
+		{Type: "Structural", Name: "band1400-bw24-d0.5", Gen: func() *sparse.CSR { return BandedSPD(1400, 24, 0.5, 103) }},
+		{Type: "Structural", Name: "band1200-bw8-d0.25", Gen: func() *sparse.CSR { return BandedSPD(1200, 8, 0.25, 104) }},
+		{Type: "Structural", Name: "band2500-bw6-d4", Gen: func() *sparse.CSR { return BandedSPD(2500, 6, 4, 105) }},
+		{Type: "Structural", Name: "band1500-bw20-d0.125", Gen: func() *sparse.CSR { return BandedSPD(1500, 20, 0.125, 106) }},
+		{Type: "Structural", Name: "band1000-bw32-d1", Gen: func() *sparse.CSR { return BandedSPD(1000, 32, 1, 107) }},
+		{Type: "Structural", Name: "band800-bw10-d0.06", Gen: func() *sparse.CSR { return BandedSPD(800, 10, 0.0625, 108) }},
+		{Type: "Structural", Name: "band2000-bw14-d8", Gen: func() *sparse.CSR { return BandedSPD(2000, 14, 8, 109) }},
+		{Type: "Structural", Name: "band500-bw32-d0.5", Gen: func() *sparse.CSR { return BandedSPD(500, 32, 0.5, 110) }},
+		{Type: "Structural", Name: "band900-bw18-d0.4", Gen: func() *sparse.CSR { return BandedSPD(900, 18, 0.4, 111) }},
+		{Type: "Structural", Name: "band1300-bw22-d0.2", Gen: func() *sparse.CSR { return BandedSPD(1300, 22, 0.2, 112) }},
+		{Type: "Structural", Name: "band1100-bw26-d1", Gen: func() *sparse.CSR { return BandedSPD(1100, 26, 1, 115) }},
+
+		// --- CFD: anisotropic diffusion (cfd1/cfd2/parabolic_fem/
+		// Pres_Poisson analogues). Harder as eps shrinks.
+		{Type: "CFD", Name: "aniso72x72-e0.1", Gen: func() *sparse.CSR { return Anisotropic2D(72, 72, 0.1) }},
+		{Type: "CFD", Name: "aniso64x64-e0.01", Gen: func() *sparse.CSR { return Anisotropic2D(64, 64, 0.01) }},
+		{Type: "CFD", Name: "aniso56x56-e0.001", Gen: func() *sparse.CSR { return Anisotropic2D(56, 56, 0.001) }},
+		{Type: "CFD", Name: "aniso96x48-e0.05", Gen: func() *sparse.CSR { return Anisotropic2D(96, 48, 0.05) }},
+		{Type: "CFD", Name: "aniso60x60-e0.3", Gen: func() *sparse.CSR { return Anisotropic2D(60, 60, 0.3) }},
+		{Type: "CFD", Name: "aniso48x48-e0.005", Gen: func() *sparse.CSR { return Anisotropic2D(48, 48, 0.005) }},
+		{Type: "CFD", Name: "shallow72x72", Gen: func() *sparse.CSR { return MassMatrix2D(72, 72) }},
+
+		// --- 2D/3D meshes (Dubcova/fv/nd3k analogues).
+		{Type: "2D/3D", Name: "lap72x72", Gen: func() *sparse.CSR { return Laplace2D(72, 72) }},
+		{Type: "2D/3D", Name: "lap64x64", Gen: func() *sparse.CSR { return Laplace2D(64, 64) }},
+		{Type: "2D/3D", Name: "lap3d13", Gen: func() *sparse.CSR { return Laplace3D(13, 13, 13) }},
+		{Type: "2D/3D", Name: "lap3d11", Gen: func() *sparse.CSR { return Laplace3D(11, 11, 11) }},
+		{Type: "2D/3D", Name: "lap9-56x56", Gen: func() *sparse.CSR { return Laplace9(56, 56) }},
+		{Type: "2D/3D", Name: "lap9-48x48", Gen: func() *sparse.CSR { return Laplace9(48, 48) }},
+		{Type: "2D/3D", Name: "lap112x28", Gen: func() *sparse.CSR { return Laplace2D(112, 28) }},
+		{Type: "2D/3D", Name: "lap3d18x9x9", Gen: func() *sparse.CSR { return Laplace3D(18, 9, 9) }},
+
+		// --- Thermal: heterogeneous diffusion (thermal1/thermomech/ted_B).
+		{Type: "Thermal", Name: "jump64x64-b8-j1e3", Gen: func() *sparse.CSR { return JumpCoefficient2D(64, 64, 8, 1e3, 201) }},
+		{Type: "Thermal", Name: "jump56x56-b4-j1e4", Gen: func() *sparse.CSR { return JumpCoefficient2D(56, 56, 4, 1e4, 202) }},
+		{Type: "Thermal", Name: "jump72x36-b6-j1e2", Gen: func() *sparse.CSR { return JumpCoefficient2D(72, 36, 6, 1e2, 203) }},
+		{Type: "Thermal", Name: "mass1d6000", Gen: func() *sparse.CSR { return MassMatrix1D(6000, 1) }},
+		{Type: "Thermal", Name: "jump40x40-b8-j1e5", Gen: func() *sparse.CSR { return JumpCoefficient2D(40, 40, 8, 1e5, 204) }},
+
+		// --- Electromagnetics (offshore/2cubes_sphere analogues): 3D
+		// meshes with a diagonal (mass) shift — well conditioned.
+		{Type: "Electromagnetics", Name: "em3d12-shift3", Gen: func() *sparse.CSR { return Laplace3D(12, 12, 12).AddDiag(3) }},
+		{Type: "Electromagnetics", Name: "em3d16x16x8-shift5", Gen: func() *sparse.CSR { return Laplace3D(16, 16, 8).AddDiag(5) }},
+
+		// --- Acoustics (qa8fm/aft01): mass matrices, near-instant CG.
+		{Type: "Acoustics", Name: "mass2d56x56", Gen: func() *sparse.CSR { return MassMatrix2D(56, 56) }},
+		{Type: "Acoustics", Name: "aft-lap56-pot40", Gen: func() *sparse.CSR { return Obstacle2D(56, 56, 40, 301) }},
+
+		// --- Materials (crystm): mass matrices of growing size.
+		{Type: "Materials", Name: "mass2d40x40", Gen: func() *sparse.CSR { return MassMatrix2D(40, 40) }},
+		{Type: "Materials", Name: "mass2d30x30", Gen: func() *sparse.CSR { return MassMatrix2D(30, 30) }},
+		{Type: "Materials", Name: "mass1d4000", Gen: func() *sparse.CSR { return MassMatrix1D(4000, 0.01) }},
+
+		// --- Optimization (jnlbrng/obstclae/torsion/minsurfo/gridgena):
+		// shifted Laplacians with random potentials.
+		{Type: "Optimization", Name: "obst56x56-p1", Gen: func() *sparse.CSR { return Obstacle2D(56, 56, 1, 401) }},
+		{Type: "Optimization", Name: "obst64x32-p0.5", Gen: func() *sparse.CSR { return Obstacle2D(64, 32, 0.5, 402) }},
+		{Type: "Optimization", Name: "obst48x48-p4", Gen: func() *sparse.CSR { return Obstacle2D(48, 48, 4, 403) }},
+		{Type: "Optimization", Name: "grid60x60", Gen: func() *sparse.CSR { return Laplace2D(60, 60).AddDiag(0.05) }},
+		{Type: "Optimization", Name: "obst40x40-p0.1", Gen: func() *sparse.CSR { return Obstacle2D(40, 40, 0.1, 404) }},
+		{Type: "Optimization", Name: "cvx-band1600", Gen: func() *sparse.CSR { return BandedSPD(1600, 4, 0.05, 405) }},
+
+		// --- Duplicate (the paper's torsion1/obstclae pair): an exact
+		// duplicate spec, exercising determinism.
+		{Type: "Duplicate", Name: "obst56x56-p1-dup", Gen: func() *sparse.CSR { return Obstacle2D(56, 56, 1, 401) }},
+
+		// --- Random 2D/3D (wathen100/wathen120).
+		{Type: "Random 2D/3D", Name: "wathen20x20", Gen: func() *sparse.CSR { return Wathen(20, 20, 501) }},
+		{Type: "Random 2D/3D", Name: "wathen24x18", Gen: func() *sparse.CSR { return Wathen(24, 18, 502) }},
+
+		// --- Circuit Simulation (G2_circuit): irregular graph Laplacians.
+		{Type: "Circuit Simulation", Name: "circuit600-d4", Gen: func() *sparse.CSR { return GraphLaplacian(600, 4, 0.05, 601) }},
+		{Type: "Circuit Simulation", Name: "circuit500-d5", Gen: func() *sparse.CSR { return GraphLaplacian(500, 5, 0.02, 602) }},
+
+		// --- Model Reduction (gyro/gyro_k): wide sparse bands, harder.
+		{Type: "Model Reduction", Name: "gyro-band700-bw36", Gen: func() *sparse.CSR { return BandedSPD(700, 36, 0.2, 701) }},
+		{Type: "Model Reduction", Name: "gyro-band900-bw28", Gen: func() *sparse.CSR { return BandedSPD(900, 28, 0.3, 702) }},
+
+		// --- DMR (t2dah_e-style): mesh with potential; wide-band variant.
+		{Type: "DMR", Name: "dmr-lap48x48-pot10", Gen: func() *sparse.CSR { return Obstacle2D(48, 48, 10, 801) }},
+		{Type: "DMR", Name: "dmr-band600-bw24", Gen: func() *sparse.CSR { return BandedSPD(600, 24, 0.4, 802) }},
+
+		// --- Economic (finan512): block-sparse well-conditioned graph.
+		{Type: "Economic", Name: "finan-graph800", Gen: func() *sparse.CSR { return GraphLaplacian(800, 6, 2, 901) }},
+
+		// --- CG/V (bundle1): small dense-ish rows, very fast convergence.
+		{Type: "CG/V", Name: "bundle-band500-bw24", Gen: func() *sparse.CSR { return BandedSPD(500, 24, 30, 902) }},
+	}
+	if len(specs) != 72 {
+		panic(fmt.Sprintf("matgen: suite has %d specs, want 72", len(specs)))
+	}
+	for i := range specs {
+		specs[i].ID = i + 1
+	}
+	return specs
+}
+
+// QuickSuite returns a small deterministic subset of the suite (one matrix
+// per major family) for fast tests and -quick benchmark runs.
+func QuickSuite() []Spec {
+	all := Suite()
+	pick := []string{
+		"elas28x28-s100", "band1200-bw8-d0.25", "aniso56x56-e0.001",
+		"lap64x64", "jump56x56-b4-j1e4", "mass2d40x40",
+		"obst56x56-p1", "wathen20x20", "circuit500-d5", "gyro-band700-bw36",
+	}
+	var out []Spec
+	for _, name := range pick {
+		for _, s := range all {
+			if s.Name == name {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ByName returns the named suite spec and whether it exists.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,127 @@
+// Package parallel provides small fork-join helpers used by the sparse
+// kernels and the FSAI setup. It mirrors the OpenMP "parallel for" structure
+// used by the reference implementation: a loop range is split into
+// contiguous chunks, each processed by one worker goroutine.
+//
+// All helpers are deterministic with respect to the work they produce: the
+// chunking is purely a function of (n, workers), never of scheduling order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers returns the default worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func MaxWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampWorkers normalizes a requested worker count for a loop of n
+// iterations. It returns at least 1 and never more workers than iterations.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Chunks splits the half-open range [0,n) into at most workers contiguous
+// chunks of near-equal size. It returns the chunk boundaries as a slice of
+// (lo,hi) pairs flattened into a []int of length 2*k. An empty range yields
+// no chunks.
+func Chunks(n, workers int) []int {
+	if n <= 0 {
+		return nil
+	}
+	workers = clampWorkers(workers, n)
+	bounds := make([]int, 0, 2*workers)
+	base := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		bounds = append(bounds, lo, hi)
+		lo = hi
+	}
+	return bounds
+}
+
+// For runs body(lo, hi) over a chunked partition of [0,n) using the given
+// number of workers (<=0 means MaxWorkers). body is invoked concurrently,
+// once per chunk, and For returns when all chunks finish. The chunks are
+// contiguous and disjoint, so body may write to disjoint slices of a shared
+// output without synchronization.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	bounds := Chunks(n, workers)
+	var wg sync.WaitGroup
+	for c := 0; c < len(bounds); c += 2 {
+		lo, hi := bounds[c], bounds[c+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0,n), scheduling contiguous chunks on
+// workers goroutines. It is a convenience wrapper over For for callers that
+// do per-index work.
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Reduce runs body over chunks of [0,n) like For, where each chunk produces
+// a float64 partial result; the partials are combined with combine in chunk
+// order, starting from init. The combination order is deterministic.
+func Reduce(n, workers int, init float64, body func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return init
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		return combine(init, body(0, n))
+	}
+	bounds := Chunks(n, workers)
+	parts := make([]float64, len(bounds)/2)
+	var wg sync.WaitGroup
+	for c := 0; c < len(bounds); c += 2 {
+		lo, hi, idx := bounds[c], bounds[c+1], c/2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[idx] = body(lo, hi)
+		}()
+	}
+	wg.Wait()
+	acc := init
+	for _, p := range parts {
+		acc = combine(acc, p)
+	}
+	return acc
+}

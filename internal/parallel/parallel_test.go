@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunksCoverRangeExactly(t *testing.T) {
+	f := func(n uint16, w uint8) bool {
+		nn := int(n % 2000)
+		ww := int(w%20) + 1
+		b := Chunks(nn, ww)
+		if nn == 0 {
+			return len(b) == 0
+		}
+		// Contiguous, disjoint, covering [0,nn).
+		prev := 0
+		for c := 0; c < len(b); c += 2 {
+			lo, hi := b[c], b[c+1]
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == nn
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunksBalanced(t *testing.T) {
+	b := Chunks(10, 3)
+	sizes := []int{}
+	for c := 0; c < len(b); c += 2 {
+		sizes = append(sizes, b[c+1]-b[c])
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Errorf("sizes=%v", sizes)
+	}
+}
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		n := 500
+		counts := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-5, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	if sum != 4950 {
+		t.Errorf("sum=%d", sum)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	body := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	}
+	add := func(a, b float64) float64 { return a + b }
+	want := Reduce(1000, 1, 0, body, add)
+	for _, w := range []int{2, 3, 8} {
+		if got := Reduce(1000, w, 0, body, add); got != want {
+			t.Errorf("workers=%d: %g != %g", w, got, want)
+		}
+	}
+	if got := Reduce(0, 4, 42, body, add); got != 42 {
+		t.Errorf("empty reduce = %g, want init", got)
+	}
+}
+
+func TestMaxWorkersPositive(t *testing.T) {
+	if MaxWorkers() < 1 {
+		t.Error("MaxWorkers < 1")
+	}
+}

@@ -1,0 +1,61 @@
+package pattern
+
+// The builder methods below let callers construct a pattern row by row in
+// ascending row order without intermediate allocations. The intended use is
+//
+//	p := New(r, c)
+//	for i := 0; i < r; i++ {
+//	        ... p.AppendCol(j) in ascending j ...
+//	        p.CloseRow(i)
+//	}
+//
+// AppendRowMerge is a specialized two-way sorted merge used by the
+// cache-friendly fill-in.
+
+// AppendCol appends column j to the row currently under construction.
+// Callers must append strictly ascending indices within a row.
+func (p *Pattern) AppendCol(j int) { p.Cols = append(p.Cols, j) }
+
+// CloseRow finishes row i, recording its extent. Rows must be closed in
+// order 0..Rows-1.
+func (p *Pattern) CloseRow(i int) {
+	p.RowPtr[i+1] = len(p.Cols)
+	p.closedRows = i + 1
+}
+
+// AppendRowMerge appends the sorted-merge (with deduplication) of two sorted
+// index slices as the next row and closes it. The row index is inferred
+// from how many rows have been closed so far.
+func (p *Pattern) AppendRowMerge(a, b []int) {
+	ka, kb := 0, 0
+	for ka < len(a) || kb < len(b) {
+		switch {
+		case kb == len(b) || (ka < len(a) && a[ka] < b[kb]):
+			p.appendDedup(a[ka])
+			ka++
+		case ka == len(a) || b[kb] < a[ka]:
+			p.appendDedup(b[kb])
+			kb++
+		default:
+			p.appendDedup(a[ka])
+			ka++
+			kb++
+		}
+	}
+	// Find the first unclosed row: rows are closed in order, so it is the
+	// first index whose pointer is still behind len(Cols) from a previous
+	// close. We track it via the last closed row extent.
+	row := p.closedRows
+	p.RowPtr[row+1] = len(p.Cols)
+	p.closedRows++
+}
+
+// appendDedup appends j unless it equals the last appended index of the
+// current row (duplicates can arise when both merge inputs contain j).
+func (p *Pattern) appendDedup(j int) {
+	start := p.RowPtr[p.closedRows]
+	if n := len(p.Cols); n > start && p.Cols[n-1] == j {
+		return
+	}
+	p.Cols = append(p.Cols, j)
+}

@@ -1,0 +1,299 @@
+// Package pattern implements sparsity patterns — the index structure of a
+// sparse matrix without its values — and the symbolic operations the FSAI
+// setup needs: triangular clipping, transposition, union, and the pattern
+// power Ã^N used to seed a-priori FSAI patterns (Chow's method).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Pattern is a sparsity pattern stored like CSR without values: row i owns
+// the column indices Cols[RowPtr[i]:RowPtr[i+1]], sorted ascending, unique.
+type Pattern struct {
+	Rows, NCols int
+	RowPtr      []int
+	Cols        []int
+
+	// closedRows tracks builder progress (see builder.go); fully
+	// constructed patterns have closedRows == Rows or 0 when built by
+	// direct field assembly.
+	closedRows int
+}
+
+// New returns an empty pattern with r rows and c columns.
+func New(r, c int) *Pattern {
+	return &Pattern{Rows: r, NCols: c, RowPtr: make([]int, r+1)}
+}
+
+// FromCSR extracts the sparsity pattern of a CSR matrix.
+func FromCSR(m *sparse.CSR) *Pattern {
+	return &Pattern{
+		Rows:   m.Rows,
+		NCols:  m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Cols:   append([]int(nil), m.ColIdx...),
+	}
+}
+
+// FromRows builds a pattern from per-row index slices; rows are sorted and
+// deduplicated. Indices out of [0,c) panic.
+func FromRows(r, c int, rows [][]int) *Pattern {
+	p := New(r, c)
+	for i := 0; i < r; i++ {
+		row := append([]int(nil), rows[i]...)
+		sort.Ints(row)
+		prev := -1
+		for _, j := range row {
+			if j < 0 || j >= c {
+				panic(fmt.Sprintf("pattern: index %d out of range [0,%d)", j, c))
+			}
+			if j == prev {
+				continue
+			}
+			p.Cols = append(p.Cols, j)
+			prev = j
+		}
+		p.RowPtr[i+1] = len(p.Cols)
+	}
+	return p
+}
+
+// NNZ returns the number of stored positions.
+func (p *Pattern) NNZ() int { return len(p.Cols) }
+
+// Row returns the column indices of row i, aliasing internal storage.
+func (p *Pattern) Row(i int) []int { return p.Cols[p.RowPtr[i]:p.RowPtr[i+1]] }
+
+// Contains reports whether position (i,j) is in the pattern.
+func (p *Pattern) Contains(i, j int) bool {
+	row := p.Row(i)
+	k := sort.SearchInts(row, j)
+	return k < len(row) && row[k] == j
+}
+
+// Clone returns a deep copy.
+func (p *Pattern) Clone() *Pattern {
+	return &Pattern{
+		Rows:   p.Rows,
+		NCols:  p.NCols,
+		RowPtr: append([]int(nil), p.RowPtr...),
+		Cols:   append([]int(nil), p.Cols...),
+	}
+}
+
+// Equal reports whether two patterns are identical.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p.Rows != q.Rows || p.NCols != q.NCols || len(p.Cols) != len(q.Cols) {
+		return false
+	}
+	for i := range p.RowPtr {
+		if p.RowPtr[i] != q.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range p.Cols {
+		if p.Cols[k] != q.Cols[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a short summary.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("Pattern{%dx%d, nnz=%d}", p.Rows, p.NCols, p.NNZ())
+}
+
+// Validate checks structural invariants (sorted unique in-range rows).
+func (p *Pattern) Validate() error {
+	if len(p.RowPtr) != p.Rows+1 || p.RowPtr[0] != 0 || p.RowPtr[p.Rows] != len(p.Cols) {
+		return fmt.Errorf("pattern: inconsistent row pointers")
+	}
+	for i := 0; i < p.Rows; i++ {
+		prev := -1
+		for _, j := range p.Row(i) {
+			if j < 0 || j >= p.NCols {
+				return fmt.Errorf("pattern: row %d index %d out of range", i, j)
+			}
+			if j <= prev {
+				return fmt.Errorf("pattern: row %d not strictly ascending at %d", i, j)
+			}
+			prev = j
+		}
+	}
+	return nil
+}
+
+// Lower returns the lower-triangular clip of p (entries with j <= i).
+func (p *Pattern) Lower() *Pattern {
+	out := New(p.Rows, p.NCols)
+	for i := 0; i < p.Rows; i++ {
+		for _, j := range p.Row(i) {
+			if j <= i {
+				out.Cols = append(out.Cols, j)
+			}
+		}
+		out.RowPtr[i+1] = len(out.Cols)
+	}
+	return out
+}
+
+// Transpose returns the transposed pattern.
+func (p *Pattern) Transpose() *Pattern {
+	t := New(p.NCols, p.Rows)
+	t.Cols = make([]int, len(p.Cols))
+	counts := make([]int, p.NCols+1)
+	for _, j := range p.Cols {
+		counts[j+1]++
+	}
+	for j := 0; j < p.NCols; j++ {
+		counts[j+1] += counts[j]
+	}
+	copy(t.RowPtr, counts)
+	next := append([]int(nil), counts...)
+	for i := 0; i < p.Rows; i++ {
+		for _, j := range p.Row(i) {
+			t.Cols[next[j]] = i
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Union returns the positionwise union of p and q (same shape required).
+func (p *Pattern) Union(q *Pattern) *Pattern {
+	if p.Rows != q.Rows || p.NCols != q.NCols {
+		panic("pattern: Union shape mismatch")
+	}
+	out := New(p.Rows, p.NCols)
+	for i := 0; i < p.Rows; i++ {
+		a, b := p.Row(i), q.Row(i)
+		ka, kb := 0, 0
+		for ka < len(a) || kb < len(b) {
+			switch {
+			case kb == len(b) || (ka < len(a) && a[ka] < b[kb]):
+				out.Cols = append(out.Cols, a[ka])
+				ka++
+			case ka == len(a) || b[kb] < a[ka]:
+				out.Cols = append(out.Cols, b[kb])
+				kb++
+			default:
+				out.Cols = append(out.Cols, a[ka])
+				ka++
+				kb++
+			}
+		}
+		out.RowPtr[i+1] = len(out.Cols)
+	}
+	return out
+}
+
+// WithDiagonal returns p with all diagonal positions (i,i) present (for
+// square patterns). FSAI requires the diagonal in every row pattern.
+func (p *Pattern) WithDiagonal() *Pattern {
+	out := New(p.Rows, p.NCols)
+	for i := 0; i < p.Rows; i++ {
+		placed := false
+		for _, j := range p.Row(i) {
+			if !placed && j > i && i < p.NCols {
+				out.Cols = append(out.Cols, i)
+				placed = true
+			}
+			if j == i {
+				placed = true
+			}
+			out.Cols = append(out.Cols, j)
+		}
+		if !placed && i < p.NCols {
+			out.Cols = append(out.Cols, i)
+		}
+		out.RowPtr[i+1] = len(out.Cols)
+	}
+	return out
+}
+
+// Power returns the pattern of p^n for a square pattern p and n >= 1, the
+// symbolic analogue of matrix powering used to build a-priori FSAI patterns
+// (pattern of Ã^N). n == 1 returns a clone.
+func (p *Pattern) Power(n int) *Pattern {
+	if p.Rows != p.NCols {
+		panic("pattern: Power of non-square pattern")
+	}
+	if n < 1 {
+		panic("pattern: Power exponent must be >= 1")
+	}
+	out := p.Clone()
+	for k := 1; k < n; k++ {
+		out = out.MulPattern(p)
+	}
+	return out
+}
+
+// MulPattern returns the symbolic product pattern of p*q: position (i,j) is
+// present iff some k has (i,k) in p and (k,j) in q.
+func (p *Pattern) MulPattern(q *Pattern) *Pattern {
+	if p.NCols != q.Rows {
+		panic("pattern: MulPattern inner dimension mismatch")
+	}
+	out := New(p.Rows, q.NCols)
+	marker := make([]int, q.NCols)
+	for i := range marker {
+		marker[i] = -1
+	}
+	var rowBuf []int
+	for i := 0; i < p.Rows; i++ {
+		rowBuf = rowBuf[:0]
+		for _, k := range p.Row(i) {
+			for _, j := range q.Row(k) {
+				if marker[j] != i {
+					marker[j] = i
+					rowBuf = append(rowBuf, j)
+				}
+			}
+		}
+		sort.Ints(rowBuf)
+		out.Cols = append(out.Cols, rowBuf...)
+		out.RowPtr[i+1] = len(out.Cols)
+	}
+	return out
+}
+
+// SubsetOf reports whether every position of p is also in q.
+func (p *Pattern) SubsetOf(q *Pattern) bool {
+	if p.Rows != q.Rows || p.NCols != q.NCols {
+		return false
+	}
+	for i := 0; i < p.Rows; i++ {
+		a, b := p.Row(i), q.Row(i)
+		kb := 0
+		for _, j := range a {
+			for kb < len(b) && b[kb] < j {
+				kb++
+			}
+			if kb == len(b) || b[kb] != j {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToCSR materializes the pattern as a CSR matrix with all stored values set
+// to v (useful for visualization and for symbolic checks against sparse ops).
+func (p *Pattern) ToCSR(v float64) *sparse.CSR {
+	m := &sparse.CSR{
+		Rows:   p.Rows,
+		Cols:   p.NCols,
+		RowPtr: append([]int(nil), p.RowPtr...),
+		ColIdx: append([]int(nil), p.Cols...),
+		Val:    make([]float64, len(p.Cols)),
+	}
+	for k := range m.Val {
+		m.Val[k] = v
+	}
+	return m
+}

@@ -1,0 +1,151 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestSpMVTimeMonotonicity(t *testing.T) {
+	m := arch.Skylake()
+	base := SpMVCost{NNZ: 10000, Rows: 1000, LineVisits: 5000, XMisses: 100}
+	t0 := SpMVTime(m, base)
+	if t0 <= 0 {
+		t.Fatal("non-positive time")
+	}
+	more := base
+	more.NNZ *= 2
+	if SpMVTime(m, more) <= t0 {
+		t.Error("more entries should cost more")
+	}
+	more = base
+	more.XMisses *= 10
+	if SpMVTime(m, more) <= t0 {
+		t.Error("more misses should cost more")
+	}
+	more = base
+	more.LineVisits *= 3
+	if SpMVTime(m, more) <= t0 {
+		t.Error("more line visits should cost more")
+	}
+}
+
+// TestExtensionNearlyFree captures the paper's core performance claim in
+// model terms: doubling nnz while keeping line visits and misses fixed
+// (what the cache-friendly extension does) must cost far less than
+// doubling nnz with proportional line-visit growth (what a random
+// extension does).
+func TestExtensionNearlyFree(t *testing.T) {
+	m := arch.Skylake()
+	base := SpMVCost{NNZ: 50000, Rows: 5000, LineVisits: 40000, XMisses: 5000}
+	t0 := SpMVTime(m, base)
+
+	friendly := base
+	friendly.NNZ *= 2 // same visits, same misses
+	tf := SpMVTime(m, friendly)
+
+	random := base
+	random.NNZ *= 2
+	random.LineVisits += base.NNZ // every new entry touches its own line
+	random.XMisses *= 3
+	tr := SpMVTime(m, random)
+
+	frOverhead := (tf - t0) / t0
+	rnOverhead := (tr - t0) / t0
+	if frOverhead > 0.35 {
+		t.Errorf("cache-friendly doubling costs %.0f%%, want small", 100*frOverhead)
+	}
+	if rnOverhead < 2*frOverhead {
+		t.Errorf("random extension (%.0f%%) should cost much more than friendly (%.0f%%)",
+			100*rnOverhead, 100*frOverhead)
+	}
+}
+
+func TestIterAndSolveTime(t *testing.T) {
+	m := arch.POWER9()
+	c := IterCost{
+		A:    SpMVCost{NNZ: 20000, Rows: 2000, LineVisits: 9000, XMisses: 300},
+		G:    SpMVCost{NNZ: 11000, Rows: 2000, LineVisits: 5000, XMisses: 250},
+		GT:   SpMVCost{NNZ: 11000, Rows: 2000, LineVisits: 5500, XMisses: 260},
+		Rows: 2000,
+	}
+	ti := IterTime(m, c)
+	if ti <= 0 {
+		t.Fatal("non-positive iteration time")
+	}
+	if SolveTime(m, c, 100) != 100*ti {
+		t.Error("SolveTime must be iterations x IterTime")
+	}
+	// Iteration costs at least as much as its three sweeps.
+	if ti < SpMVTime(m, c.A)+SpMVTime(m, c.G)+SpMVTime(m, c.GT) {
+		t.Error("vector ops must add cost")
+	}
+}
+
+func TestSetupTime(t *testing.T) {
+	m := arch.Skylake()
+	small := SetupTime(m, SetupCost{DirectFlops: 1e6})
+	big := SetupTime(m, SetupCost{DirectFlops: 1e9, PrecalcFlops: 1e8, PatternOps: 1e6})
+	if small <= 0 || big <= small {
+		t.Errorf("setup times: small=%g big=%g", small, big)
+	}
+}
+
+func TestPrecondGFlopsRange(t *testing.T) {
+	// Sanity band: the modelled GᵀGp throughput should land in the regime
+	// the paper reports (single-digit to ~40+ Gflop/s on Skylake).
+	m := arch.Skylake()
+	// Irregular baseline: visits ~ nnz.
+	g := SpMVCost{NNZ: 50000, Rows: 5000, LineVisits: 45000, XMisses: 8000}
+	base := PrecondGFlops(m, g, g)
+	// Cache-friendly extended: double entries, same visits/misses.
+	ge := g
+	ge.NNZ = 100000
+	ext := PrecondGFlops(m, ge, ge)
+	if base < 2 || base > 40 {
+		t.Errorf("baseline Gflop/s %g out of plausible band", base)
+	}
+	if ext <= base {
+		t.Errorf("extended Gflop/s %g should exceed baseline %g", ext, base)
+	}
+	if ext > 60 {
+		t.Errorf("extended Gflop/s %g unrealistically high", ext)
+	}
+	if PrecondGFlops(m, SpMVCost{}, SpMVCost{}) != 0 {
+		t.Error("empty cost should yield 0")
+	}
+}
+
+func TestArchModels(t *testing.T) {
+	all := arch.All()
+	if len(all) != 3 {
+		t.Fatalf("want 3 machines")
+	}
+	for _, m := range all {
+		if err := m.L1.Validate(); err != nil {
+			t.Errorf("%s L1: %v", m.Name, err)
+		}
+		if err := m.L1Sim.Validate(); err != nil {
+			t.Errorf("%s L1Sim: %v", m.Name, err)
+		}
+		if m.L1.LineBytes != m.LineBytes || m.L1Sim.LineBytes != m.LineBytes {
+			t.Errorf("%s line sizes inconsistent", m.Name)
+		}
+		if m.ElemsPerLine() != m.LineBytes/8 {
+			t.Errorf("%s ElemsPerLine", m.Name)
+		}
+		if m.MemBandwidth <= 0 || m.GatherCost <= 0 || m.MissLatency <= 0 || m.SetupFlops <= 0 {
+			t.Errorf("%s has non-positive constants", m.Name)
+		}
+	}
+	// The paper's line-size contrast.
+	a64, _ := arch.ByName("A64FX")
+	sky, _ := arch.ByName("Skylake")
+	p9, _ := arch.ByName("POWER9")
+	if a64.LineBytes != 4*sky.LineBytes || sky.LineBytes != p9.LineBytes {
+		t.Error("line-size relations wrong")
+	}
+	if _, ok := arch.ByName("Itanium"); ok {
+		t.Error("unknown arch found")
+	}
+}

@@ -1,0 +1,123 @@
+package precond
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/spectral"
+)
+
+func TestChebyshevErrors(t *testing.T) {
+	a := matgen.Laplace2D(4, 4)
+	if _, err := NewChebyshev(a, 0, 1, 2); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := NewChebyshev(a, 3, 0, 2); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := NewChebyshev(a, 3, 2, 1); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+func TestChebyshevApproximatesInverseOnDiagonal(t *testing.T) {
+	// On a well-separated diagonal system with exact bounds and enough
+	// degree, p(A)r approaches A⁻¹r.
+	n := 16
+	b := matgen.MassMatrix1D(n, 1) // tridiagonal, eigenvalues in [2/6, 6/6]·h
+	lo, hi := 1.0/3-0.17, 1.0+0.01
+	p, err := NewChebyshev(b, 24, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%5) - 2
+	}
+	z := make([]float64, n)
+	p.Apply(z, r)
+	// Check residual ||A z - r|| small.
+	az := make([]float64, n)
+	b.MulVec(az, z)
+	num, den := 0.0, 0.0
+	for i := range r {
+		num += (az[i] - r[i]) * (az[i] - r[i])
+		den += r[i] * r[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 1e-3 {
+		t.Errorf("degree-24 Chebyshev residual %g too large", rel)
+	}
+}
+
+func TestChebyshevSymmetric(t *testing.T) {
+	a := matgen.Laplace2D(10, 10)
+	ext, err := spectral.CondOfMatrix(a, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewChebyshev(a, 6, ext.Min*0.9, ext.Max*1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(float64(2 * i))
+		v[i] = math.Cos(float64(5 * i))
+	}
+	mu := make([]float64, n)
+	mv := make([]float64, n)
+	p.Apply(mu, u)
+	p.Apply(mv, v)
+	l, r := krylov.Dot(mu, v), krylov.Dot(u, mv)
+	if math.Abs(l-r) > 1e-8*(1+math.Abs(l)) {
+		t.Errorf("Chebyshev not symmetric: %g vs %g", l, r)
+	}
+	if krylov.Dot(mu, u) <= 0 {
+		t.Error("Chebyshev not positive definite")
+	}
+}
+
+func TestChebyshevAcceleratesCG(t *testing.T) {
+	// Lanczos-estimated bounds feed the polynomial; PCG iterations must
+	// fall well below plain CG and shrink with the degree.
+	a := matgen.Laplace2D(32, 32)
+	ext, err := spectral.CondOfMatrix(a, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, a.Rows)
+	plain := krylov.Solve(a, x, b, nil, krylov.DefaultOptions())
+	iters := map[int]int{}
+	for _, deg := range []int{2, 4, 8, 16} {
+		p, err := NewChebyshev(a, deg, ext.Min*0.9, ext.Max*1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := krylov.Solve(a, x, b, p, krylov.DefaultOptions())
+		if !res.Converged {
+			t.Fatalf("degree %d did not converge", deg)
+		}
+		t.Logf("degree %d: %d iterations (plain %d)", deg, res.Iterations, plain.Iterations)
+		// Every degree must beat plain CG; iteration counts per degree are
+		// not strictly monotone with inexact bounds, but high degrees must
+		// beat low ones substantially.
+		if res.Iterations >= plain.Iterations {
+			t.Errorf("degree %d (%d iters) no better than plain CG (%d)", deg, res.Iterations, plain.Iterations)
+		}
+		iters[deg] = res.Iterations
+	}
+	if iters[16] >= iters[2] {
+		t.Errorf("degree 16 (%d) should beat degree 2 (%d)", iters[16], iters[2])
+	}
+	if iters[16] > plain.Iterations/3 {
+		t.Errorf("degree 16 (%d) should cut plain CG (%d) at least 3x", iters[16], plain.Iterations)
+	}
+}

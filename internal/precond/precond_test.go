@@ -1,0 +1,209 @@
+package precond
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func solveWith(t *testing.T, a *sparse.CSR, m krylov.Preconditioner) krylov.Result {
+	t.Helper()
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, a.Rows)
+	res := krylov.Solve(a, x, b, m, krylov.DefaultOptions())
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	return res
+}
+
+func TestIC0ExactOnTridiagonalIsExactCholesky(t *testing.T) {
+	// A tridiagonal SPD matrix has a tridiagonal Cholesky factor, so IC(0)
+	// on the lower(A) pattern is the exact factorization: PCG converges in
+	// one or two iterations.
+	n := 50
+	bld := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		bld.Add(i, i, 2.5)
+		if i > 0 {
+			bld.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			bld.Add(i, i+1, -1)
+		}
+	}
+	a := bld.ToCSR()
+	p, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := solveWith(t, a, p)
+	if res.Iterations > 2 {
+		t.Errorf("exact IC0 took %d iterations", res.Iterations)
+	}
+	// And the factor actually reproduces A: L Lᵀ == A elementwise.
+	lt := p.l.Transpose()
+	for i := 0; i < n; i++ {
+		for j := i - 1; j <= i+1; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			s := 0.0
+			// (L Lᵀ)(i,j) = Σ_k L(i,k) L(j,k)
+			ci, vi := p.l.Row(i)
+			for k, c := range ci {
+				s += vi[k] * lt.At(c, j)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-10 {
+				t.Fatalf("LLᵀ(%d,%d)=%g, A=%g", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIC0BeatsPlainCG(t *testing.T) {
+	a := matgen.Laplace2D(24, 24)
+	p, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := solveWith(t, a, p)
+	plain := solveWith(t, a, nil)
+	if ic.Iterations >= plain.Iterations {
+		t.Errorf("IC0 %d vs plain %d iterations", ic.Iterations, plain.Iterations)
+	}
+	if p.NNZ() != a.Lower().NNZ() {
+		t.Error("IC0 changed the pattern")
+	}
+}
+
+func TestIC0Errors(t *testing.T) {
+	rect, _ := sparse.NewCSRFromTriplets(2, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewIC0(rect); err == nil {
+		t.Error("rectangular accepted")
+	}
+	// Indefinite: breakdown.
+	ind, _ := sparse.NewCSRFromTriplets(2, 2, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 2}, {Row: 0, Col: 1, Val: 2}, {Row: 1, Col: 1, Val: 1},
+	})
+	if _, err := NewIC0(ind); err == nil {
+		t.Error("indefinite accepted")
+	}
+	// Missing diagonal.
+	nod, _ := sparse.NewCSRFromTriplets(2, 2, []sparse.Triplet{{Row: 1, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1}})
+	if _, err := NewIC0(nod); err == nil {
+		t.Error("missing diagonal accepted")
+	}
+}
+
+func TestSSOR(t *testing.T) {
+	a := matgen.Laplace2D(20, 20)
+	p, err := NewSSOR(a, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssor := solveWith(t, a, p)
+	plain := solveWith(t, a, nil)
+	if ssor.Iterations >= plain.Iterations {
+		t.Errorf("SSOR %d vs plain %d iterations", ssor.Iterations, plain.Iterations)
+	}
+	if _, err := NewSSOR(a, 2.5); err == nil {
+		t.Error("omega out of range accepted")
+	}
+	if _, err := NewSSOR(a, 0); err == nil {
+		t.Error("omega 0 accepted")
+	}
+}
+
+func TestSSORSymmetry(t *testing.T) {
+	// The preconditioner must be symmetric for CG: check ⟨M⁻¹u, v⟩ ==
+	// ⟨u, M⁻¹v⟩ on random vectors.
+	a := matgen.Wathen(4, 4, 3)
+	p, err := NewSSOR(a, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i := range u {
+		u[i] = float64((i*37)%11) - 5
+		v[i] = float64((i*17)%7) - 3
+	}
+	mu := make([]float64, n)
+	mv := make([]float64, n)
+	p.Apply(mu, u)
+	p.Apply(mv, v)
+	left := krylov.Dot(mu, v)
+	right := krylov.Dot(u, mv)
+	if math.Abs(left-right) > 1e-8*(1+math.Abs(left)) {
+		t.Errorf("SSOR not symmetric: %g vs %g", left, right)
+	}
+}
+
+func TestBlockJacobi(t *testing.T) {
+	a := matgen.Elasticity2D(12, 12, 50)
+	for _, bs := range []int{1, 2, 8, 32} {
+		p, err := NewBlockJacobi(a, bs)
+		if err != nil {
+			t.Fatalf("bs=%d: %v", bs, err)
+		}
+		res := solveWith(t, a, p)
+		t.Logf("block size %2d: %d iterations", bs, res.Iterations)
+	}
+	// Block size 1 equals point Jacobi.
+	p1, _ := NewBlockJacobi(a, 1)
+	j := krylov.NewJacobi(a)
+	r := make([]float64, a.Rows)
+	for i := range r {
+		r[i] = float64(i%9) - 4
+	}
+	z1 := make([]float64, a.Rows)
+	z2 := make([]float64, a.Rows)
+	p1.Apply(z1, r)
+	j.Apply(z2, r)
+	for i := range z1 {
+		if math.Abs(z1[i]-z2[i]) > 1e-12 {
+			t.Fatalf("BlockJacobi(1) != Jacobi at %d", i)
+		}
+	}
+}
+
+func TestBlockJacobiLargerBlocksNoWorse(t *testing.T) {
+	a := matgen.Laplace2D(16, 16)
+	var prev int
+	for i, bs := range []int{1, 4, 16} {
+		p, err := NewBlockJacobi(a, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := solveWith(t, a, p)
+		if i > 0 && res.Iterations > prev+2 {
+			t.Errorf("bs=%d: %d iterations worse than smaller block %d", bs, res.Iterations, prev)
+		}
+		prev = res.Iterations
+	}
+}
+
+func TestBlockJacobiErrors(t *testing.T) {
+	a := matgen.Laplace2D(4, 4)
+	if _, err := NewBlockJacobi(a, 0); err == nil {
+		t.Error("block size 0 accepted")
+	}
+	rect, _ := sparse.NewCSRFromTriplets(2, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewBlockJacobi(rect, 2); err == nil {
+		t.Error("rectangular accepted")
+	}
+	ind, _ := sparse.NewCSRFromTriplets(2, 2, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: -1},
+	})
+	if _, err := NewBlockJacobi(ind, 2); err == nil {
+		t.Error("indefinite accepted")
+	}
+}

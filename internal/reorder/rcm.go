@@ -1,0 +1,186 @@
+// Package reorder implements symmetric matrix reorderings, primarily
+// reverse Cuthill-McKee (RCM). Orderings matter doubly for the cache-aware
+// FSAI extension: the fill-in adds entries at *index-adjacent* columns, so
+// the more the ordering correlates index distance with graph distance, the
+// more numerically useful the added entries are. The reordering ablation
+// (cmd/fsaibench -ablation order) quantifies this.
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Permutation maps new indices to old: perm[new] = old.
+type Permutation []int
+
+// Inverse returns the inverse permutation (old -> new).
+func (p Permutation) Inverse() Permutation {
+	inv := make(Permutation, len(p))
+	for newIdx, oldIdx := range p {
+		inv[oldIdx] = newIdx
+	}
+	return inv
+}
+
+// Validate checks that p is a permutation of 0..n-1.
+func (p Permutation) Validate() error {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("reorder: index %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("reorder: duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// RCM computes the reverse Cuthill-McKee ordering of a structurally
+// symmetric matrix: a breadth-first traversal from a low-degree peripheral
+// vertex, visiting neighbours in increasing-degree order, then reversed.
+// The result typically minimizes bandwidth, concentrating the pattern near
+// the diagonal. Disconnected components are handled by restarting from the
+// lowest-degree unvisited vertex.
+func RCM(a *sparse.CSR) Permutation {
+	n := a.Rows
+	degree := make([]int, n)
+	for i := 0; i < n; i++ {
+		degree[i] = a.RowNNZ(i)
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+
+	// Process components, seeding each from its minimum-degree vertex (a
+	// cheap pseudo-peripheral heuristic).
+	for len(order) < n {
+		seed := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (seed == -1 || degree[i] < degree[seed]) {
+				seed = i
+			}
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			cols, _ := a.Row(v)
+			// Collect unvisited neighbours, sorted by degree.
+			nbrs := make([]int, 0, len(cols))
+			for _, j := range cols {
+				if j != v && !visited[j] {
+					visited[j] = true
+					nbrs = append(nbrs, j)
+				}
+			}
+			sort.Slice(nbrs, func(x, y int) bool {
+				if degree[nbrs[x]] != degree[nbrs[y]] {
+					return degree[nbrs[x]] < degree[nbrs[y]]
+				}
+				return nbrs[x] < nbrs[y]
+			})
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse (the "R" of RCM).
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// ApplySym returns P A Pᵀ for the permutation p (perm[new] = old): entry
+// (i,j) of the result is a(p[i], p[j]). The result is CSR with sorted rows.
+func ApplySym(a *sparse.CSR, p Permutation) *sparse.CSR {
+	if len(p) != a.Rows || a.Rows != a.Cols {
+		panic("reorder: permutation/matrix size mismatch")
+	}
+	inv := p.Inverse()
+	out := &sparse.CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	// Count then place: row newI gets the entries of old row p[newI].
+	for newI := 0; newI < a.Rows; newI++ {
+		out.RowPtr[newI+1] = out.RowPtr[newI] + a.RowNNZ(p[newI])
+	}
+	out.ColIdx = make([]int, out.RowPtr[a.Rows])
+	out.Val = make([]float64, out.RowPtr[a.Rows])
+	type cv struct {
+		c int
+		v float64
+	}
+	var buf []cv
+	for newI := 0; newI < a.Rows; newI++ {
+		cols, vals := a.Row(p[newI])
+		buf = buf[:0]
+		for k, j := range cols {
+			buf = append(buf, cv{inv[j], vals[k]})
+		}
+		sort.Slice(buf, func(x, y int) bool { return buf[x].c < buf[y].c })
+		lo := out.RowPtr[newI]
+		for k, e := range buf {
+			out.ColIdx[lo+k] = e.c
+			out.Val[lo+k] = e.v
+		}
+	}
+	return out
+}
+
+// PermuteVec returns the vector x reordered to the new indexing:
+// out[new] = x[p[new]].
+func PermuteVec(x []float64, p Permutation) []float64 {
+	out := make([]float64, len(x))
+	for newI, oldI := range p {
+		out[newI] = x[oldI]
+	}
+	return out
+}
+
+// UnpermuteVec is the inverse of PermuteVec: out[p[new]] = x[new].
+func UnpermuteVec(x []float64, p Permutation) []float64 {
+	out := make([]float64, len(x))
+	for newI, oldI := range p {
+		out[oldI] = x[newI]
+	}
+	return out
+}
+
+// Bandwidth returns the maximum |i-j| over stored entries (0 for diagonal
+// or empty matrices) — the quantity RCM minimizes.
+func Bandwidth(a *sparse.CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// Profile returns the sum over rows of (i - min column index of row i),
+// the skyline profile — a finer locality metric than bandwidth.
+func Profile(a *sparse.CSR) int {
+	prof := 0
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		if len(cols) == 0 {
+			continue
+		}
+		if cols[0] < i {
+			prof += i - cols[0]
+		}
+	}
+	return prof
+}

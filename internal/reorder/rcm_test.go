@@ -1,0 +1,178 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func TestPermutationInverse(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	inv := p.Inverse()
+	for newI, oldI := range p {
+		if inv[oldI] != newI {
+			t.Fatalf("inverse wrong at %d", newI)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Permutation{0, 0, 1}).Validate(); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := (Permutation{0, 3}).Validate(); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	for _, a := range []*sparse.CSR{
+		matgen.Laplace2D(10, 10),
+		matgen.GraphLaplacian(200, 5, 0.1, 1),
+		matgen.Wathen(5, 5, 2),
+		sparse.Identity(7), // fully disconnected
+	} {
+		p := RCM(a)
+		if len(p) != a.Rows {
+			t.Fatalf("length %d", len(p))
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A randomly permuted banded matrix: RCM must recover most of the
+	// band structure.
+	rng := rand.New(rand.NewSource(3))
+	band := matgen.BandedSPD(300, 5, 1, 7)
+	scramble := make(Permutation, 300)
+	for i := range scramble {
+		scramble[i] = i
+	}
+	rng.Shuffle(300, func(i, j int) { scramble[i], scramble[j] = scramble[j], scramble[i] })
+	scrambled := ApplySym(band, scramble)
+	if Bandwidth(scrambled) < 100 {
+		t.Skip("scramble did not destroy the band") // vanishingly unlikely
+	}
+	restored := ApplySym(scrambled, RCM(scrambled))
+	if bw := Bandwidth(restored); bw > 4*Bandwidth(band) {
+		t.Errorf("RCM bandwidth %d vs original %d", bw, Bandwidth(band))
+	}
+	if Profile(restored) >= Profile(scrambled) {
+		t.Errorf("RCM did not reduce profile: %d vs %d", Profile(restored), Profile(scrambled))
+	}
+}
+
+func TestApplySymSpectrumPreserved(t *testing.T) {
+	// P A Pᵀ preserves symmetric structure, diagonal multiset and
+	// Frobenius norm.
+	a := matgen.JumpCoefficient2D(8, 8, 4, 100, 2)
+	p := RCM(a)
+	b := ApplySym(a, p)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsSymmetric(1e-12) {
+		t.Error("reordered matrix lost symmetry")
+	}
+	if math.Abs(a.FrobNorm()-b.FrobNorm()) > 1e-9 {
+		t.Error("Frobenius norm changed")
+	}
+	if b.NNZ() != a.NNZ() {
+		t.Error("nnz changed")
+	}
+	// Element check: b[i][j] == a[p[i]][p[j]].
+	for i := 0; i < b.Rows; i++ {
+		cols, vals := b.Row(i)
+		for k, j := range cols {
+			if got := a.At(p[i], p[j]); got != vals[k] {
+				t.Fatalf("b(%d,%d)=%g != a(%d,%d)=%g", i, j, vals[k], p[i], p[j], got)
+			}
+		}
+	}
+}
+
+func TestPermuteVecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		p := make(Permutation, n)
+		for i := range p {
+			p[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := UnpermuteVec(PermuteVec(x, p), p)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutedSolveMatchesOriginal(t *testing.T) {
+	// Solving the permuted system and mapping back equals solving the
+	// original: (PAPᵀ)(Px) = Pb.
+	a := matgen.Laplace2D(8, 8)
+	n := a.Rows
+	p := RCM(a)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	// Direct dense solve of both systems via normal CG-quality check:
+	// verify A x = b residual for x obtained through the permuted path.
+	ap := ApplySym(a, p)
+	bp := PermuteVec(b, p)
+	// Solve permuted with plain dense-ish iteration (CG from krylov would
+	// be an import cycle risk in tests? no — fine to use CG here, but keep
+	// package deps minimal: simple Jacobi iterations suffice? Too slow.)
+	// Instead verify operator consistency: for random v,
+	// P(A v) == (PAPᵀ)(P v).
+	rng := rand.New(rand.NewSource(4))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	av := make([]float64, n)
+	a.MulVec(av, v)
+	lhs := PermuteVec(av, p)
+	rhs := make([]float64, n)
+	ap.MulVec(rhs, PermuteVec(v, p))
+	for i := range lhs {
+		if math.Abs(lhs[i]-rhs[i]) > 1e-12 {
+			t.Fatalf("operator mismatch at %d: %g vs %g", i, lhs[i], rhs[i])
+		}
+	}
+	_ = bp
+}
+
+func TestBandwidthAndProfile(t *testing.T) {
+	a, _ := sparse.NewCSRFromTriplets(4, 4, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}, {Row: 2, Col: 2, Val: 1},
+		{Row: 3, Col: 3, Val: 1}, {Row: 3, Col: 0, Val: 1}, {Row: 0, Col: 3, Val: 1},
+	})
+	if Bandwidth(a) != 3 {
+		t.Errorf("bandwidth %d", Bandwidth(a))
+	}
+	if Profile(a) != 3 {
+		t.Errorf("profile %d", Profile(a))
+	}
+	if Bandwidth(sparse.Identity(5)) != 0 {
+		t.Error("identity bandwidth")
+	}
+}

@@ -1,0 +1,108 @@
+// Package roofline situates the solver kernels on the roofline model of
+// each machine: attainable performance = min(peak flops, AI × bandwidth),
+// where AI is the kernel's arithmetic intensity (flops per byte of memory
+// traffic).
+//
+// SpMV's AI is tiny (2 flops per 12-byte entry plus vector traffic →
+// ≈ 0.1-0.15 flop/byte), which pins it deep in the bandwidth-bound region —
+// the paper's premise that performance is governed by memory behaviour, not
+// compute. The cache-aware extension raises *useful flops per cache line
+// transferred*, i.e. effective AI, which is how Figure 4's Gflop/s gains
+// arise without touching the roof.
+package roofline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/sparse"
+)
+
+// Kernel describes one computational kernel for roofline placement.
+type Kernel struct {
+	Name  string
+	Flops float64 // floating-point operations per execution
+	Bytes float64 // bytes moved to/from memory per execution
+}
+
+// AI returns the arithmetic intensity in flop/byte.
+func (k Kernel) AI() float64 {
+	if k.Bytes == 0 {
+		return 0
+	}
+	return k.Flops / k.Bytes
+}
+
+// PeakFlops estimates the machine's double-precision peak: cores × freq ×
+// 16 flops/cycle for the 512-bit-SIMD machines of the paper (2 FMA pipes ×
+// 8 lanes).
+func PeakFlops(a arch.Arch) float64 {
+	return float64(a.Cores) * a.FreqHz * 16
+}
+
+// Attainable returns the roofline bound for the kernel on machine a, in
+// flop/s: min(peak, AI × bandwidth).
+func Attainable(k Kernel, a arch.Arch) float64 {
+	bw := k.AI() * a.MemBandwidth
+	peak := PeakFlops(a)
+	if bw < peak {
+		return bw
+	}
+	return peak
+}
+
+// BandwidthBound reports whether the kernel sits in the bandwidth-limited
+// region of machine a's roofline.
+func BandwidthBound(k Kernel, a arch.Arch) bool {
+	return k.AI()*a.MemBandwidth < PeakFlops(a)
+}
+
+// SpMVKernel builds the kernel descriptor of one CSR SpMV y = Ax: 2 flops
+// per stored entry; traffic = matrix entries (12 B each) + row pointers
+// (4 B per row, amortized) + input gathers (one line per distinct line
+// visit — pass the visit count) + output stream.
+func SpMVKernel(m *sparse.CSR, lineVisits, lineBytes int) Kernel {
+	return Kernel{
+		Name:  "SpMV",
+		Flops: 2 * float64(m.NNZ()),
+		Bytes: float64(m.NNZ()*12+m.Rows*4) +
+			float64(lineVisits*lineBytes) +
+			float64(m.Rows*8),
+	}
+}
+
+// PrecondKernel builds the kernel of the GᵀGp operation (two SpMV sweeps).
+func PrecondKernel(g *sparse.CSR, lineVisitsG, lineVisitsGT, lineBytes int) Kernel {
+	a := SpMVKernel(g, lineVisitsG, lineBytes)
+	b := SpMVKernel(g, lineVisitsGT, lineBytes)
+	return Kernel{Name: "GᵀGp", Flops: a.Flops + b.Flops, Bytes: a.Bytes + b.Bytes}
+}
+
+// DotKernel and AxpyKernel describe the vector kernels of CG (length n).
+func DotKernel(n int) Kernel {
+	return Kernel{Name: "dot", Flops: 2 * float64(n), Bytes: 16 * float64(n)}
+}
+
+// AxpyKernel describes y += a*x for vectors of length n.
+func AxpyKernel(n int) Kernel {
+	return Kernel{Name: "axpy", Flops: 2 * float64(n), Bytes: 24 * float64(n)}
+}
+
+// Report renders a roofline placement table for the kernels on machine a.
+func Report(a arch.Arch, kernels []Kernel) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Roofline — %s: peak %.0f Gflop/s, bandwidth %.0f GB/s, ridge AI %.2f flop/B\n",
+		a.Name, PeakFlops(a)/1e9, a.MemBandwidth/1e9, PeakFlops(a)/a.MemBandwidth)
+	fmt.Fprintf(&sb, "%-10s %12s %14s %12s %s\n", "kernel", "AI (f/B)", "attainable", "% of peak", "bound")
+	for _, k := range kernels {
+		att := Attainable(k, a)
+		bound := "compute"
+		if BandwidthBound(k, a) {
+			bound = "bandwidth"
+		}
+		fmt.Fprintf(&sb, "%-10s %12.3f %11.1f GF %11.2f%% %s\n",
+			k.Name, k.AI(), att/1e9, 100*att/PeakFlops(a), bound)
+	}
+	return sb.String()
+}

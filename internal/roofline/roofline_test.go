@@ -1,0 +1,92 @@
+package roofline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cachesim"
+	fsai "repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/pattern"
+)
+
+func TestAI(t *testing.T) {
+	k := Kernel{Flops: 10, Bytes: 100}
+	if k.AI() != 0.1 {
+		t.Errorf("AI=%g", k.AI())
+	}
+	if (Kernel{Flops: 1}).AI() != 0 {
+		t.Error("zero-byte kernel AI should be 0")
+	}
+}
+
+func TestPeakMatchesPaper(t *testing.T) {
+	// The paper quotes 3200 Gflop/s for the double-socket Skylake node.
+	if p := PeakFlops(arch.Skylake()); p < 1.5e12 || p > 3.3e12 {
+		t.Errorf("Skylake peak %.0f Gflop/s implausible vs paper's 3200", p/1e9)
+	}
+}
+
+func TestSpMVIsBandwidthBoundEverywhere(t *testing.T) {
+	m := matgen.Laplace2D(48, 48)
+	p := pattern.FromCSR(m)
+	for _, a := range arch.All() {
+		lv := cachesim.CountLineVisits(p, a.ElemsPerLine(), 0)
+		k := SpMVKernel(m, lv, a.LineBytes)
+		if !BandwidthBound(k, a) {
+			t.Errorf("%s: SpMV not bandwidth bound (AI %.3f)", a.Name, k.AI())
+		}
+		if k.AI() > 0.2 {
+			t.Errorf("%s: SpMV AI %.3f unrealistically high", a.Name, k.AI())
+		}
+		if att := Attainable(k, a); att <= 0 || att >= PeakFlops(a) {
+			t.Errorf("%s: attainable %.1f Gflop/s out of range", a.Name, att/1e9)
+		}
+	}
+}
+
+func TestExtensionRaisesEffectiveAI(t *testing.T) {
+	// The cache-friendly extension adds flops without adding line visits:
+	// the effective AI of the preconditioner kernel must rise.
+	a := matgen.Laplace2D(48, 48)
+	m := arch.Skylake()
+	base, err := fsai.Compute(a, fsai.Options{Variant: fsai.VariantFSAI, LineBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := fsai.Compute(a, fsai.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := func(p *fsai.Preconditioner) float64 {
+		gp := pattern.FromCSR(p.G)
+		lvG := cachesim.CountLineVisits(gp, m.ElemsPerLine(), 0)
+		lvGT := cachesim.CountLineVisits(gp.Transpose(), m.ElemsPerLine(), 0)
+		return PrecondKernel(p.G, lvG, lvGT, m.LineBytes).AI()
+	}
+	if ai(ext) <= ai(base) {
+		t.Errorf("extension did not raise effective AI: %.4f vs %.4f", ai(ext), ai(base))
+	}
+}
+
+func TestVectorKernels(t *testing.T) {
+	d := DotKernel(1000)
+	x := AxpyKernel(1000)
+	if d.AI() != 0.125 || x.AI() <= 0.08 || x.AI() >= 0.09 {
+		t.Errorf("vector kernel AIs: dot=%g axpy=%g", d.AI(), x.AI())
+	}
+}
+
+func TestReport(t *testing.T) {
+	m := matgen.Laplace2D(24, 24)
+	p := pattern.FromCSR(m)
+	sky := arch.Skylake()
+	lv := cachesim.CountLineVisits(p, sky.ElemsPerLine(), 0)
+	out := Report(sky, []Kernel{SpMVKernel(m, lv, 64), DotKernel(m.Rows), AxpyKernel(m.Rows)})
+	for _, want := range []string{"Roofline", "SpMV", "dot", "axpy", "bandwidth", "ridge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMatrix builds a banded-ish matrix with ~10 entries per row for SpMV
+// benchmarking.
+func benchMatrix(n int) *CSR {
+	rng := rand.New(rand.NewSource(1))
+	b := NewCOO(n, n, 11*n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 10)
+		for k := 0; k < 10; k++ {
+			j := i - 50 + rng.Intn(101)
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			b.Add(i, j, -0.1)
+		}
+	}
+	return b.ToCSR()
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	m := benchMatrix(20000)
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(y, x)
+	}
+	b.SetBytes(int64(m.NNZ() * 12))
+}
+
+func BenchmarkSpMVT(b *testing.B) {
+	m := benchMatrix(20000)
+	x := make([]float64, m.Rows)
+	y := make([]float64, m.Cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecT(y, x)
+	}
+	b.SetBytes(int64(m.NNZ() * 12))
+}
+
+func BenchmarkSpMVCSC(b *testing.B) {
+	m := CSCFromCSR(benchMatrix(20000))
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(y, x)
+	}
+	b.SetBytes(int64(m.NNZ() * 12))
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchMatrix(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Transpose()
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	m := benchMatrix(5000)
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i * 70
+	}
+	buf := make([]float64, 64*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Extract(idx, buf)
+	}
+}

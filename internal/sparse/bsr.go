@@ -1,0 +1,152 @@
+package sparse
+
+import "fmt"
+
+// BSR is a Block Sparse Row matrix: an r×c matrix partitioned into dense
+// b×b blocks, stored CSR-wise at block granularity. Structural-mechanics
+// matrices (the dominant family of the paper's Table 1) have natural small
+// dense blocks — one per node with several degrees of freedom — and BSR
+// amortizes index storage and fixes the x-access granularity at b elements,
+// a storage-level cousin of the paper's cache-line blocking.
+type BSR struct {
+	Rows, Cols int // element dimensions (multiples of B)
+	B          int // block edge
+	RowPtr     []int
+	ColIdx     []int     // block column indices
+	Val        []float64 // blocks of B*B values, row-major within the block
+}
+
+// BSRFromCSR converts a CSR matrix to BSR with block edge b. The matrix
+// dimensions must be multiples of b; blocks with any stored entry are
+// materialized fully (explicit zeros inside a block are the price of the
+// format).
+func BSRFromCSR(m *CSR, b int) (*BSR, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("sparse: block edge %d < 1", b)
+	}
+	if m.Rows%b != 0 || m.Cols%b != 0 {
+		return nil, fmt.Errorf("sparse: %dx%d not divisible into %dx%d blocks", m.Rows, m.Cols, b, b)
+	}
+	br := m.Rows / b
+	out := &BSR{Rows: m.Rows, Cols: m.Cols, B: b, RowPtr: make([]int, br+1)}
+	// Pass 1: which block columns appear per block row.
+	marker := make([]int, m.Cols/b)
+	for i := range marker {
+		marker[i] = -1
+	}
+	var blockCols [][]int
+	for bi := 0; bi < br; bi++ {
+		var cols []int
+		for i := bi * b; i < (bi+1)*b; i++ {
+			rc, _ := m.Row(i)
+			for _, j := range rc {
+				bj := j / b
+				if marker[bj] != bi {
+					marker[bj] = bi
+					cols = append(cols, bj)
+				}
+			}
+		}
+		sortInts(cols)
+		blockCols = append(blockCols, cols)
+		out.RowPtr[bi+1] = out.RowPtr[bi] + len(cols)
+	}
+	nblocks := out.RowPtr[br]
+	out.ColIdx = make([]int, 0, nblocks)
+	out.Val = make([]float64, nblocks*b*b)
+	// Pass 2: fill values.
+	pos := make(map[int]int, 8) // block column -> block index within row
+	for bi := 0; bi < br; bi++ {
+		for k := range pos {
+			delete(pos, k)
+		}
+		for bk, bj := range blockCols[bi] {
+			pos[bj] = out.RowPtr[bi] + bk
+			out.ColIdx = append(out.ColIdx, bj)
+		}
+		for i := bi * b; i < (bi+1)*b; i++ {
+			rc, rv := m.Row(i)
+			for k, j := range rc {
+				blk := pos[j/b]
+				out.Val[blk*b*b+(i-bi*b)*b+(j-bj0(j, b))] = rv[k]
+			}
+		}
+	}
+	return out, nil
+}
+
+// bj0 returns the first element column of j's block.
+func bj0(j, b int) int { return (j / b) * b }
+
+func sortInts(xs []int) {
+	// insertion sort: block rows hold few distinct block columns
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}
+
+// NNZBlocks returns the number of stored blocks.
+func (m *BSR) NNZBlocks() int { return len(m.ColIdx) }
+
+// NNZ returns the number of stored values (including explicit block zeros).
+func (m *BSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = A x with block-wise dense inner kernels.
+func (m *BSR) MulVec(y, x []float64) {
+	if len(y) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("sparse: BSR.MulVec dimensions y=%d x=%d for %dx%d", len(y), len(x), m.Rows, m.Cols))
+	}
+	b := m.B
+	br := m.Rows / b
+	for bi := 0; bi < br; bi++ {
+		ybase := bi * b
+		for i := 0; i < b; i++ {
+			y[ybase+i] = 0
+		}
+		for k := m.RowPtr[bi]; k < m.RowPtr[bi+1]; k++ {
+			xbase := m.ColIdx[k] * b
+			blk := m.Val[k*b*b : (k+1)*b*b]
+			for i := 0; i < b; i++ {
+				s := 0.0
+				row := blk[i*b : (i+1)*b]
+				for j := 0; j < b; j++ {
+					s += row[j] * x[xbase+j]
+				}
+				y[ybase+i] += s
+			}
+		}
+	}
+}
+
+// ToCSR converts back to CSR, dropping explicit zeros that the blocking
+// introduced (diagonal entries are kept as in DropZeros).
+func (m *BSR) ToCSR() *CSR {
+	b := m.B
+	br := m.Rows / b
+	builder := NewCOO(m.Rows, m.Cols, m.NNZ())
+	for bi := 0; bi < br; bi++ {
+		for k := m.RowPtr[bi]; k < m.RowPtr[bi+1]; k++ {
+			blk := m.Val[k*b*b : (k+1)*b*b]
+			for i := 0; i < b; i++ {
+				for j := 0; j < b; j++ {
+					if v := blk[i*b+j]; v != 0 {
+						builder.Add(bi*b+i, m.ColIdx[k]*b+j, v)
+					}
+				}
+			}
+		}
+	}
+	out := builder.ToCSR()
+	return out
+}
+
+// FillRatio returns stored-values / structurally-nonzero values: 1.0 means
+// the blocking added no explicit zeros (perfectly blocked matrix).
+func (m *BSR) FillRatio(original *CSR) float64 {
+	if original.NNZ() == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(original.NNZ())
+}

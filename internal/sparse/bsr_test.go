@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBSRFromCSRErrors(t *testing.T) {
+	m := Identity(6)
+	if _, err := BSRFromCSR(m, 0); err == nil {
+		t.Error("block edge 0 accepted")
+	}
+	if _, err := BSRFromCSR(m, 4); err == nil {
+		t.Error("non-divisible blocking accepted")
+	}
+}
+
+func TestBSRIdentity(t *testing.T) {
+	m := Identity(8)
+	b, err := BSRFromCSR(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZBlocks() != 4 {
+		t.Errorf("blocks=%d, want 4 diagonal blocks", b.NNZBlocks())
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := make([]float64, 8)
+	b.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity MulVec wrong at %d", i)
+		}
+	}
+}
+
+func TestQuickBSRMulVecMatchesCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := []int{1, 2, 3, 4}
+		bsz := blocks[rng.Intn(len(blocks))]
+		n := bsz * (2 + rng.Intn(8))
+		m := randomCSR(rng, n, n, 0.2)
+		bm, err := BSRFromCSR(m, bsz)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		m.MulVec(y1, x)
+		bm.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomCSR(rng, 12, 12, 0.3)
+	// Ensure a full diagonal so DropZeros keeps shape comparable.
+	m = m.AddDiag(1)
+	b, err := BSRFromCSR(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := b.ToCSR()
+	if back.Rows != m.Rows || back.Cols != m.Cols {
+		t.Fatal("shape changed")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if math.Abs(back.At(i, j)-m.At(i, j)) > 1e-15 {
+				t.Fatalf("(%d,%d): %g vs %g", i, j, back.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBSRFillRatio(t *testing.T) {
+	// A perfectly 2-blocked matrix: fill ratio exactly 1.
+	bld := NewCOO(4, 4, 8)
+	for blk := 0; blk < 2; blk++ {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				bld.Add(blk*2+i, blk*2+j, 1+float64(i+j))
+			}
+		}
+	}
+	m := bld.ToCSR()
+	b, err := BSRFromCSR(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := b.FillRatio(m); r != 1 {
+		t.Errorf("fill ratio %g, want 1", r)
+	}
+	// A diagonal matrix blocked 2x2 doubles storage (ratio 2).
+	d := Identity(4)
+	bd, _ := BSRFromCSR(d, 2)
+	if r := bd.FillRatio(d); r != 2 {
+		t.Errorf("diagonal fill ratio %g, want 2", r)
+	}
+}
+
+func BenchmarkSpMVBSR(b *testing.B) {
+	// Elasticity-like 2x2-blocked matrix.
+	n := 5000
+	rng := rand.New(rand.NewSource(1))
+	bld := NewCOO(2*n, 2*n, 20*n)
+	for node := 0; node < n; node++ {
+		for e := 0; e < 4; e++ {
+			nbr := node - 25 + rng.Intn(51)
+			if nbr < 0 || nbr >= n {
+				continue
+			}
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					bld.Add(2*node+i, 2*nbr+j, rng.Float64())
+				}
+			}
+		}
+		bld.Add(2*node, 2*node, 10)
+		bld.Add(2*node+1, 2*node+1, 10)
+	}
+	m := bld.ToCSR()
+	bm, err := BSRFromCSR(m, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.MulVec(y, x)
+	}
+	b.SetBytes(int64(bm.NNZ() * 8))
+}

@@ -1,0 +1,63 @@
+package sparse
+
+// COO is an append-friendly coordinate-format builder for sparse matrices.
+// It is the construction interface used by the matrix generators: call Add
+// repeatedly (duplicates allowed, they are summed) and finish with ToCSR.
+type COO struct {
+	Rows, Cols int
+	ts         []Triplet
+}
+
+// NewCOO returns an empty r x c coordinate builder with capacity hint cap.
+func NewCOO(r, c, cap int) *COO {
+	return &COO{Rows: r, Cols: c, ts: make([]Triplet, 0, cap)}
+}
+
+// Add appends entry (i,j) += v. Out-of-range indices panic: generator bugs
+// should fail loudly at construction time.
+func (b *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= b.Rows || j < 0 || j >= b.Cols {
+		panic("sparse: COO.Add index out of range")
+	}
+	b.ts = append(b.ts, Triplet{Row: i, Col: j, Val: v})
+}
+
+// AddSym appends (i,j) += v and, when i != j, (j,i) += v. Convenient for
+// generators that emit one triangle of a symmetric matrix.
+func (b *COO) AddSym(i, j int, v float64) {
+	b.Add(i, j, v)
+	if i != j {
+		b.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated triplets (before deduplication).
+func (b *COO) NNZ() int { return len(b.ts) }
+
+// ToCSR converts the accumulated triplets to CSR, summing duplicates and
+// dropping exact zeros produced by cancellation.
+func (b *COO) ToCSR() *CSR {
+	m, err := NewCSRFromTriplets(b.Rows, b.Cols, b.ts)
+	if err != nil {
+		panic(err) // Add already range-checked; unreachable
+	}
+	return m.DropZeros()
+}
+
+// DropZeros returns a copy of the matrix without entries that are exactly
+// zero. Diagonal entries are kept even when zero so that SPD-oriented
+// algorithms can always address them.
+func (m *CSR) DropZeros() *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.Val[k] == 0 && m.ColIdx[k] != i {
+				continue
+			}
+			out.ColIdx = append(out.ColIdx, m.ColIdx[k])
+			out.Val = append(out.Val, m.Val[k])
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}

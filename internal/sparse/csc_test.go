@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomCSR(rng, 15, 12, 0.3)
+	c := CSCFromCSR(m)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != m.NNZ() || c.Rows != m.Rows || c.Cols != m.Cols {
+		t.Fatalf("shape/nnz mismatch: %v vs %v", c, m)
+	}
+	back := c.ToCSR()
+	if back.NNZ() != m.NNZ() {
+		t.Fatal("round trip lost entries")
+	}
+	for k := range m.Val {
+		if back.ColIdx[k] != m.ColIdx[k] || back.Val[k] != m.Val[k] {
+			t.Fatal("round trip corrupted entries")
+		}
+	}
+}
+
+func TestCSCCol(t *testing.T) {
+	m, _ := NewCSRFromTriplets(3, 3, []Triplet{
+		{Row: 0, Col: 1, Val: 5}, {Row: 2, Col: 1, Val: 7}, {Row: 1, Col: 0, Val: 3},
+	})
+	c := CSCFromCSR(m)
+	rows, vals := c.Col(1)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[0] != 5 || vals[1] != 7 {
+		t.Errorf("col 1 = %v %v", rows, vals)
+	}
+	if rows, _ := c.Col(2); len(rows) != 0 {
+		t.Error("col 2 should be empty")
+	}
+}
+
+func TestQuickCSCMulVecMatchesCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, cc := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randomCSR(rng, r, cc, 0.3)
+		c := CSCFromCSR(m)
+		x := make([]float64, cc)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, r)
+		y2 := make([]float64, r)
+		m.MulVec(y1, x)
+		c.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				return false
+			}
+		}
+		// Transpose product too.
+		xt := make([]float64, r)
+		for i := range xt {
+			xt[i] = rng.NormFloat64()
+		}
+		z1 := make([]float64, cc)
+		z2 := make([]float64, cc)
+		m.MulVecT(z1, xt)
+		c.MulVecT(z2, xt)
+		for i := range z1 {
+			if math.Abs(z1[i]-z2[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSCMulVecPanics(t *testing.T) {
+	c := CSCFromCSR(Identity(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad sizes")
+		}
+	}()
+	c.MulVec(make([]float64, 2), make([]float64, 3))
+}

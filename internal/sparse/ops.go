@@ -1,0 +1,292 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// MulVec computes y = A x serially. y must have length A.Rows and x length
+// A.Cols. This is the reference SpMV kernel: it streams RowPtr/ColIdx/Val
+// with stride-1 accesses and gathers from x at the column indices, which is
+// exactly the access pattern whose cache behaviour the paper optimizes.
+func (m *CSR) MulVec(y, x []float64) {
+	if len(y) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("sparse: MulVec dimensions y=%d x=%d for %s", len(y), len(x), m))
+	}
+	rp, ci, v := m.RowPtr, m.ColIdx, m.Val
+	for i := 0; i < m.Rows; i++ {
+		sum := 0.0
+		for k := rp[i]; k < rp[i+1]; k++ {
+			sum += v[k] * x[ci[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// MulVecParallel computes y = A x using the given number of workers
+// (<=0 means all CPUs), splitting rows into contiguous chunks.
+func (m *CSR) MulVecParallel(y, x []float64, workers int) {
+	if len(y) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("sparse: MulVecParallel dimensions y=%d x=%d for %s", len(y), len(x), m))
+	}
+	rp, ci, v := m.RowPtr, m.ColIdx, m.Val
+	parallel.For(m.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for k := rp[i]; k < rp[i+1]; k++ {
+				sum += v[k] * x[ci[k]]
+			}
+			y[i] = sum
+		}
+	})
+}
+
+// MulVecT computes y = Aᵀ x without materializing the transpose, by
+// scattering row contributions into y. y must have length A.Cols and x
+// length A.Rows.
+func (m *CSR) MulVecT(y, x []float64) {
+	if len(y) != m.Cols || len(x) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecT dimensions y=%d x=%d for %s", len(y), len(x), m))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	rp, ci, v := m.RowPtr, m.ColIdx, m.Val
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := rp[i]; k < rp[i+1]; k++ {
+			y[ci[k]] += v[k] * xi
+		}
+	}
+}
+
+// Transpose returns Aᵀ as a new CSR matrix (equivalently, A reinterpreted
+// in CSC). Column indices of the result are sorted because the counting
+// transpose visits rows in order.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int, m.Cols+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		t.RowPtr[j+1] += t.RowPtr[j]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			p := next[j]
+			t.ColIdx[p] = i
+			t.Val[p] = m.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// Lower returns the lower triangle of A including the diagonal.
+func (m *CSR) Lower() *CSR { return m.triangle(true, true) }
+
+// StrictLower returns the strictly lower triangle of A.
+func (m *CSR) StrictLower() *CSR { return m.triangle(true, false) }
+
+// Upper returns the upper triangle of A including the diagonal.
+func (m *CSR) Upper() *CSR { return m.triangle(false, true) }
+
+func (m *CSR) triangle(lower, withDiag bool) *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	keep := func(i, j int) bool {
+		switch {
+		case i == j:
+			return withDiag
+		case lower:
+			return j < i
+		default:
+			return j > i
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if keep(i, m.ColIdx[k]) {
+				out.ColIdx = append(out.ColIdx, m.ColIdx[k])
+				out.Val = append(out.Val, m.Val[k])
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Threshold returns a copy of A with off-diagonal entries dropped when
+// |a_ij| < tau * sqrt(|a_ii| * |a_jj|). Diagonal entries are always kept.
+// This is the "Threshold A to produce Ã" step of Algorithms 1/2/4; the
+// scale-independent criterion matches the paper's relative dropping.
+func (m *CSR) Threshold(tau float64) *CSR {
+	d := m.Diag()
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			v := m.Val[k]
+			if i != j {
+				scale := math.Sqrt(math.Abs(d[i]) * math.Abs(d[j]))
+				if scale > 0 && math.Abs(v) < tau*scale {
+					continue
+				}
+				if scale == 0 && math.Abs(v) < tau {
+					continue
+				}
+			}
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, v)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// IsSymmetric reports whether A is structurally and numerically symmetric
+// within absolute tolerance tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	t := m.Transpose()
+	if len(t.ColIdx) != len(m.ColIdx) {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1]-m.RowPtr[i] != t.RowPtr[i+1]-t.RowPtr[i] {
+			return false
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] != t.ColIdx[k] {
+				return false
+			}
+			if math.Abs(m.Val[k]-t.Val[k]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxNorm returns max |a_ij| over stored entries (0 for an empty matrix).
+func (m *CSR) MaxNorm() float64 {
+	max := 0.0
+	for _, v := range m.Val {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobNorm returns the Frobenius norm of the stored entries.
+func (m *CSR) FrobNorm() float64 {
+	s := 0.0
+	for _, v := range m.Val {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every stored entry by s, in place.
+func (m *CSR) Scale(s float64) {
+	for k := range m.Val {
+		m.Val[k] *= s
+	}
+}
+
+// AddDiag returns A + s*I for a square matrix A, keeping sparsity (diagonal
+// entries are created when missing).
+func (m *CSR) AddDiag(s float64) *CSR {
+	if m.Rows != m.Cols {
+		panic("sparse: AddDiag on non-square matrix")
+	}
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		placed := false
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if !placed && j > i {
+				out.ColIdx = append(out.ColIdx, i)
+				out.Val = append(out.Val, s)
+				placed = true
+			}
+			v := m.Val[k]
+			if j == i {
+				v += s
+				placed = true
+			}
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, v)
+		}
+		if !placed {
+			out.ColIdx = append(out.ColIdx, i)
+			out.Val = append(out.Val, s)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// Extract returns the dense symmetric restriction A(idx, idx) in column-major
+// order (n = len(idx)), as used by the local FSAI systems A(S_i,S_i). idx
+// must be sorted ascending. The result buffer out must have length n*n or be
+// nil (then it is allocated).
+func (m *CSR) Extract(idx []int, out []float64) []float64 {
+	n := len(idx)
+	if out == nil {
+		out = make([]float64, n*n)
+	} else {
+		if len(out) < n*n {
+			panic("sparse: Extract buffer too small")
+		}
+		out = out[:n*n]
+		for k := range out {
+			out[k] = 0
+		}
+	}
+	// For each local row r (global row idx[r]) walk the sparse row and the
+	// sorted idx list simultaneously.
+	for r := 0; r < n; r++ {
+		gi := idx[r]
+		lo, hi := m.RowPtr[gi], m.RowPtr[gi+1]
+		k, c := lo, 0
+		for k < hi && c < n {
+			j := m.ColIdx[k]
+			switch {
+			case j == idx[c]:
+				out[c*n+r] = m.Val[k] // column-major: element (r,c)
+				k++
+				c++
+			case j < idx[c]:
+				k++
+			default:
+				c++
+			}
+		}
+	}
+	return out
+}
+
+// GatherRHS fills e with zeros and sets e[pos] = 1; a helper for building
+// the local right-hand sides of the Frobenius minimization.
+func GatherRHS(e []float64, pos int) {
+	for i := range e {
+		e[i] = 0
+	}
+	e[pos] = 1
+}

@@ -1,0 +1,139 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	fsai "repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func diagMatrix(vals []float64) *sparse.CSR {
+	n := len(vals)
+	b := sparse.NewCOO(n, n, n)
+	for i, v := range vals {
+		b.Add(i, i, v)
+	}
+	return b.ToCSR()
+}
+
+func TestExtremesDiagonal(t *testing.T) {
+	// For a diagonal matrix the eigenvalues are explicit.
+	vals := []float64{0.5, 1, 2, 3, 4, 10, 25}
+	a := diagMatrix(vals)
+	res, err := Extremes(MatOp{A: a}, len(vals), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Min-0.5) > 1e-6 || math.Abs(res.Max-25) > 1e-6 {
+		t.Errorf("extremes [%g, %g], want [0.5, 25]", res.Min, res.Max)
+	}
+	if math.Abs(res.Cond()-50) > 1e-4 {
+		t.Errorf("cond %g, want 50", res.Cond())
+	}
+}
+
+func TestExtremesLaplacian1DAnalytic(t *testing.T) {
+	// Eigenvalues of tridiag(-1,2,-1) of size n: 2-2cos(kπ/(n+1)).
+	n := 40
+	b := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -1)
+		}
+	}
+	a := b.ToCSR()
+	wantMin := 2 - 2*math.Cos(math.Pi/float64(n+1))
+	wantMax := 2 - 2*math.Cos(float64(n)*math.Pi/float64(n+1))
+	res, err := Extremes(MatOp{A: a}, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Min-wantMin) > 1e-4*wantMin {
+		t.Errorf("min %g, want %g", res.Min, wantMin)
+	}
+	if math.Abs(res.Max-wantMax) > 1e-4*wantMax {
+		t.Errorf("max %g, want %g", res.Max, wantMax)
+	}
+}
+
+func TestExtremesUnderestimatesCondFromInside(t *testing.T) {
+	// With few steps the Ritz extremes are inside the spectrum: Min >= λmin
+	// and Max <= λmax.
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = 1 + float64(i)
+	}
+	a := diagMatrix(vals)
+	res, err := Extremes(MatOp{A: a}, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Min < 1-1e-9 || res.Max > 200+1e-9 {
+		t.Errorf("Ritz extremes [%g, %g] escaped the spectrum [1, 200]", res.Min, res.Max)
+	}
+	if res.Max < 150 {
+		t.Errorf("max estimate %g too loose", res.Max)
+	}
+}
+
+// TestFSAIReducesCondition is the spectral mechanism check of the entire
+// paper: κ(G·A·Gᵀ) < κ(A), and the cache-aware extension reduces it
+// further — which is *why* the iteration counts in Tables 1-5 fall.
+func TestFSAIReducesCondition(t *testing.T) {
+	a := matgen.Laplace2D(24, 24)
+	steps := 60
+	plain, err := CondOfMatrix(a, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := func(v fsai.Variant) float64 {
+		o := fsai.DefaultOptions()
+		o.Variant = v
+		p, err := fsai.Compute(a, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CondFSAI(a, p.G, p.GT, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cond()
+	}
+	kFSAI := cond(fsai.VariantFSAI)
+	kFull := cond(fsai.VariantFull)
+	t.Logf("κ(A)=%.1f κ(FSAI)=%.1f κ(FSAIE(full))=%.1f", plain.Cond(), kFSAI, kFull)
+	if kFSAI >= plain.Cond() {
+		t.Errorf("FSAI did not reduce the condition number: %g vs %g", kFSAI, plain.Cond())
+	}
+	if kFull >= kFSAI {
+		t.Errorf("the extension did not reduce the condition number: %g vs %g", kFull, kFSAI)
+	}
+}
+
+func TestExtremesErrors(t *testing.T) {
+	a := diagMatrix([]float64{1, 2})
+	if _, err := Extremes(MatOp{A: a}, 0, 1); err == nil {
+		t.Error("steps 0 accepted")
+	}
+}
+
+func TestExtremesEarlyInvariantSubspace(t *testing.T) {
+	// Identity: Lanczos terminates after one step with the exact value.
+	a := diagMatrix([]float64{3, 3, 3, 3})
+	res, err := Extremes(MatOp{A: a}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Min-3) > 1e-10 || math.Abs(res.Max-3) > 1e-10 {
+		t.Errorf("extremes [%g, %g], want [3, 3]", res.Min, res.Max)
+	}
+	if res.Iterations > 2 {
+		t.Errorf("should terminate early, took %d", res.Iterations)
+	}
+}

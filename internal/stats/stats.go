@@ -1,0 +1,251 @@
+// Package stats provides the summary statistics and text rendering used to
+// reproduce the paper's tables and figures: averages, medians, histograms
+// (Figures 3, 4, 7) and ASCII bar charts (Figures 2, 5, 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Min and Max return extrema (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram bins values into nbins equal-width bins over [lo, hi]; values
+// outside the range are clamped into the edge bins, so every value counts.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins over [lo, hi].
+func NewHistogram(xs []float64, nbins int, lo, hi float64) *Histogram {
+	if nbins < 1 {
+		panic("stats: nbins must be >= 1")
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// BinLabel returns a "[lo,hi)" label for bin b.
+func (h *Histogram) BinLabel(b int) string {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return fmt.Sprintf("[%.3g,%.3g)", h.Lo+float64(b)*w, h.Lo+float64(b+1)*w)
+}
+
+// Render draws the histogram as ASCII rows "label | ####### count".
+func (h *Histogram) Render(width int) string {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	for b, c := range h.Counts {
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(max)*float64(width))))
+		fmt.Fprintf(&sb, "%16s | %-*s %d\n", h.BinLabel(b), width, bar, c)
+	}
+	return sb.String()
+}
+
+// BarChart renders per-item signed values (e.g. per-matrix % time decrease,
+// Figures 2/5/6) as horizontal ASCII bars around a zero axis.
+func BarChart(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("stats: BarChart labels/values mismatch")
+	}
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	half := width / 2
+	var sb strings.Builder
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(half)))
+		var left, right string
+		if v >= 0 {
+			left = strings.Repeat(" ", half)
+			right = strings.Repeat("#", n)
+		} else {
+			left = strings.Repeat(" ", half-n) + strings.Repeat("#", n)
+			right = ""
+		}
+		fmt.Fprintf(&sb, "%20s %s|%-*s %+7.2f\n", labels[i], left, half, right, v)
+	}
+	return sb.String()
+}
+
+// ConvergencePlot renders residual histories (one per labeled series) as an
+// ASCII semilog plot: rows are decades of the relative residual, columns
+// are iterations (downsampled to fit width). Each series is drawn with its
+// own glyph; the legend maps glyphs to labels.
+func ConvergencePlot(labels []string, histories [][]float64, width, decades int) string {
+	if len(labels) != len(histories) {
+		panic("stats: ConvergencePlot labels/histories mismatch")
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	maxIter := 0
+	for _, h := range histories {
+		if len(h) > maxIter {
+			maxIter = len(h)
+		}
+	}
+	if maxIter == 0 || decades < 1 {
+		return ""
+	}
+	grid := make([][]byte, decades+1)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for s, h := range histories {
+		g := glyphs[s%len(glyphs)]
+		for i, v := range h {
+			col := i * (width - 1) / maxIter
+			if v <= 0 {
+				v = 1e-300
+			}
+			row := int(-math.Log10(v))
+			if row < 0 {
+				row = 0
+			}
+			if row > decades {
+				row = decades
+			}
+			grid[row][col] = g
+		}
+	}
+	var sb strings.Builder
+	for r, line := range grid {
+		fmt.Fprintf(&sb, "1e-%02d |%s|\n", r, string(line))
+	}
+	fmt.Fprintf(&sb, "%6s 0%siters=%d\n", "", strings.Repeat(" ", width-10), maxIter)
+	for s, l := range labels {
+		fmt.Fprintf(&sb, "  %c = %s\n", glyphs[s%len(glyphs)], l)
+	}
+	return sb.String()
+}
+
+// Table renders rows of cells with aligned columns; the first row is the
+// header, separated by a rule.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	ncol := 0
+	for _, r := range rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for c := 0; c < ncol; c++ {
+			cell := ""
+			if c < len(r) {
+				cell = r[c]
+			}
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[c], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(ncol-1)) + "\n")
+	for _, r := range rows[1:] {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{2, -5, 7, 0}
+	if Min(xs) != -5 || Max(xs) != 7 {
+		t.Errorf("min=%g max=%g", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty extrema")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.5, 1, 2.5, 9.9, 10, 11, -3}, 10, 0, 10)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 8 {
+		t.Fatalf("histogram lost values: %d", total)
+	}
+	if h.Counts[0] != 3 { // 0, 0.5, and clamped -3
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[9] != 3 { // 9.9, clamped 10 and 11
+		t.Errorf("bin 9 = %d", h.Counts[9])
+	}
+	if !strings.Contains(h.BinLabel(0), "[0,1)") {
+		t.Errorf("label %q", h.BinLabel(0))
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4, 5, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Error("degenerate range lost values")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 2}, 2, 0, 4)
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("full bar missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("want 2 lines:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]string{"a", "b"}, []float64{10, -5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[0], "+10.00") || !strings.Contains(lines[1], "-5.00") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// Negative bars appear before the axis, positive after.
+	axisPos := strings.Index(lines[0], "|")
+	if !strings.Contains(lines[0][axisPos:], "#") {
+		t.Error("positive bar not after axis")
+	}
+	if !strings.Contains(lines[1][:strings.Index(lines[1], "|")], "#") {
+		t.Error("negative bar not before axis")
+	}
+}
+
+func TestBarChartPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	BarChart([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart([]string{"a"}, []float64{0}, 10)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("zero chart broken: %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"name", "value"},
+		{"x", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("missing header rule")
+	}
+	// Columns aligned: "value" and "1" start at the same offset.
+	if strings.Index(lines[0], "value") != strings.Index(lines[2], "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestHistogramPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewHistogram(nil, 0, 0, 1)
+}
+
+func TestConvergencePlot(t *testing.T) {
+	h1 := []float64{1, 0.1, 0.01, 0.001}
+	h2 := []float64{1, 0.5, 0.25, 0.12, 0.06, 0.03, 0.01}
+	out := ConvergencePlot([]string{"fast", "slow"}, [][]float64{h1, h2}, 30, 4)
+	if !strings.Contains(out, "1e-00") || !strings.Contains(out, "1e-04") {
+		t.Errorf("decade axis missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* = fast") || !strings.Contains(out, "o = slow") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "iters=7") {
+		t.Errorf("iteration axis missing:\n%s", out)
+	}
+	// Empty input renders empty.
+	if ConvergencePlot(nil, nil, 30, 4) != "" {
+		t.Error("empty plot should be empty")
+	}
+	// Zero/negative residuals are clamped, not NaN.
+	out = ConvergencePlot([]string{"z"}, [][]float64{{1, 0}}, 10, 3)
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into plot")
+	}
+}
+
+func TestConvergencePlotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	ConvergencePlot([]string{"a"}, nil, 10, 3)
+}
+
+func TestMeanNaNSafety(t *testing.T) {
+	// Mean propagates NaN (documents behaviour; guards against silent
+	// filtering being added without tests noticing).
+	if !math.IsNaN(Mean([]float64{1, math.NaN()})) {
+		t.Error("NaN should propagate")
+	}
+}

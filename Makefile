@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

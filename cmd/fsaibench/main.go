@@ -15,6 +15,11 @@
 //	-json PREFIX   also write per-machine results as <prefix>-<machine>.json
 //	-host          also print the measured host wall-clock table
 //	-v             progress output while the campaign runs
+//	-trace         stream per-setup phase span trees to stderr
+//	-metrics-out F write a versioned machine-readable run report (JSON) to F:
+//	               per-phase setup spans, per-iteration residual histories,
+//	               SpMV/precond/BLAS-1 timing histograms, SpMV op counters
+//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. localhost:6060)
 //
 // Tables 1-3 and Figures 2-4 are Skylake artifacts; Table 4/Figure 5 are
 // POWER9; Table 5/Figure 6 are A64FX; Figure 7 spans all three. The tool
@@ -25,6 +30,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +39,8 @@ import (
 	"repro/internal/arch"
 	"repro/internal/experiments"
 	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -46,9 +55,21 @@ func main() {
 		jsonPrefix  = flag.String("json", "", "write per-machine campaign results as <prefix>-<machine>.json")
 		hostTable   = flag.Bool("host", false, "also print measured host wall-clock FSAI vs FSAIE table")
 		verbose     = flag.Bool("v", false, "progress output")
+		traceFlag   = flag.Bool("trace", false, "stream per-setup phase span trees to stderr")
+		metricsOut  = flag.String("metrics-out", "", "write a machine-readable run report (JSON) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	var need64Host bool
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "fsaibench: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	tables, err := parseList(*tablesFlag)
 	if err != nil {
@@ -65,7 +86,7 @@ func main() {
 	if *hostTable {
 		need64Host = true
 	}
-	if len(tables) == 0 && len(figures) == 0 && *ablations == "" && !*hostTable {
+	if len(tables) == 0 && len(figures) == 0 && *ablations == "" && !*hostTable && *metricsOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -112,15 +133,44 @@ func main() {
 		}
 	}
 
+	// A run report needs a campaign even when no table or figure was asked
+	// for; it follows the -arch selection (A64FX reports the 256-byte run).
+	reportMachine := "Skylake"
+	if *metricsOut != "" {
+		if *archFlag == "A64FX" {
+			need256 = true
+			reportMachine = "A64FX"
+		} else {
+			need64 = true
+			if *archFlag == "POWER9" {
+				reportMachine = "POWER9"
+			}
+		}
+	}
+
+	var metrics *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metricsOut != "" {
+		metrics = telemetry.NewRegistry()
+		sparse.EnableOpCounters(true)
+	}
+	if *traceFlag {
+		tracer = telemetry.NewTracer(os.Stderr)
+	}
+
 	var progress *os.File
 	if *verbose {
 		progress = os.Stderr
 	}
 	run := func(m arch.Arch) *experiments.RawCampaign {
 		opts := experiments.RawOptions{
-			L1:           m.L1Sim,
-			WithRandom:   needRandom,
-			WithStandard: needStandard,
+			L1:            m.L1Sim,
+			WithRandom:    needRandom,
+			WithStandard:  needStandard,
+			RecordHistory: *metricsOut != "",
+			CollectTiming: *metricsOut != "",
+			Metrics:       metrics,
+			Tracer:        tracer,
 		}
 		if progress != nil {
 			opts.Progress = progress
@@ -134,7 +184,7 @@ func main() {
 	}
 
 	var sky, p9, a64 *experiments.PricedCampaign
-	var raw64 *experiments.RawCampaign
+	var raw64, raw256 *experiments.RawCampaign
 	if need64 {
 		raw := run(arch.Skylake())
 		raw64 = raw
@@ -146,7 +196,30 @@ func main() {
 		}
 	}
 	if need256 {
-		a64 = experiments.Price(run(arch.A64FX()), arch.A64FX())
+		raw256 = run(arch.A64FX())
+		if want("A64FX") {
+			a64 = experiments.Price(raw256, arch.A64FX())
+		}
+	}
+
+	if *metricsOut != "" {
+		rawReport := raw64
+		if reportMachine == "A64FX" {
+			rawReport = raw256
+		}
+		rep := experiments.BuildRunReport(rawReport, "fsaibench", reportMachine, metrics)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics-out: %v", err)
+		}
+		if err := experiments.WriteRunReport(f, rep); err != nil {
+			f.Close()
+			fatal("metrics-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report (%d entries) to %s\n", len(rep.Entries), *metricsOut)
 	}
 
 	if *jsonPrefix != "" {

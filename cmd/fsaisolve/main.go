@@ -20,19 +20,26 @@
 //	-out FILE       write the solution, one value per line
 //	-cond           estimate condition numbers with Lanczos (extra cost)
 //	-history        print an ASCII convergence plot
+//	-trace          print the setup phase span tree and solve breakdown to stderr
+//	-metrics-out F  write a machine-readable run report (JSON) to F
+//	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cachesim"
 	fsai "repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/krylov"
 	"repro/internal/mmio"
 	"repro/internal/precond"
@@ -40,6 +47,7 @@ import (
 	"repro/internal/sparse"
 	"repro/internal/spectral"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,13 +62,38 @@ func main() {
 		useRCM   = flag.Bool("rcm", false, "reorder with reverse Cuthill-McKee")
 		rhsPath  = flag.String("rhs", "", "right-hand side file (one value per line)")
 		outPath  = flag.String("out", "", "solution output file")
-		withCond = flag.Bool("cond", false, "estimate condition numbers (Lanczos)")
-		history  = flag.Bool("history", false, "print convergence plot")
+		withCond   = flag.Bool("cond", false, "estimate condition numbers (Lanczos)")
+		history    = flag.Bool("history", false, "print convergence plot")
+		traceFlag  = flag.Bool("trace", false, "print setup phase spans and solve breakdown to stderr")
+		metricsOut = flag.String("metrics-out", "", "write a machine-readable run report (JSON) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "fsaisolve: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	observing := *traceFlag || *metricsOut != ""
+	var tracer *telemetry.Tracer
+	if *traceFlag {
+		tracer = telemetry.NewTracer(os.Stderr)
+	} else if *metricsOut != "" {
+		tracer = telemetry.NewTracer(nil)
+	}
+	var metrics *telemetry.Registry
+	if *metricsOut != "" {
+		metrics = telemetry.NewRegistry()
+		sparse.EnableOpCounters(true)
 	}
 
 	a, err := mmio.ReadFile(flag.Arg(0))
@@ -106,19 +139,81 @@ func main() {
 		PatternPower: *power,
 		ThresholdTau: *tau,
 		MaxRowNNZ:    512,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		fatal("preconditioner: %v", err)
 	}
 	setup := time.Since(t0)
 
-	opts := krylov.Options{Tol: *tol, MaxIter: *maxIter, RecordHistory: *history}
+	opts := krylov.Options{
+		Tol: *tol, MaxIter: *maxIter,
+		RecordHistory: *history || *metricsOut != "",
+		CollectTiming: observing,
+		Metrics:       metrics,
+	}
 	t0 = time.Now()
 	res := krylov.Solve(a, x, b, m, opts)
 	solve := time.Since(t0)
 
 	fmt.Printf("precond=%s setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
 		*precName, msec(setup), msec(solve), res.Iterations, res.Converged, res.RelResidual)
+
+	if *traceFlag {
+		tm := res.Timing
+		fmt.Fprintf(os.Stderr, "solve breakdown: spmv=%.1fms precond=%.1fms blas1=%.1fms total=%.1fms\n",
+			msec(tm.SpMV), msec(tm.Precond), msec(tm.BLAS1), msec(tm.Total))
+	}
+
+	if *metricsOut != "" {
+		entry := experiments.RunEntry{
+			Matrix:      filepath.Base(flag.Arg(0)),
+			Rows:        a.Rows,
+			NNZ:         a.NNZ(),
+			Variant:     *precName,
+			Filter:      *filter,
+			Iterations:  res.Iterations,
+			Converged:   res.Converged,
+			SetupWallNS: setup.Nanoseconds(),
+			SolveWallNS: solve.Nanoseconds(),
+			History:     res.History,
+		}
+		if t := res.Timing; t != (krylov.Timing{}) {
+			entry.Timing = &experiments.RunTiming{
+				SpMVNS:    t.SpMV.Nanoseconds(),
+				PrecondNS: t.Precond.Nanoseconds(),
+				BLAS1NS:   t.BLAS1.Nanoseconds(),
+				TotalNS:   t.Total.Nanoseconds(),
+			}
+		}
+		if g != nil {
+			entry.NNZG = g.NNZ()
+			entry.ExtPct = g.ExtensionPct()
+			entry.SetupPhases = g.Stats.Phases
+		}
+		rep := &experiments.RunReport{
+			Tool:      "fsaisolve",
+			LineBytes: *line,
+			Entries:   []experiments.RunEntry{entry},
+		}
+		if metrics != nil {
+			snap := metrics.Snapshot()
+			rep.Metrics = &snap
+		}
+		rep.SetSpMVOps(sparse.ReadOpCounters())
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal("metrics-out: %v", err)
+		}
+		if err := experiments.WriteRunReport(f, rep); err != nil {
+			f.Close()
+			fatal("metrics-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *metricsOut)
+	}
 
 	if *withCond {
 		base, err := spectral.CondOfMatrix(a, 80)

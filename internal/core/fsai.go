@@ -9,6 +9,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pattern"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // Variant selects the preconditioner construction of Section 7.1.
@@ -93,6 +94,12 @@ type Options struct {
 
 	// Workers bounds setup parallelism (<=0: all CPUs).
 	Workers int
+
+	// Tracer, when non-nil, receives one named span per setup phase of
+	// Algorithms 3-4 (base pattern, cache-aware extension, precalc CG,
+	// filter, final Frobenius solve). Per-phase wall times are always
+	// recorded in SetupStats.Phases regardless.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -130,6 +137,25 @@ func (o *Options) normalize() {
 	}
 }
 
+// Setup phase names recorded in SetupStats.Phases and emitted as tracer
+// spans; one per phase of Algorithms 3-4.
+const (
+	PhaseBasePattern = "base-pattern"    // steps 1-2: lower(Ã^N)
+	PhaseExtend      = "extend"          // Algorithm 3: cache-friendly fill-in
+	PhasePrecalc     = "precalc"         // Section 5: loose-tolerance CG estimate
+	PhaseFilter      = "filter"          // drop weak extension entries
+	PhaseSolve       = "frobenius-solve" // exact local solves on the final pattern
+	PhasePostFilter  = "post-filter"     // classical post-filtering (Algorithm 1 / Table 3)
+)
+
+// PhaseTiming is the measured wall time of one setup phase. Phases appear in
+// execution order; FSAIE(full) repeats extend/precalc/filter for the
+// transposed pass, so names may occur twice.
+type PhaseTiming struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+}
+
 // SetupStats records the work done during setup; the performance model
 // prices these into simulated setup seconds.
 type SetupStats struct {
@@ -144,6 +170,29 @@ type SetupStats struct {
 	PatternOps float64
 	// Rows, MaxLocal record the number of local systems and the largest one.
 	Rows, MaxLocal int
+	// Phases holds per-phase wall times in execution order.
+	Phases []PhaseTiming
+}
+
+// PhaseNS returns the total wall nanoseconds recorded for the named phase
+// (summing repeated passes), or 0 if the phase did not run.
+func (s *SetupStats) PhaseNS(name string) int64 {
+	var total int64
+	for _, p := range s.Phases {
+		if p.Name == name {
+			total += p.NS
+		}
+	}
+	return total
+}
+
+// TotalPhaseNS returns the summed wall nanoseconds across all phases.
+func (s *SetupStats) TotalPhaseNS() int64 {
+	var total int64
+	for _, p := range s.Phases {
+		total += p.NS
+	}
+	return total
 }
 
 func (s *SetupStats) add(o SetupStats) {

@@ -3,10 +3,29 @@ package fsai
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/pattern"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
+
+// phaseRecorder times the setup phases of Compute: each phase lands in
+// SetupStats.Phases and, when a tracer is configured, as a named span.
+type phaseRecorder struct {
+	tr    *telemetry.Tracer
+	stats *SetupStats
+}
+
+// phase starts timing the named phase and returns the closer.
+func (pr phaseRecorder) phase(name string) func() {
+	span := pr.tr.StartSpan(name)
+	start := time.Now()
+	return func() {
+		span.End()
+		pr.stats.Phases = append(pr.stats.Phases, PhaseTiming{Name: name, NS: time.Since(start).Nanoseconds()})
+	}
+}
 
 // Compute builds an FSAI-family preconditioner for the SPD matrix a
 // according to opts. It is the entry point covering Algorithms 1, 2 and 4.
@@ -21,27 +40,39 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 	}
 
 	p := &Preconditioner{Workers: opts.Workers}
+	rec := phaseRecorder{tr: opts.Tracer, stats: &p.Stats}
+	root := opts.Tracer.StartSpan("fsai-setup:" + opts.Variant.String())
+	defer root.End()
+
+	endBase := rec.phase(PhaseBasePattern)
 	base := InitialPattern(a, opts.ThresholdTau, opts.PatternPower)
+	endBase()
 	p.BasePattern = base
 	p.Stats.PatternOps += float64(base.NNZ())
 
 	switch opts.Variant {
 	case VariantFSAI:
+		endSolve := rec.phase(PhaseSolve)
 		g, err := computeRows(a, base, opts.Workers, &p.Stats)
+		endSolve()
 		if err != nil {
 			return nil, err
 		}
 		if opts.PostFilter > 0 {
+			endFilter := rec.phase(PhasePostFilter)
 			g = postFilterRescale(a, diagonalOnly(base), g, opts.PostFilter)
+			endFilter()
 		}
 		p.G = g
 		p.FinalPattern = pattern.FromCSR(g)
 
 	case VariantSp, VariantFull:
 		// Step 3: cache-friendly extension of S optimizing the Gp product.
+		endExtend := rec.phase(PhaseExtend)
 		sx := ExtendPattern(base, elems, opts.AlignElems, ClipLower, opts.MaxRowNNZ)
+		endExtend()
 		p.Stats.PatternOps += float64(sx.NNZ())
-		sext, err := resolveExtension(a, base, sx, opts, &p.Stats)
+		sext, err := resolveExtension(a, base, sx, opts, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -49,17 +80,21 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 		if opts.Variant == VariantFull {
 			// Steps 5-6: repeat on the transposed pattern, optimizing the
 			// Gᵀp product, then transpose back.
+			endExtend := rec.phase(PhaseExtend)
 			tx := ExtendPattern(sext.Transpose(), elems, opts.AlignElems, ClipUpper, opts.MaxRowNNZ)
 			sx2 := tx.Transpose()
+			endExtend()
 			p.Stats.PatternOps += float64(sx2.NNZ())
-			final, err = resolveExtension(a, sext, sx2, opts, &p.Stats)
+			final, err = resolveExtension(a, sext, sx2, opts, rec)
 			if err != nil {
 				return nil, err
 			}
 		}
 		// Step 7: compute the final G coefficients on the resulting pattern,
 		// a Frobenius-minimal inverse approximation on that pattern.
+		endSolve := rec.phase(PhaseSolve)
 		g, err := computeRows(a, final, opts.Workers, &p.Stats)
+		endSolve()
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +104,9 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 			// Only extension entries (positions outside the original
 			// numerical pattern) are eligible for dropping, the same
 			// eligible set the precalculation strategy filters.
+			endFilter := rec.phase(PhasePostFilter)
 			g = postFilterRescale(a, base, g, opts.Filter)
+			endFilter()
 		}
 		p.G = g
 		p.FinalPattern = pattern.FromCSR(g)
@@ -88,15 +125,20 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 // approximate G on sx and drops weak extension entries *before* the exact
 // solve; the standard strategy keeps sx whole here (filtering happens after
 // the exact solve, in Compute).
-func resolveExtension(a *sparse.CSR, base, sx *pattern.Pattern, opts Options, stats *SetupStats) (*pattern.Pattern, error) {
+func resolveExtension(a *sparse.CSR, base, sx *pattern.Pattern, opts Options, rec phaseRecorder) (*pattern.Pattern, error) {
 	if opts.StandardFiltering {
 		return sx, nil
 	}
 	if opts.Filter <= 0 {
 		return sx, nil // filter 0.0 keeps the full extension
 	}
-	gpre := precalcRows(a, sx, opts.PrecalcTol, opts.PrecalcMaxIter, opts.Workers, stats)
-	return filterExtension(base, sx, gpre, opts.Filter), nil
+	endPrecalc := rec.phase(PhasePrecalc)
+	gpre := precalcRows(a, sx, opts.PrecalcTol, opts.PrecalcMaxIter, opts.Workers, rec.stats)
+	endPrecalc()
+	endFilter := rec.phase(PhaseFilter)
+	filtered := filterExtension(base, sx, gpre, opts.Filter)
+	endFilter()
+	return filtered, nil
 }
 
 // ComputeOnPattern evaluates the Frobenius-optimal G of A on an arbitrary

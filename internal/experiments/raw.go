@@ -26,6 +26,7 @@ import (
 	"repro/internal/matgen"
 	"repro/internal/pattern"
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // DefaultFilters are the paper's filter sweep values.
@@ -61,6 +62,19 @@ type RawOptions struct {
 	Workers int
 	// Progress, when non-nil, receives one line per matrix.
 	Progress io.Writer
+
+	// RecordHistory stores per-iteration relative residuals in each
+	// MethodRaw (needed for machine-readable run reports).
+	RecordHistory bool
+	// CollectTiming enables the per-solve wall-clock kernel breakdown
+	// (SpMV / preconditioner / BLAS-1) in each MethodRaw.
+	CollectTiming bool
+	// Metrics, when non-nil, receives solver iteration-timing histograms
+	// and counters from every PCG solve of the campaign.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives one span tree per preconditioner
+	// setup (the Algorithm 3-4 phases).
+	Tracer *telemetry.Tracer
 }
 
 func (o *RawOptions) normalize() {
@@ -113,6 +127,13 @@ type MethodRaw struct {
 	// WallSetup/WallSolve are host wall-clock measurements (informative
 	// only; the tables use modelled times).
 	WallSetup, WallSolve time.Duration
+
+	// History holds per-iteration relative residuals when
+	// RawOptions.RecordHistory is set.
+	History []float64
+	// Timing is the solver's kernel-class wall-clock breakdown when
+	// RawOptions.CollectTiming is set.
+	Timing krylov.Timing
 
 	// StdIterations is the iteration count under the classical
 	// post-filtering strategy (Table 3); 0 when not measured. StdConverged
@@ -198,13 +219,19 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 	align := alignFor(spec, elems)
 	mr := MatrixRaw{Spec: spec, Rows: a.Rows, NNZ: a.NNZ(), AlignElems: align}
 
-	kopt := krylov.Options{Tol: opts.Tol, MaxIter: opts.MaxIter, Workers: opts.Workers}
+	kopt := krylov.Options{
+		Tol: opts.Tol, MaxIter: opts.MaxIter, Workers: opts.Workers,
+		RecordHistory: opts.RecordHistory,
+		CollectTiming: opts.CollectTiming,
+		Metrics:       opts.Metrics,
+	}
 	cache := cachesim.New(opts.L1)
 	trace := cachesim.TraceOptions{AlignElems: align, IncludeStreams: true}
 	missA := cachesim.TraceCSR(cache, a, trace)
 	lvA := cachesim.CountLineVisits(pattern.FromCSR(a), elems, align)
 
 	run := func(fopt fsai.Options) (MethodRaw, *fsai.Preconditioner, error) {
+		fopt.Tracer = opts.Tracer
 		t0 := time.Now()
 		p, err := fsai.Compute(a, fopt)
 		if err != nil {
@@ -236,6 +263,8 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 			Stats:      p.Stats,
 			WallSetup:  wallSetup,
 			WallSolve:  wallSolve,
+			History:    res.History,
+			Timing:     res.Timing,
 		}
 		return m, p, nil
 	}

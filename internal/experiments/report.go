@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// The run report is the repo's stable machine-readable observability
+// artifact: one JSON document per tool invocation carrying, for every
+// (matrix, variant, filter) measurement, the per-phase setup spans, the
+// per-iteration residual history and the solver's kernel-class timing
+// breakdown, plus the campaign-wide metrics registry (iteration timing
+// histograms) and the SpMV op/byte counters. Perf PRs diff two reports to
+// prove a before/after; the schema is versioned so old artifacts stay
+// decodable or fail loudly.
+
+// RunReportSchemaVersion is the current schema_version written by
+// WriteRunReport and required by ReadRunReport.
+const RunReportSchemaVersion = 1
+
+// RunReport is the top-level run-report document.
+type RunReport struct {
+	Schema    int    `json:"schema_version"`
+	Tool      string `json:"tool"`
+	Machine   string `json:"machine,omitempty"`
+	LineBytes int    `json:"line_bytes,omitempty"`
+
+	Entries []RunEntry `json:"entries"`
+
+	// Metrics is the solver-wide registry snapshot: per-iteration
+	// SpMV/precond/BLAS-1 nanosecond histograms and iteration counters.
+	Metrics *telemetry.RegistrySnapshot `json:"metrics,omitempty"`
+
+	// SpMVOps is the sparse-kernel op/byte counter snapshot, with the
+	// measured arithmetic intensity for roofline drift checks.
+	SpMVOps *RunSpMVOps `json:"spmv_ops,omitempty"`
+}
+
+// RunSpMVOps serializes sparse.OpCounts plus the derived intensity.
+type RunSpMVOps struct {
+	Calls       int64   `json:"calls"`
+	Flops       int64   `json:"flops"`
+	MatrixBytes int64   `json:"matrix_bytes"`
+	VectorBytes int64   `json:"vector_bytes"`
+	AI          float64 `json:"ai_flop_per_byte"`
+}
+
+// RunTiming is the solver timing breakdown in nanoseconds.
+type RunTiming struct {
+	SpMVNS    int64 `json:"spmv_ns"`
+	PrecondNS int64 `json:"precond_ns"`
+	BLAS1NS   int64 `json:"blas1_ns"`
+	TotalNS   int64 `json:"total_ns"`
+}
+
+// RunEntry is one (matrix, variant, filter) measurement.
+type RunEntry struct {
+	MatrixID int    `json:"matrix_id"`
+	Matrix   string `json:"matrix"`
+	Type     string `json:"type,omitempty"`
+	Rows     int    `json:"rows"`
+	NNZ      int    `json:"nnz"`
+
+	Variant string  `json:"variant"`
+	Filter  float64 `json:"filter"`
+
+	NNZG   int     `json:"nnz_g"`
+	ExtPct float64 `json:"ext_pct"`
+
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+
+	// SetupPhases lists the Algorithm 3-4 phase wall times in execution
+	// order (extend/precalc/filter repeat for FSAIE(full)'s second pass).
+	SetupPhases []fsai.PhaseTiming `json:"setup_phases,omitempty"`
+	SetupWallNS int64              `json:"setup_wall_ns"`
+	SolveWallNS int64              `json:"solve_wall_ns"`
+
+	// History holds per-iteration relative residuals (index 0 is the unit
+	// initial residual) when recorded.
+	History []float64 `json:"history,omitempty"`
+
+	// Timing is the solver kernel-class breakdown when collected.
+	Timing *RunTiming `json:"timing,omitempty"`
+}
+
+func runTimingOf(t krylov.Timing) *RunTiming {
+	if t == (krylov.Timing{}) {
+		return nil
+	}
+	return &RunTiming{
+		SpMVNS:    t.SpMV.Nanoseconds(),
+		PrecondNS: t.Precond.Nanoseconds(),
+		BLAS1NS:   t.BLAS1.Nanoseconds(),
+		TotalNS:   t.Total.Nanoseconds(),
+	}
+}
+
+func runEntryOf(mr *MatrixRaw, m *MethodRaw) RunEntry {
+	return RunEntry{
+		MatrixID:    mr.Spec.ID,
+		Matrix:      mr.Spec.Name,
+		Type:        mr.Spec.Type,
+		Rows:        mr.Rows,
+		NNZ:         mr.NNZ,
+		Variant:     m.Variant.String(),
+		Filter:      m.Filter,
+		NNZG:        m.NNZG,
+		ExtPct:      m.ExtPct,
+		Iterations:  m.Iterations,
+		Converged:   m.Converged,
+		SetupPhases: m.Stats.Phases,
+		SetupWallNS: m.WallSetup.Nanoseconds(),
+		SolveWallNS: m.WallSolve.Nanoseconds(),
+		History:     m.History,
+		Timing:      runTimingOf(m.Timing),
+	}
+}
+
+// BuildRunReport assembles the report for a raw campaign. tool names the
+// producing command; machine/lineBytes describe the simulated target; reg
+// may be nil. The current sparse op counters are snapshotted if enabled.
+func BuildRunReport(c *RawCampaign, tool, machine string, reg *telemetry.Registry) *RunReport {
+	r := &RunReport{
+		Schema:    RunReportSchemaVersion,
+		Tool:      tool,
+		Machine:   machine,
+		LineBytes: c.Opts.L1.LineBytes,
+	}
+	for i := range c.Results {
+		mr := &c.Results[i]
+		r.Entries = append(r.Entries, runEntryOf(mr, &mr.FSAI))
+		for j := range mr.Sp {
+			r.Entries = append(r.Entries, runEntryOf(mr, &mr.Sp[j]))
+		}
+		for j := range mr.Full {
+			r.Entries = append(r.Entries, runEntryOf(mr, &mr.Full[j]))
+		}
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		r.Metrics = &snap
+	}
+	if sparse.OpCountersEnabled() {
+		r.SetSpMVOps(sparse.ReadOpCounters())
+	}
+	return r
+}
+
+// SetSpMVOps attaches a sparse op-counter snapshot to the report.
+func (r *RunReport) SetSpMVOps(c sparse.OpCounts) {
+	r.SpMVOps = &RunSpMVOps{
+		Calls:       c.SpMVCalls,
+		Flops:       c.Flops,
+		MatrixBytes: c.MatrixBytes,
+		VectorBytes: c.VectorBytes,
+		AI:          c.AI(),
+	}
+}
+
+// WriteRunReport serializes the report to w as indented JSON, stamping the
+// current schema version.
+func WriteRunReport(w io.Writer, r *RunReport) error {
+	r.Schema = RunReportSchemaVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRunReport decodes and validates a run report. Unknown schema versions
+// are rejected so downstream tooling never silently misreads an artifact.
+func ReadRunReport(rd io.Reader) (*RunReport, error) {
+	var r RunReport
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("run report: %w", err)
+	}
+	if r.Schema != RunReportSchemaVersion {
+		return nil, fmt.Errorf("run report: schema_version %d, tool supports %d", r.Schema, RunReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// SolveTotalNS sums an entry list's solve wall times — a convenience for
+// quick before/after comparisons of two reports.
+func SolveTotalNS(entries []RunEntry) time.Duration {
+	var total int64
+	for i := range entries {
+		total += entries[i].SolveWallNS
+	}
+	return time.Duration(total)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	fsai "repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// reportCampaign runs a tiny telemetry-enabled campaign on one suite matrix.
+func reportCampaign(t *testing.T) (*RawCampaign, *telemetry.Registry) {
+	t.Helper()
+	specs := matgen.QuickSuite()[:1]
+	reg := telemetry.NewRegistry()
+	sparse.EnableOpCounters(true)
+	t.Cleanup(func() { sparse.EnableOpCounters(false) })
+	sparse.ResetOpCounters()
+	raw, err := RunRaw(specs, RawOptions{
+		L1:            arch.Skylake().L1Sim,
+		Filters:       []float64{0.01},
+		RecordHistory: true,
+		CollectTiming: true,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, reg
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	raw, reg := reportCampaign(t)
+	rep := BuildRunReport(raw, "fsaibench-test", "Skylake", reg)
+
+	// One FSAI + one Sp + one Full entry per matrix at a single filter.
+	if want := 3 * len(raw.Results); len(rep.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(rep.Entries), want)
+	}
+	var sawPhases, sawHistory, sawTiming bool
+	for _, e := range rep.Entries {
+		if e.Iterations <= 0 || e.Rows <= 0 || e.NNZG <= 0 {
+			t.Fatalf("entry not populated: %+v", e)
+		}
+		if len(e.SetupPhases) > 0 {
+			sawPhases = true
+		}
+		if len(e.History) == int(e.Iterations)+1 {
+			sawHistory = true
+		}
+		if e.Timing != nil && e.Timing.SpMVNS > 0 && e.Timing.BLAS1NS > 0 {
+			sawTiming = true
+		}
+	}
+	if !sawPhases || !sawHistory || !sawTiming {
+		t.Fatalf("report missing phases=%v history=%v timing=%v", sawPhases, sawHistory, sawTiming)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("metrics snapshot missing")
+	}
+	for _, name := range []string{"krylov.iter.spmv_ns", "krylov.iter.precond_ns", "krylov.iter.blas1_ns"} {
+		h, ok := rep.Metrics.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Fatalf("timing histogram %q missing or empty", name)
+		}
+	}
+	if rep.SpMVOps == nil || rep.SpMVOps.Calls == 0 || rep.SpMVOps.AI <= 0 {
+		t.Fatalf("SpMV op counters missing: %+v", rep.SpMVOps)
+	}
+
+	// Round-trip: write then decode, field-for-field on a sample entry.
+	var buf bytes.Buffer
+	if err := WriteRunReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != RunReportSchemaVersion || got.Tool != "fsaibench-test" || got.Machine != "Skylake" {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Entries) != len(rep.Entries) {
+		t.Fatalf("entries lost in round trip: %d vs %d", len(got.Entries), len(rep.Entries))
+	}
+	a, b := rep.Entries[0], got.Entries[0]
+	if a.Matrix != b.Matrix || a.Variant != b.Variant || a.Iterations != b.Iterations ||
+		len(a.History) != len(b.History) || len(a.SetupPhases) != len(b.SetupPhases) {
+		t.Fatalf("entry mismatch:\n  wrote %+v\n  read  %+v", a, b)
+	}
+	if a.Timing != nil && (b.Timing == nil || *a.Timing != *b.Timing) {
+		t.Fatalf("timing mismatch: %+v vs %+v", a.Timing, b.Timing)
+	}
+	if got.SpMVOps == nil || *got.SpMVOps != *rep.SpMVOps {
+		t.Fatalf("op counters mismatch: %+v vs %+v", got.SpMVOps, rep.SpMVOps)
+	}
+	if got.Metrics.Counters["krylov.iterations"] != rep.Metrics.Counters["krylov.iterations"] {
+		t.Fatal("metrics counters lost in round trip")
+	}
+}
+
+func TestRunReportRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 99, "tool": "x"}`)); err == nil {
+		t.Fatal("unknown schema version must be rejected")
+	}
+	if _, err := ReadRunReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestRunReportPhasesMatchVariant(t *testing.T) {
+	raw, _ := reportCampaign(t)
+	rep := BuildRunReport(raw, "t", "Skylake", nil)
+	for _, e := range rep.Entries {
+		names := map[string]int{}
+		for _, p := range e.SetupPhases {
+			names[p.Name]++
+		}
+		if names[fsai.PhaseBasePattern] != 1 || names[fsai.PhaseSolve] != 1 {
+			t.Fatalf("%s: phase counts %v", e.Variant, names)
+		}
+		switch e.Variant {
+		case "FSAI":
+			if names[fsai.PhaseExtend] != 0 {
+				t.Fatalf("FSAI should not extend: %v", names)
+			}
+		case "FSAIE(sp)":
+			if names[fsai.PhaseExtend] != 1 || names[fsai.PhasePrecalc] != 1 || names[fsai.PhaseFilter] != 1 {
+				t.Fatalf("FSAIE(sp) phases %v", names)
+			}
+		case "FSAIE(full)":
+			if names[fsai.PhaseExtend] != 2 || names[fsai.PhasePrecalc] != 2 || names[fsai.PhaseFilter] != 2 {
+				t.Fatalf("FSAIE(full) phases %v", names)
+			}
+		}
+	}
+	if SolveTotalNS(rep.Entries) <= 0 {
+		t.Fatal("solve wall total should be positive")
+	}
+}

@@ -2,8 +2,11 @@ package krylov
 
 import (
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 // Preconditioner applies an approximate inverse: z = M r with M ≈ A⁻¹.
@@ -57,11 +60,34 @@ type Options struct {
 	Workers int
 	// RecordHistory stores ||r_k||/||r₀|| per iteration in Result.History.
 	RecordHistory bool
+	// Progress, when non-nil, is called after every completed iteration
+	// with the 1-based iteration number and the current relative residual.
+	// It runs on the solver goroutine; keep it cheap.
+	Progress func(iter int, relres float64)
+	// CollectTiming enables the per-iteration wall-clock breakdown (SpMV
+	// vs. preconditioner-apply vs. BLAS-1) returned in Result.Timing. Off
+	// by default so the inner loop carries no clock calls.
+	CollectTiming bool
+	// Metrics, when non-nil (and CollectTiming is set), receives
+	// per-iteration timing histograms ("krylov.iter.spmv_ns",
+	// "krylov.iter.precond_ns", "krylov.iter.blas1_ns") and the
+	// "krylov.iterations" counter.
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
 func DefaultOptions() Options {
 	return Options{Tol: 1e-8, MaxIter: 10000, Workers: 1}
+}
+
+// Timing is the wall-clock breakdown of a solve, split by the three kernel
+// classes of the Section 2.1 loop. Populated when Options.CollectTiming is
+// set; all fields zero otherwise.
+type Timing struct {
+	SpMV    time.Duration // y = Ap products
+	Precond time.Duration // z = M r applications (for FSAI: two more SpMVs)
+	BLAS1   time.Duration // dot products, AXPYs, norms
+	Total   time.Duration // whole Solve call
 }
 
 // Result reports the outcome of a CG/PCG solve.
@@ -70,6 +96,7 @@ type Result struct {
 	Converged   bool
 	RelResidual float64   // final ||r||/||r₀||
 	History     []float64 // per-iteration relative residuals if recorded
+	Timing      Timing    // kernel-class breakdown if CollectTiming was set
 }
 
 // Solve runs preconditioned conjugate gradient on A x = b with the given
@@ -90,6 +117,33 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 10000
 	}
+	if opt.Workers <= 0 {
+		// Resolve "all CPUs" once here rather than deferring the <=0
+		// convention to every kernel call.
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	collect := opt.CollectTiming
+	var hSpMV, hPrecond, hBlas1 *telemetry.Histogram
+	var iterCtr *telemetry.Counter
+	if collect && opt.Metrics != nil {
+		buckets := telemetry.ExpBuckets(100, 10, 8) // 100 ns … 1 s per section
+		hSpMV = opt.Metrics.Histogram("krylov.iter.spmv_ns", buckets)
+		hPrecond = opt.Metrics.Histogram("krylov.iter.precond_ns", buckets)
+		hBlas1 = opt.Metrics.Histogram("krylov.iter.blas1_ns", buckets)
+		iterCtr = opt.Metrics.Counter("krylov.iterations")
+	}
+	var start, t0 time.Time
+	if collect {
+		start = time.Now()
+	}
+	res := Result{RelResidual: 1}
+	finish := func() Result {
+		if collect {
+			res.Timing.Total = time.Since(start)
+		}
+		return res
+	}
+
 	Fill(x, 0)
 	r := append([]float64(nil), b...)
 	z := make([]float64, n)
@@ -98,12 +152,19 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 
 	bnorm := Norm2(b)
 	if bnorm == 0 {
-		return Result{Converged: true}
+		res.Converged = true
+		res.RelResidual = 0
+		return finish()
+	}
+	if collect {
+		t0 = time.Now()
 	}
 	m.Apply(z, r)
+	if collect {
+		res.Timing.Precond += time.Since(t0)
+	}
 	copy(p, z)
 	rz := Dot(r, z)
-	res := Result{RelResidual: 1}
 	if opt.RecordHistory {
 		res.History = append(res.History, 1)
 	}
@@ -115,13 +176,27 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		}
 	}
 	for it := 0; it < opt.MaxIter; it++ {
+		if collect {
+			t0 = time.Now()
+		}
 		spmv(ap, p)
+		if collect {
+			d := time.Since(t0)
+			res.Timing.SpMV += d
+			hSpMV.Observe(float64(d.Nanoseconds()))
+			t0 = time.Now()
+		}
 		pap := Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			// Breakdown: A (or the preconditioned operator) lost positive
-			// definiteness in finite precision. Report current state.
+			// definiteness in finite precision. Report current state; the
+			// recorded history gets the final residual too, so it is never
+			// silently truncated relative to RelResidual.
 			res.RelResidual = Norm2(r) / bnorm
-			return res
+			if opt.RecordHistory {
+				res.History = append(res.History, res.RelResidual)
+			}
+			return finish()
 		}
 		alpha := rz / pap
 		Axpy(alpha, p, x)
@@ -129,18 +204,39 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		res.Iterations = it + 1
 		rel := Norm2(r) / bnorm
 		res.RelResidual = rel
+		if collect {
+			d := time.Since(t0)
+			res.Timing.BLAS1 += d
+			hBlas1.Observe(float64(d.Nanoseconds()))
+		}
+		iterCtr.Inc()
 		if opt.RecordHistory {
 			res.History = append(res.History, rel)
 		}
+		if opt.Progress != nil {
+			opt.Progress(it+1, rel)
+		}
 		if rel <= opt.Tol {
 			res.Converged = true
-			return res
+			return finish()
+		}
+		if collect {
+			t0 = time.Now()
 		}
 		m.Apply(z, r)
+		if collect {
+			d := time.Since(t0)
+			res.Timing.Precond += d
+			hPrecond.Observe(float64(d.Nanoseconds()))
+			t0 = time.Now()
+		}
 		rzNew := Dot(r, z)
 		beta := rzNew / rz
 		Xpay(z, beta, p)
 		rz = rzNew
+		if collect {
+			res.Timing.BLAS1 += time.Since(t0)
+		}
 	}
-	return res
+	return finish()
 }

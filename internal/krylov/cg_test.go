@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sparse"
+	"repro/internal/telemetry"
 )
 
 func tridiag(n int, lo, di, up float64) *sparse.CSR {
@@ -208,6 +209,125 @@ func TestSolveBreakdownOnIndefinite(t *testing.T) {
 		if math.IsNaN(v) {
 			t.Error("NaN leaked into solution")
 		}
+	}
+}
+
+func TestSolveWorkersDefaultResolved(t *testing.T) {
+	// Workers <= 0 is documented as "all CPUs": Solve must resolve it to
+	// runtime.GOMAXPROCS(0) up front instead of handing the sentinel to the
+	// SpMV kernels, and the answer must match the serial solve.
+	n := 120
+	a := tridiag(n, -1, 2.3, -1)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+	serial := make([]float64, n)
+	ref := Solve(a, serial, rhs, nil, Options{Tol: 1e-10, MaxIter: 1000, Workers: 1})
+	for _, workers := range []int{0, -1, -8} {
+		x := make([]float64, n)
+		res := Solve(a, x, rhs, nil, Options{Tol: 1e-10, MaxIter: 1000, Workers: workers})
+		if !res.Converged {
+			t.Fatalf("Workers=%d did not converge: %+v", workers, res)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Errorf("Workers=%d iterations %d, serial %d", workers, res.Iterations, ref.Iterations)
+		}
+		for i := range x {
+			if math.Abs(x[i]-serial[i]) > 1e-10 {
+				t.Fatalf("Workers=%d x[%d]=%g, serial %g", workers, i, x[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestSolveBreakdownRecordsFinalHistory(t *testing.T) {
+	// On the CG breakdown path (pap <= 0), a recorded history must still end
+	// with the reported final relative residual rather than being silently
+	// truncated. diag(1, -1) breaks down immediately: pᵀAp = 0.
+	a, _ := sparse.NewCSRFromTriplets(2, 2, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: -1},
+	})
+	x := make([]float64, 2)
+	res := Solve(a, x, []float64{1, 1}, nil, Options{Tol: 1e-8, MaxIter: 50, RecordHistory: true})
+	if res.Converged {
+		t.Fatal("indefinite system reported converged")
+	}
+	if len(res.History) < 2 {
+		t.Fatalf("history %v: breakdown entry missing", res.History)
+	}
+	if len(res.History) != res.Iterations+2 {
+		t.Errorf("history length %d, want iterations+2 = %d", len(res.History), res.Iterations+2)
+	}
+	last := res.History[len(res.History)-1]
+	if math.Abs(last-res.RelResidual) > 1e-15 {
+		t.Errorf("history end %g != final residual %g", last, res.RelResidual)
+	}
+}
+
+func TestSolveProgressCallback(t *testing.T) {
+	a := tridiag(30, -1, 2.5, -1)
+	rhs := make([]float64, 30)
+	rhs[0] = 1
+	x := make([]float64, 30)
+	var iters []int
+	var rels []float64
+	res := Solve(a, x, rhs, nil, Options{Tol: 1e-8, MaxIter: 200, Progress: func(it int, rel float64) {
+		iters = append(iters, it)
+		rels = append(rels, rel)
+	}})
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("progress called %d times, want %d", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("progress iteration %d at call %d", it, i)
+		}
+	}
+	if got := rels[len(rels)-1]; math.Abs(got-res.RelResidual) > 1e-15 {
+		t.Errorf("last progress residual %g != final %g", got, res.RelResidual)
+	}
+}
+
+func TestSolveTimingBreakdown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := tridiag(200, -1, 2.1, -1)
+	rhs := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x := make([]float64, 200)
+	res := Solve(a, x, rhs, NewJacobi(a), Options{
+		Tol: 1e-8, MaxIter: 1000, CollectTiming: true, Metrics: reg,
+	})
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	tm := res.Timing
+	if tm.Total <= 0 || tm.SpMV <= 0 || tm.Precond <= 0 || tm.BLAS1 <= 0 {
+		t.Fatalf("timing sections not populated: %+v", tm)
+	}
+	if sum := tm.SpMV + tm.Precond + tm.BLAS1; sum > tm.Total {
+		t.Errorf("section sum %v exceeds total %v", sum, tm.Total)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["krylov.iterations"] != int64(res.Iterations) {
+		t.Errorf("iterations counter %d, want %d", snap.Counters["krylov.iterations"], res.Iterations)
+	}
+	for _, name := range []string{"krylov.iter.spmv_ns", "krylov.iter.precond_ns", "krylov.iter.blas1_ns"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Errorf("histogram %q missing or empty", name)
+		}
+	}
+	// Timing off: breakdown must stay zero.
+	x2 := make([]float64, 200)
+	res2 := Solve(a, x2, rhs, NewJacobi(a), Options{Tol: 1e-8, MaxIter: 1000})
+	if res2.Timing != (Timing{}) {
+		t.Errorf("timing collected while disabled: %+v", res2.Timing)
 	}
 }
 

@@ -1,0 +1,46 @@
+package perfmodel
+
+import (
+	"repro/internal/arch"
+	"repro/internal/sparse"
+)
+
+// Measured summarizes the sparse package's op/byte counters in the units the
+// roofline model speaks: total flops and bytes over some window of kernel
+// calls. It is the "measured" side of model-vs-measured drift tracking — the
+// model side being SpMVTime / roofline.SpMVKernel estimates.
+type Measured struct {
+	Calls int64
+	Flops float64
+	Bytes float64
+}
+
+// FromOpCounts converts a sparse.OpCounts snapshot into Measured.
+func FromOpCounts(c sparse.OpCounts) Measured {
+	return Measured{Calls: c.SpMVCalls, Flops: float64(c.Flops), Bytes: float64(c.Bytes())}
+}
+
+// AI returns the measured arithmetic intensity in flop/byte.
+func (m Measured) AI() float64 {
+	if m.Bytes == 0 {
+		return 0
+	}
+	return m.Flops / m.Bytes
+}
+
+// StreamSeconds returns the bandwidth-bound lower time estimate for the
+// measured traffic on machine a: bytes / peak bandwidth. Comparing this
+// against modelled SpMVTime totals (which add line-visit and miss terms) or
+// against wall clock shows where the model and the hardware disagree.
+func (m Measured) StreamSeconds(a arch.Arch) float64 {
+	return m.Bytes / a.MemBandwidth
+}
+
+// DriftPct returns the relative deviation of measured from model in percent:
+// 100 × (measured − model) / model. A zero model yields 0.
+func DriftPct(model, measured float64) float64 {
+	if model == 0 {
+		return 0
+	}
+	return 100 * (measured - model) / model
+}

@@ -1,0 +1,56 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sparse"
+)
+
+func TestFromOpCounts(t *testing.T) {
+	c := sparse.OpCounts{SpMVCalls: 2, Flops: 2800, MatrixBytes: 17000, VectorBytes: 3200}
+	m := FromOpCounts(c)
+	if m.Calls != 2 || m.Flops != 2800 || m.Bytes != 20200 {
+		t.Fatalf("Measured = %+v", m)
+	}
+	if got, want := m.AI(), 2800.0/20200.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("AI = %g, want %g", got, want)
+	}
+	if (Measured{}).AI() != 0 {
+		t.Error("empty AI should be 0")
+	}
+	// SpMV intensity must land in the bandwidth-bound regime of every machine
+	// in the model — the paper's premise.
+	sky := arch.Skylake()
+	if m.AI()*sky.MemBandwidth >= float64(sky.Cores)*sky.FreqHz*16 {
+		t.Error("measured SpMV AI should be bandwidth-bound on Skylake")
+	}
+}
+
+func TestStreamSecondsAndDrift(t *testing.T) {
+	sky := arch.Skylake()
+	m := Measured{Flops: 2e9, Bytes: 12e9}
+	secs := m.StreamSeconds(sky)
+	if want := 12e9 / sky.MemBandwidth; math.Abs(secs-want) > 1e-18 {
+		t.Errorf("StreamSeconds = %g, want %g", secs, want)
+	}
+	// The modelled SpMV time includes gather/miss/row terms, so it can only
+	// be >= the pure streaming bound for the same traffic.
+	cost := SpMVCost{NNZ: 1000, Rows: 100, LineVisits: 400, XMisses: 50}
+	model := SpMVTime(sky, cost)
+	stream := FromOpCounts(sparse.OpCounts{
+		Flops:       2 * 1000,
+		MatrixBytes: 12 * 1000,
+		VectorBytes: 8 * 200,
+	}).StreamSeconds(sky)
+	if model < stream {
+		t.Errorf("model %g below streaming bound %g", model, stream)
+	}
+	if got := DriftPct(2, 3); got != 50 {
+		t.Errorf("DriftPct(2,3) = %g, want 50", got)
+	}
+	if got := DriftPct(0, 3); got != 0 {
+		t.Errorf("DriftPct(0,3) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,82 @@
+package sparse
+
+import "sync/atomic"
+
+// Op/byte counters for the SpMV kernels. When enabled, every MulVec /
+// MulVecParallel / MulVecT call adds its nominal work — flops and memory
+// traffic computed from the matrix shape, not measured per element — to a
+// set of package-level atomics. The accounting matches the roofline
+// descriptors of internal/roofline (2 flops per stored entry; 12 B per
+// entry + 4 B per row pointer of matrix traffic) so measured totals can be
+// laid against the perfmodel/roofline estimates and drift becomes visible.
+//
+// Vector traffic is counted at its *nominal* minimum (each input element
+// read once, each output element written once). The model's line-visit and
+// miss terms price the same traffic pessimistically; the gap between the
+// two is exactly the cache behaviour the paper's extension optimizes.
+//
+// The disabled path costs one atomic load per kernel call, which is not
+// measurable against a sweep over thousands of entries.
+var opCounters struct {
+	enabled     atomic.Bool
+	calls       atomic.Int64
+	flops       atomic.Int64
+	matrixBytes atomic.Int64
+	vectorBytes atomic.Int64
+}
+
+// OpCounts is a snapshot of the SpMV op/byte counters.
+type OpCounts struct {
+	SpMVCalls   int64 // kernel invocations (MulVec, MulVecParallel, MulVecT)
+	Flops       int64 // 2 × stored entries per sweep
+	MatrixBytes int64 // entry values+indices and row pointers streamed
+	VectorBytes int64 // nominal input reads + output writes
+}
+
+// Bytes returns the total counted traffic.
+func (c OpCounts) Bytes() int64 { return c.MatrixBytes + c.VectorBytes }
+
+// AI returns the measured arithmetic intensity in flop/byte (0 when empty).
+func (c OpCounts) AI() float64 {
+	b := c.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(c.Flops) / float64(b)
+}
+
+// EnableOpCounters turns kernel op counting on or off.
+func EnableOpCounters(on bool) { opCounters.enabled.Store(on) }
+
+// OpCountersEnabled reports whether kernel op counting is on.
+func OpCountersEnabled() bool { return opCounters.enabled.Load() }
+
+// ResetOpCounters zeroes the counters (the enabled flag is unchanged).
+func ResetOpCounters() {
+	opCounters.calls.Store(0)
+	opCounters.flops.Store(0)
+	opCounters.matrixBytes.Store(0)
+	opCounters.vectorBytes.Store(0)
+}
+
+// ReadOpCounters returns the current counter values.
+func ReadOpCounters() OpCounts {
+	return OpCounts{
+		SpMVCalls:   opCounters.calls.Load(),
+		Flops:       opCounters.flops.Load(),
+		MatrixBytes: opCounters.matrixBytes.Load(),
+		VectorBytes: opCounters.vectorBytes.Load(),
+	}
+}
+
+// countSpMV charges one sweep of m to the op counters (no-op when disabled).
+func (m *CSR) countSpMV() {
+	if !opCounters.enabled.Load() {
+		return
+	}
+	nnz := int64(m.NNZ())
+	opCounters.calls.Add(1)
+	opCounters.flops.Add(2 * nnz)
+	opCounters.matrixBytes.Add(12*nnz + 4*int64(m.Rows))
+	opCounters.vectorBytes.Add(8 * int64(m.Cols+m.Rows))
+}

@@ -15,6 +15,7 @@ func (m *CSR) MulVec(y, x []float64) {
 	if len(y) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("sparse: MulVec dimensions y=%d x=%d for %s", len(y), len(x), m))
 	}
+	m.countSpMV()
 	rp, ci, v := m.RowPtr, m.ColIdx, m.Val
 	for i := 0; i < m.Rows; i++ {
 		sum := 0.0
@@ -31,6 +32,7 @@ func (m *CSR) MulVecParallel(y, x []float64, workers int) {
 	if len(y) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("sparse: MulVecParallel dimensions y=%d x=%d for %s", len(y), len(x), m))
 	}
+	m.countSpMV()
 	rp, ci, v := m.RowPtr, m.ColIdx, m.Val
 	parallel.For(m.Rows, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -50,6 +52,7 @@ func (m *CSR) MulVecT(y, x []float64) {
 	if len(y) != m.Cols || len(x) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVecT dimensions y=%d x=%d for %s", len(y), len(x), m))
 	}
+	m.countSpMV()
 	for i := range y {
 		y[i] = 0
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check bench clean obs-smoke compare-baseline
 
 all: check
 
@@ -20,6 +20,16 @@ check: build vet test race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Start fsaisolve with the observability server on a generated matrix and
+# scrape /metrics, /debug/solve (incl. SSE), /debug/pprof/ and /runs.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+# Perf-regression gate: reproduce the committed BENCH_baseline.json run and
+# diff the deterministic metrics with fsaicompare.
+compare-baseline:
+	./scripts/compare_baseline.sh
 
 clean:
 	$(GO) clean ./...

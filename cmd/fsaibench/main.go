@@ -18,7 +18,10 @@
 //	-trace         stream per-setup phase span trees to stderr
 //	-metrics-out F write a versioned machine-readable run report (JSON) to F:
 //	               per-phase setup spans, per-iteration residual histories,
-//	               SpMV/precond/BLAS-1 timing histograms, SpMV op counters
+//	               SpMV/precond/BLAS-1 timing histograms, SpMV op counters,
+//	               per-entry cache-miss attribution
+//	-listen ADDR   serve the live observability endpoints (/metrics,
+//	               /debug/solve, /debug/pprof/) while the campaign runs
 //	-pprof ADDR    serve net/http/pprof on ADDR (e.g. localhost:6060)
 //
 // Tables 1-3 and Figures 2-4 are Skylake artifacts; Table 4/Figure 5 are
@@ -39,6 +42,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/experiments"
 	"repro/internal/matgen"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -57,6 +61,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "progress output")
 		traceFlag   = flag.Bool("trace", false, "stream per-setup phase span trees to stderr")
 		metricsOut  = flag.String("metrics-out", "", "write a machine-readable run report (JSON) to this file")
+		listenAddr  = flag.String("listen", "", "serve observability endpoints on this address while the campaign runs")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -150,12 +155,23 @@ func main() {
 
 	var metrics *telemetry.Registry
 	var tracer *telemetry.Tracer
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listenAddr != "" {
 		metrics = telemetry.NewRegistry()
 		sparse.EnableOpCounters(true)
 	}
 	if *traceFlag {
 		tracer = telemetry.NewTracer(os.Stderr)
+	}
+
+	var watcher *obs.SolveWatcher
+	if *listenAddr != "" {
+		watcher = obs.NewSolveWatcher()
+		srv := obs.NewServer(obs.Options{Registry: metrics, Watcher: watcher})
+		addr, err := srv.Start(*listenAddr)
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "observability server listening on http://%s\n", addr)
 	}
 
 	var progress *os.File
@@ -164,13 +180,17 @@ func main() {
 	}
 	run := func(m arch.Arch) *experiments.RawCampaign {
 		opts := experiments.RawOptions{
-			L1:            m.L1Sim,
-			WithRandom:    needRandom,
-			WithStandard:  needStandard,
-			RecordHistory: *metricsOut != "",
-			CollectTiming: *metricsOut != "",
-			Metrics:       metrics,
-			Tracer:        tracer,
+			L1:                 m.L1Sim,
+			WithRandom:         needRandom,
+			WithStandard:       needStandard,
+			RecordHistory:      *metricsOut != "",
+			CollectTiming:      *metricsOut != "" || *listenAddr != "",
+			Metrics:            metrics,
+			CollectCacheAttrib: *metricsOut != "",
+			Tracer:             tracer,
+		}
+		if watcher != nil {
+			opts.ProgressDetail = watcher.ProgressDetail
 		}
 		if progress != nil {
 			opts.Progress = progress
@@ -208,15 +228,9 @@ func main() {
 			rawReport = raw256
 		}
 		rep := experiments.BuildRunReport(rawReport, "fsaibench", reportMachine, metrics)
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatal("metrics-out: %v", err)
-		}
-		if err := experiments.WriteRunReport(f, rep); err != nil {
-			f.Close()
-			fatal("metrics-out: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write: a mid-run failure must never truncate an existing
+		// report on disk.
+		if err := experiments.WriteRunReportFile(*metricsOut, rep); err != nil {
 			fatal("metrics-out: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote run report (%d entries) to %s\n", len(rep.Entries), *metricsOut)

@@ -1,0 +1,189 @@
+// Command fsaicompare diffs two run reports and flags metric regressions —
+// the CI perf-regression gate. It matches entries between an old (baseline)
+// and a new (candidate) report by (matrix, variant, filter) and compares the
+// deterministic quality metrics: PCG iteration counts, factor sizes, and the
+// simulated cache-miss counts that the paper's claims rest on. Wall-clock
+// metrics are noisy on shared runners and are only compared with -wall.
+//
+// Usage:
+//
+//	fsaicompare [flags] OLD.json NEW.json
+//
+//	-tol PCT    regression tolerance in percent (default 10): a metric may
+//	            grow by up to PCT% before it is flagged
+//	-wall       also compare wall-clock metrics (setup/solve nanoseconds)
+//	-v          print every comparison, not just regressions
+//
+// Exit status: 0 when no regression is found, 1 when at least one metric
+// regressed beyond tolerance (or an entry disappeared, or a previously
+// converging solve stopped converging), 2 on usage or I/O errors. Schema v1
+// baselines are upgraded on read, so old committed artifacts keep working.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// metric is one comparable quantity of a run entry. Lower is better for
+// every metric this tool compares.
+type metric struct {
+	name string
+	// wall marks host wall-clock metrics, skipped unless -wall.
+	wall bool
+	get  func(e *experiments.RunEntry) (float64, bool)
+}
+
+var metrics = []metric{
+	{name: "iterations", get: func(e *experiments.RunEntry) (float64, bool) {
+		return float64(e.Iterations), e.Iterations > 0
+	}},
+	{name: "nnz_g", get: func(e *experiments.RunEntry) (float64, bool) {
+		return float64(e.NNZG), e.NNZG > 0
+	}},
+	{name: "sim_miss_per_nnz", get: func(e *experiments.RunEntry) (float64, bool) {
+		if e.Cache == nil {
+			return 0, false
+		}
+		return e.Cache.SimMissPerNNZ, true
+	}},
+	{name: "cache_misses", get: func(e *experiments.RunEntry) (float64, bool) {
+		if e.Cache == nil {
+			return 0, false
+		}
+		var total uint64
+		for _, s := range e.Cache.Sweeps {
+			total += s.BaseMisses + s.FillMisses
+		}
+		return float64(total), true
+	}},
+	{name: "setup_wall_ns", wall: true, get: func(e *experiments.RunEntry) (float64, bool) {
+		return float64(e.SetupWallNS), e.SetupWallNS > 0
+	}},
+	{name: "solve_wall_ns", wall: true, get: func(e *experiments.RunEntry) (float64, bool) {
+		return float64(e.SolveWallNS), e.SolveWallNS > 0
+	}},
+}
+
+// entryKey identifies a measurement across reports.
+type entryKey struct {
+	Matrix  string
+	Variant string
+	Filter  float64
+}
+
+func keyOf(e *experiments.RunEntry) entryKey {
+	return entryKey{Matrix: e.Matrix, Variant: e.Variant, Filter: e.Filter}
+}
+
+func (k entryKey) String() string {
+	return fmt.Sprintf("%s/%s(filter=%g)", k.Matrix, k.Variant, k.Filter)
+}
+
+func main() {
+	var (
+		tolPct  = flag.Float64("tol", 10, "regression tolerance in percent")
+		wall    = flag.Bool("wall", false, "also compare wall-clock metrics")
+		verbose = flag.Bool("v", false, "print every comparison, not just regressions")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fsaicompare [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolPct < 0 {
+		fmt.Fprintln(os.Stderr, "fsaicompare: -tol must be >= 0")
+		os.Exit(2)
+	}
+
+	oldRep, err := experiments.ReadRunReportFile(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	newRep, err := experiments.ReadRunReportFile(flag.Arg(1))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	regressions := compare(oldRep, newRep, *tolPct, *wall, *verbose)
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d regression(s) beyond %.3g%% tolerance\n", regressions, *tolPct)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: no regressions beyond %.3g%% tolerance\n", *tolPct)
+}
+
+// compare walks the baseline's entries and counts regressions in the
+// candidate. Printed output goes to stdout; the count is the exit signal.
+func compare(oldRep, newRep *experiments.RunReport, tolPct float64, wall, verbose bool) int {
+	newByKey := map[entryKey]*experiments.RunEntry{}
+	for i := range newRep.Entries {
+		e := &newRep.Entries[i]
+		newByKey[keyOf(e)] = e
+	}
+
+	var regressions, compared int
+	for i := range oldRep.Entries {
+		oe := &oldRep.Entries[i]
+		key := keyOf(oe)
+		ne, ok := newByKey[key]
+		if !ok {
+			fmt.Printf("REGRESSION %s: entry missing from new report\n", key)
+			regressions++
+			continue
+		}
+		if oe.Converged && !ne.Converged {
+			fmt.Printf("REGRESSION %s: solve no longer converges (was %d iterations)\n", key, oe.Iterations)
+			regressions++
+		}
+		for _, m := range metrics {
+			if m.wall && !wall {
+				continue
+			}
+			ov, ook := m.get(oe)
+			nv, nok := m.get(ne)
+			if !ook || !nok {
+				// Not measured on both sides (e.g. a v1 baseline has no
+				// cache section) — nothing to compare.
+				continue
+			}
+			compared++
+			growth := growthPct(ov, nv)
+			switch {
+			case growth > tolPct:
+				fmt.Printf("REGRESSION %s: %s %.6g -> %.6g (%+.1f%% > %.3g%%)\n",
+					key, m.name, ov, nv, growth, tolPct)
+				regressions++
+			case verbose:
+				fmt.Printf("ok %s: %s %.6g -> %.6g (%+.1f%%)\n", key, m.name, ov, nv, growth)
+			}
+		}
+	}
+	fmt.Printf("compared %d metrics across %d baseline entries\n", compared, len(oldRep.Entries))
+	return regressions
+}
+
+// growthPct returns the percent growth from old to new (positive = worse;
+// every compared metric is lower-is-better). A zero baseline only regresses
+// when the new value becomes nonzero.
+func growthPct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsaicompare: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func baseReport() *experiments.RunReport {
+	return &experiments.RunReport{
+		Tool: "fsaisolve",
+		Entries: []experiments.RunEntry{
+			{
+				Matrix: "lap2d", Variant: "FSAIE(full)", Filter: 0.01,
+				Iterations: 100, Converged: true, NNZG: 5000,
+				SetupWallNS: 1_000_000, SolveWallNS: 2_000_000,
+				Cache: &experiments.RunCacheAttrib{
+					LineBytes: 64, BlockRows: 4,
+					SimMissPerNNZ: 0.5,
+					Sweeps: []experiments.RunCacheSweep{
+						{Phase: "G", BaseMisses: 1000, FillMisses: 10},
+						{Phase: "GT", BaseMisses: 1200, FillMisses: 12},
+					},
+				},
+			},
+			{
+				Matrix: "lap2d", Variant: "FSAI", Filter: 0,
+				Iterations: 140, Converged: true, NNZG: 4000,
+			},
+		},
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r *experiments.RunReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := experiments.WriteRunReportFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCompare invokes compare() directly, capturing stdout.
+func runCompare(t *testing.T, oldR, newR *experiments.RunReport, tolPct float64, wall bool) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", oldR)
+	newPath := writeReport(t, dir, "new.json", newR)
+	o, err := experiments.ReadRunReportFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := experiments.ReadRunReportFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	regressions := compare(o, n, tolPct, wall, false)
+	w.Close()
+	os.Stdout = orig
+	var buf bytes.Buffer
+	_, _ = io.Copy(&buf, r)
+	return regressions, buf.String()
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	regs, out := runCompare(t, baseReport(), baseReport(), 10, true)
+	if regs != 0 {
+		t.Fatalf("identical reports flagged %d regressions:\n%s", regs, out)
+	}
+}
+
+func TestInjectedRegressionFlagged(t *testing.T) {
+	// The acceptance criterion: a >=10% injected regression must be caught
+	// at the default 10% tolerance.
+	newR := baseReport()
+	newR.Entries[0].Iterations = 111 // +11%
+	regs, out := runCompare(t, baseReport(), newR, 10, false)
+	if regs == 0 {
+		t.Fatalf("11%% iteration regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "iterations") {
+		t.Errorf("output does not name the regressed metric:\n%s", out)
+	}
+}
+
+func TestWithinToleranceGrowthPasses(t *testing.T) {
+	newR := baseReport()
+	newR.Entries[0].Iterations = 105 // +5% < 10%
+	if regs, out := runCompare(t, baseReport(), newR, 10, false); regs != 0 {
+		t.Fatalf("5%% growth flagged at 10%% tolerance:\n%s", out)
+	}
+	// ... but a tighter tolerance catches it.
+	if regs, _ := runCompare(t, baseReport(), newR, 2, false); regs == 0 {
+		t.Fatal("5% growth not flagged at 2% tolerance")
+	}
+}
+
+func TestCacheMissRegressionFlagged(t *testing.T) {
+	newR := baseReport()
+	newR.Entries[0].Cache.SimMissPerNNZ = 0.62 // +24%
+	regs, out := runCompare(t, baseReport(), newR, 10, false)
+	if regs == 0 || !strings.Contains(out, "sim_miss_per_nnz") {
+		t.Fatalf("cache miss regression not flagged (%d):\n%s", regs, out)
+	}
+}
+
+func TestMissingEntryIsRegression(t *testing.T) {
+	newR := baseReport()
+	newR.Entries = newR.Entries[:1] // drop the FSAI entry
+	regs, out := runCompare(t, baseReport(), newR, 10, false)
+	if regs == 0 || !strings.Contains(out, "missing") {
+		t.Fatalf("dropped entry not flagged (%d):\n%s", regs, out)
+	}
+}
+
+func TestConvergenceLossIsRegression(t *testing.T) {
+	newR := baseReport()
+	// Fewer iterations because the solve gave up — must still fail.
+	newR.Entries[0].Converged = false
+	newR.Entries[0].Iterations = 50
+	regs, out := runCompare(t, baseReport(), newR, 10, false)
+	if regs == 0 || !strings.Contains(out, "converge") {
+		t.Fatalf("convergence loss not flagged (%d):\n%s", regs, out)
+	}
+}
+
+func TestImprovementsPass(t *testing.T) {
+	newR := baseReport()
+	newR.Entries[0].Iterations = 50 // big improvement
+	newR.Entries[0].Cache.SimMissPerNNZ = 0.1
+	if regs, out := runCompare(t, baseReport(), newR, 10, true); regs != 0 {
+		t.Fatalf("improvement flagged as regression:\n%s", out)
+	}
+}
+
+func TestWallMetricsGatedByFlag(t *testing.T) {
+	newR := baseReport()
+	newR.Entries[0].SolveWallNS = 10_000_000 // 5x slower
+	if regs, _ := runCompare(t, baseReport(), newR, 10, false); regs != 0 {
+		t.Fatal("wall metric compared without -wall")
+	}
+	if regs, _ := runCompare(t, baseReport(), newR, 10, true); regs == 0 {
+		t.Fatal("wall regression not flagged with -wall")
+	}
+}
+
+func TestV1BaselineComparable(t *testing.T) {
+	// A schema v1 baseline (no cache sections) must compare cleanly against
+	// a v2 candidate: cache metrics are skipped, not treated as regressions.
+	v1 := `{
+  "schema_version": 1,
+  "tool": "fsaisolve",
+  "entries": [
+    {"matrix": "lap2d", "variant": "FSAIE(full)", "filter": 0.01,
+     "iterations": 100, "converged": true, "nnz_g": 5000,
+     "setup_wall_ns": 1, "solve_wall_ns": 2}
+  ]
+}`
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "v1.json")
+	if err := os.WriteFile(oldPath, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := experiments.ReadRunReportFile(oldPath)
+	if err != nil {
+		t.Fatalf("v1 baseline rejected: %v", err)
+	}
+	n := baseReport()
+	n.Entries = n.Entries[:1]
+
+	orig := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	regs := compare(o, n, 10, false, false)
+	w.Close()
+	os.Stdout = orig
+	var buf bytes.Buffer
+	_, _ = io.Copy(&buf, r)
+	if regs != 0 {
+		t.Fatalf("v1 vs v2 comparison flagged %d regressions:\n%s", regs, buf.String())
+	}
+}
+
+func TestGrowthPct(t *testing.T) {
+	cases := []struct {
+		oldV, newV, want float64
+	}{
+		{100, 110, 10},
+		{100, 90, -10},
+		{0, 0, 0},
+		{0, 5, 100},
+	}
+	for _, c := range cases {
+		if got := growthPct(c.oldV, c.newV); got != c.want {
+			t.Errorf("growthPct(%g, %g) = %g, want %g", c.oldV, c.newV, got, c.want)
+		}
+	}
+}

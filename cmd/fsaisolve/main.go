@@ -22,6 +22,11 @@
 //	-history        print an ASCII convergence plot
 //	-trace          print the setup phase span tree and solve breakdown to stderr
 //	-metrics-out F  write a machine-readable run report (JSON) to F
+//	-align N        pin the x-vector cache-line offset in elements (-1: as allocated)
+//	-listen ADDR    serve the observability endpoints (/metrics, /debug/solve,
+//	                /debug/pprof/, /runs) on ADDR (":0" picks a free port)
+//	-hold           with -listen: keep serving after the solve until SIGINT/SIGTERM
+//	-runs-dir DIR   directory served under /runs (default: the -metrics-out directory)
 //	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
@@ -32,9 +37,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cachesim"
@@ -42,6 +49,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/krylov"
 	"repro/internal/mmio"
+	"repro/internal/obs"
+	"repro/internal/pattern"
 	"repro/internal/precond"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
@@ -66,6 +75,10 @@ func main() {
 		history    = flag.Bool("history", false, "print convergence plot")
 		traceFlag  = flag.Bool("trace", false, "print setup phase spans and solve breakdown to stderr")
 		metricsOut = flag.String("metrics-out", "", "write a machine-readable run report (JSON) to this file")
+		alignFlag  = flag.Int("align", -1, "pin the x-vector cache-line offset in elements (-1: as allocated)")
+		listenAddr = flag.String("listen", "", "serve observability endpoints on this address (\":0\" picks a free port)")
+		hold       = flag.Bool("hold", false, "with -listen: keep serving after the solve until SIGINT/SIGTERM")
+		runsDir    = flag.String("runs-dir", "", "directory served under /runs (default: the -metrics-out directory)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -83,7 +96,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	observing := *traceFlag || *metricsOut != ""
+	observing := *traceFlag || *metricsOut != "" || *listenAddr != ""
 	var tracer *telemetry.Tracer
 	if *traceFlag {
 		tracer = telemetry.NewTracer(os.Stderr)
@@ -91,9 +104,24 @@ func main() {
 		tracer = telemetry.NewTracer(nil)
 	}
 	var metrics *telemetry.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listenAddr != "" {
 		metrics = telemetry.NewRegistry()
 		sparse.EnableOpCounters(true)
+	}
+
+	var watcher *obs.SolveWatcher
+	if *listenAddr != "" {
+		watcher = obs.NewSolveWatcher()
+		dir := *runsDir
+		if dir == "" && *metricsOut != "" {
+			dir = filepath.Dir(*metricsOut)
+		}
+		srv := obs.NewServer(obs.Options{Registry: metrics, Watcher: watcher, RunsDir: dir})
+		addr, err := srv.Start(*listenAddr)
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "observability server listening on http://%s\n", addr)
 	}
 
 	a, err := mmio.ReadFile(flag.Arg(0))
@@ -128,8 +156,17 @@ func main() {
 		fmt.Printf("rcm: bandwidth %d -> %d\n", bwBefore, reorder.Bandwidth(a))
 	}
 
-	x := make([]float64, a.Rows)
-	align := cachesim.AlignOf(x, *line)
+	// -align pins the x-vector's cache-line offset for reproducible miss
+	// counts (CI baselines); by default the natural allocation decides.
+	var x []float64
+	var align int
+	if *alignFlag >= 0 {
+		align = *alignFlag % (*line / 8)
+		x = cachesim.AllocAligned(a.Rows, *line, align)
+	} else {
+		x = make([]float64, a.Rows)
+		align = cachesim.AlignOf(x, *line)
+	}
 
 	t0 := time.Now()
 	m, g, err := buildPreconditioner(*precName, a, fsai.Options{
@@ -152,9 +189,15 @@ func main() {
 		CollectTiming: observing,
 		Metrics:       metrics,
 	}
+	if watcher != nil {
+		watcher.Begin(fmt.Sprintf("%s/%s", filepath.Base(flag.Arg(0)), *precName), *tol, *maxIter)
+		opts.Progress = watcher.Progress
+		opts.ProgressDetail = watcher.ProgressDetail
+	}
 	t0 = time.Now()
 	res := krylov.Solve(a, x, b, m, opts)
 	solve := time.Since(t0)
+	watcher.End(res)
 
 	fmt.Printf("precond=%s setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
 		*precName, msec(setup), msec(solve), res.Iterations, res.Converged, res.RelResidual)
@@ -163,6 +206,33 @@ func main() {
 		tm := res.Timing
 		fmt.Fprintf(os.Stderr, "solve breakdown: spmv=%.1fms precond=%.1fms blas1=%.1fms total=%.1fms\n",
 			msec(tm.SpMV), msec(tm.Precond), msec(tm.BLAS1), msec(tm.Total))
+	}
+
+	// Cache-miss attribution of the preconditioner application, for the run
+	// report's cache section and the live /metrics series.
+	var cacheSection *experiments.RunCacheAttrib
+	if g != nil && metrics != nil {
+		// Same geometry as the paper's simulated L1 (512 lines, 8 ways),
+		// scaled to the requested line size.
+		sim := cachesim.New(cachesim.Config{SizeBytes: 512 * *line, LineBytes: *line, Ways: 8})
+		topt := cachesim.TraceOptions{AlignElems: align, IncludeStreams: true}
+		gp := pattern.FromCSR(g.G)
+		base := g.BasePattern
+		if base == nil {
+			base = gp
+		}
+		attr := cachesim.TracePreconditionAttrib(sim, gp, base, topt, 0)
+		attr.Publish(metrics)
+		fsai.PublishSetupStats(metrics, *precName, &g.Stats)
+		elems := *line / 8
+		var modelLV float64
+		if g.NNZ() > 0 {
+			lv := cachesim.CountLineVisits(gp, elems, align) +
+				cachesim.CountLineVisits(gp.Transpose(), elems, align)
+			modelLV = float64(lv) / float64(g.NNZ())
+		}
+		cacheSection = experiments.RunCacheOf(&attr, modelLV)
+		cacheSection.MeasuredAI = sparse.ReadOpCounters().AI()
 	}
 
 	if *metricsOut != "" {
@@ -190,6 +260,7 @@ func main() {
 			entry.NNZG = g.NNZ()
 			entry.ExtPct = g.ExtensionPct()
 			entry.SetupPhases = g.Stats.Phases
+			entry.Cache = cacheSection
 		}
 		rep := &experiments.RunReport{
 			Tool:      "fsaisolve",
@@ -201,15 +272,7 @@ func main() {
 			rep.Metrics = &snap
 		}
 		rep.SetSpMVOps(sparse.ReadOpCounters())
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatal("metrics-out: %v", err)
-		}
-		if err := experiments.WriteRunReport(f, rep); err != nil {
-			f.Close()
-			fatal("metrics-out: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		if err := experiments.WriteRunReportFile(*metricsOut, rep); err != nil {
 			fatal("metrics-out: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *metricsOut)
@@ -240,6 +303,13 @@ func main() {
 			fatal("out: %v", err)
 		}
 		fmt.Printf("wrote solution to %s\n", *outPath)
+	}
+
+	if *hold && *listenAddr != "" {
+		fmt.Fprintln(os.Stderr, "holding for scrapes; interrupt to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }
 

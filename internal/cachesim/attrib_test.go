@@ -1,0 +1,156 @@
+package cachesim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/telemetry"
+)
+
+// randomLowerPatterns builds a pseudo-random lower-triangular base pattern
+// and an extension of it (base plus extra in-row fill entries).
+func randomLowerPatterns(n int, rng *rand.Rand) (base, ext *pattern.Pattern) {
+	baseRows := make([][]int, n)
+	extRows := make([][]int, n)
+	for i := 0; i < n; i++ {
+		baseRows[i] = append(baseRows[i], i) // diagonal
+		for k := 0; k < 3; k++ {
+			baseRows[i] = append(baseRows[i], rng.Intn(i+1))
+		}
+		extRows[i] = append(extRows[i], baseRows[i]...)
+		for k := 0; k < 2; k++ {
+			extRows[i] = append(extRows[i], rng.Intn(i+1))
+		}
+	}
+	return pattern.FromRows(n, n, baseRows), pattern.FromRows(n, n, extRows)
+}
+
+func TestAttribMatchesUnattributedTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base, ext := randomLowerPatterns(300, rng)
+	c := New(Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 4})
+	for _, opt := range []TraceOptions{
+		{AlignElems: 0},
+		{AlignElems: 3, IncludeStreams: true},
+	} {
+		wantG, wantGT := TracePrecondition(c, ext, opt)
+		attr := TracePreconditionAttrib(c, ext, base, opt, 0)
+		if got := attr.G.Misses(); got != wantG {
+			t.Errorf("opt %+v: G misses = %d, want %d", opt, got, wantG)
+		}
+		if got := attr.GT.Misses(); got != wantGT {
+			t.Errorf("opt %+v: GT misses = %d, want %d", opt, got, wantGT)
+		}
+		if got := attr.Misses(); got != wantG+wantGT {
+			t.Errorf("total misses = %d, want %d", got, wantG+wantGT)
+		}
+		// Row-block buckets are a partition of each sweep's misses.
+		for _, s := range []*SweepAttrib{&attr.G, &attr.GT} {
+			var sum uint64
+			for _, m := range s.RowBlockMisses {
+				sum += m
+			}
+			if sum != s.Misses() {
+				t.Errorf("phase %s: row-block sum %d != misses %d", s.Phase, sum, s.Misses())
+			}
+		}
+	}
+}
+
+func TestAttribEntryClassCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base, ext := randomLowerPatterns(200, rng)
+	c := New(Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 4})
+	attr := TracePreconditionAttrib(c, ext, base, TraceOptions{}, 0)
+	wantBase, wantFill := base.NNZ(), ext.NNZ()-base.NNZ()
+	for _, s := range []*SweepAttrib{&attr.G, &attr.GT} {
+		if s.BaseEntries != wantBase || s.FillEntries != wantFill {
+			t.Errorf("phase %s: entries base=%d fill=%d, want %d/%d",
+				s.Phase, s.BaseEntries, s.FillEntries, wantBase, wantFill)
+		}
+	}
+	if attr.G.Phase != "G" || attr.GT.Phase != "GT" {
+		t.Errorf("phases = %q/%q", attr.G.Phase, attr.GT.Phase)
+	}
+	if got, want := attr.MissPerNNZ(), float64(attr.Misses())/float64(ext.NNZ()); got != want {
+		t.Errorf("MissPerNNZ = %g, want %g", got, want)
+	}
+}
+
+func TestAttribCacheFriendlyFillIsFree(t *testing.T) {
+	// Base touches x[0] and x[16] per row; fill adds x[1] and x[17] — same
+	// 64-byte lines at alignment 0. The fill-in entries must not miss.
+	n := 32
+	baseRows := make([][]int, n)
+	extRows := make([][]int, n)
+	for i := range baseRows {
+		baseRows[i] = []int{0, 16, i}
+		extRows[i] = []int{0, 1, 16, 17, i}
+	}
+	base := pattern.FromRows(n, n, baseRows)
+	ext := pattern.FromRows(n, n, extRows)
+	c := New(Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 8})
+	attr := TracePreconditionAttrib(c, ext, base, TraceOptions{}, 0)
+	// Diagonal entries i are base; only columns 1 and 17 are fill, and both
+	// share a line with a base column accessed just before.
+	if attr.G.FillMisses != 0 {
+		t.Errorf("cache-friendly fill missed %d times in G sweep", attr.G.FillMisses)
+	}
+	if attr.G.MissPerFillNNZ() != 0 {
+		t.Errorf("MissPerFillNNZ = %g, want 0", attr.G.MissPerFillNNZ())
+	}
+	if attr.G.BaseMisses == 0 {
+		t.Error("expected compulsory base misses")
+	}
+}
+
+func TestAttribBlockRows(t *testing.T) {
+	base, ext := randomLowerPatterns(100, rand.New(rand.NewSource(3)))
+	c := New(Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 4})
+	attr := TracePreconditionAttrib(c, ext, base, TraceOptions{}, 1)
+	if attr.BlockRows != 1 || len(attr.G.RowBlockMisses) != 100 {
+		t.Fatalf("blockRows=1: got BlockRows=%d, %d blocks", attr.BlockRows, len(attr.G.RowBlockMisses))
+	}
+	attr = TracePreconditionAttrib(c, ext, base, TraceOptions{}, 0)
+	if attr.BlockRows != BlockRowsFor(100) {
+		t.Fatalf("default BlockRows = %d, want %d", attr.BlockRows, BlockRowsFor(100))
+	}
+	if BlockRowsFor(100) != 2 || BlockRowsFor(64) != 1 || BlockRowsFor(0) != 1 {
+		t.Fatalf("BlockRowsFor: %d %d %d", BlockRowsFor(100), BlockRowsFor(64), BlockRowsFor(0))
+	}
+}
+
+func TestAttribPublish(t *testing.T) {
+	base, ext := randomLowerPatterns(64, rand.New(rand.NewSource(5)))
+	c := New(Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 4})
+	attr := TracePreconditionAttrib(c, ext, base, TraceOptions{}, 0)
+
+	reg := telemetry.NewRegistry()
+	attr.Publish(reg)
+	snap := reg.Snapshot()
+	got := snap.Counters[`cachesim.x_misses{phase="G",entries="base"}`]
+	if uint64(got) != attr.G.BaseMisses {
+		t.Errorf("published base misses = %d, want %d", got, attr.G.BaseMisses)
+	}
+	if snap.Counters[`cachesim.entries{phase="GT",entries="fill"}`] != int64(attr.GT.FillEntries) {
+		t.Error("published GT fill entries mismatch")
+	}
+	h, ok := snap.Histograms[`cachesim.row_block_misses{phase="G"}`]
+	if !ok || h.Count != int64(len(attr.G.RowBlockMisses)) {
+		t.Errorf("row-block histogram: %+v", h)
+	}
+
+	// The labelled series must render as one Prometheus family.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE cachesim_x_misses counter"); n != 1 {
+		t.Errorf("cachesim_x_misses family headers = %d, want 1:\n%s", n, sb.String())
+	}
+
+	// Nil registry is a no-op.
+	attr.Publish(nil)
+}

@@ -89,10 +89,13 @@ func New(cfg Config) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Reset invalidates all lines and clears counters.
+// Reset invalidates all lines and clears counters. LRU stamps are cleared
+// too so a reset cache is indistinguishable from a fresh one (stale stamps
+// must not bias victim selection).
 func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
+		c.age[i] = 0
 	}
 	c.clock = 0
 	c.nAccesses, c.nMisses, c.nEvictions = 0, 0, 0
@@ -114,10 +117,12 @@ func (c *Cache) Access(addr uint64) bool {
 			return true
 		}
 	}
-	// Miss: fill LRU way.
+	// Miss: fill the first invalid way, else the LRU way. The scan must
+	// consider way 0's validity explicitly — assuming it as a fallback
+	// victim would let a stale high age stamp keep it unfilled.
 	c.nMisses++
 	victim := base
-	for w := 1; w < c.ways; w++ {
+	for w := 0; w < c.ways; w++ {
 		if !c.valid[base+w] {
 			victim = base + w
 			break

@@ -91,6 +91,30 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestResetEquivalentToFreshCache(t *testing.T) {
+	// A reset cache must reproduce a fresh cache's miss sequence exactly:
+	// stale LRU stamps must not bias victim selection (historically they
+	// could leave way 0 unfilled, shrinking the effective associativity).
+	cfg := Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 4}
+	addrs := make([]uint64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		addrs = append(addrs, uint64((i*2654435761)%(1<<16)))
+	}
+	run := func(c *Cache) uint64 {
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		return c.Misses()
+	}
+	fresh := run(New(cfg))
+	warm := New(cfg)
+	run(warm)
+	warm.Reset()
+	if again := run(warm); again != fresh {
+		t.Fatalf("post-reset misses %d != fresh misses %d", again, fresh)
+	}
+}
+
 func TestMissRate(t *testing.T) {
 	c := New(Config{SizeBytes: 256, LineBytes: 64, Ways: 4})
 	if c.MissRate() != 0 {

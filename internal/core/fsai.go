@@ -251,6 +251,29 @@ func (p *Preconditioner) ExtensionPct() float64 {
 	return 100 * float64(p.FinalPattern.NNZ()-base) / float64(base)
 }
 
+// ExtensionPattern returns the fill-in-only pattern: the positions the
+// cache-friendly extension (and any surviving filtering) added on top of
+// the base pattern. These are the entries whose cache behaviour the miss
+// attribution profiler reports separately from the base entries.
+func (p *Preconditioner) ExtensionPattern() *pattern.Pattern {
+	return p.FinalPattern.Minus(p.BasePattern)
+}
+
+// PublishSetupStats records s in reg as labelled per-phase/per-variant
+// series: one counter of accumulated nanoseconds per (phase, variant) and
+// one setup counter per variant. Nil-safe on a nil registry.
+func PublishSetupStats(reg *telemetry.Registry, variant string, s *SetupStats) {
+	if reg == nil || s == nil {
+		return
+	}
+	reg.SetHelp("fsai_setup_phase_ns", "accumulated FSAI setup wall nanoseconds by phase and variant")
+	reg.SetHelp("fsai_setups", "preconditioner setups by variant")
+	for _, ph := range s.Phases {
+		reg.Counter(`fsai.setup.phase_ns{phase="`+ph.Name+`",variant="`+variant+`"}`).Add(ph.NS)
+	}
+	reg.Counter(`fsai.setups{variant="` + variant + `"}`).Inc()
+}
+
 // ErrNotSPD is reported when a local system A(S_i,S_i) is not positive
 // definite, which for exact arithmetic cannot happen with SPD A.
 var ErrNotSPD = errors.New("fsai: local system not positive definite (is A SPD?)")

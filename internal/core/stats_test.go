@@ -137,3 +137,44 @@ func TestSetupTracerSpans(t *testing.T) {
 		t.Errorf("sink rendering missing phases:\n%s", sink.String())
 	}
 }
+
+func TestExtensionPatternAndPublishSetupStats(t *testing.T) {
+	a := matgen.Laplace2D(16, 16)
+	opts := DefaultOptions()
+	opts.Variant = VariantFull
+	opts.Filter = 0 // keep the full extension so fill-in is guaranteed
+	p, err := Compute(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := p.ExtensionPattern()
+	if got, want := fill.NNZ(), p.FinalPattern.NNZ()-p.BasePattern.NNZ(); got != want {
+		t.Fatalf("fill nnz = %d, want %d", got, want)
+	}
+	if fill.NNZ() == 0 {
+		t.Fatal("expected nonempty fill-in at filter 0")
+	}
+	for i := 0; i < fill.Rows; i++ {
+		for _, j := range fill.Row(i) {
+			if p.BasePattern.Contains(i, j) {
+				t.Fatalf("fill entry (%d,%d) is in the base pattern", i, j)
+			}
+			if !p.FinalPattern.Contains(i, j) {
+				t.Fatalf("fill entry (%d,%d) not in the final pattern", i, j)
+			}
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	PublishSetupStats(reg, p.Stats.Phases[0].Name+"-unused", nil) // nil stats: no-op
+	PublishSetupStats(nil, "FSAIE(full)", &p.Stats)               // nil registry: no-op
+	PublishSetupStats(reg, "FSAIE(full)", &p.Stats)
+	snap := reg.Snapshot()
+	if snap.Counters[`fsai.setups{variant="FSAIE(full)"}`] != 1 {
+		t.Errorf("setup counter: %+v", snap.Counters)
+	}
+	got := snap.Counters[`fsai.setup.phase_ns{phase="extend",variant="FSAIE(full)"}`]
+	if want := p.Stats.PhaseNS(PhaseExtend); got != want {
+		t.Errorf("extend phase ns = %d, want %d", got, want)
+	}
+}

@@ -70,8 +70,18 @@ type RawOptions struct {
 	// (SpMV / preconditioner / BLAS-1) in each MethodRaw.
 	CollectTiming bool
 	// Metrics, when non-nil, receives solver iteration-timing histograms
-	// and counters from every PCG solve of the campaign.
+	// and counters from every PCG solve of the campaign, plus per-variant
+	// setup-phase counters and (with CollectCacheAttrib) cache-miss
+	// attribution series.
 	Metrics *telemetry.Registry
+	// CollectCacheAttrib enables the attributed precondition trace: each
+	// MethodRaw additionally carries the per-phase / per-entry-class /
+	// per-row-block x-miss breakdown (the run report's "cache" section).
+	CollectCacheAttrib bool
+	// ProgressDetail, when non-nil, receives every PCG iteration of every
+	// solve in the campaign (the live-observability hook; see
+	// obs.SolveWatcher).
+	ProgressDetail func(krylov.ProgressInfo)
 	// Tracer, when non-nil, receives one span tree per preconditioner
 	// setup (the Algorithm 3-4 phases).
 	Tracer *telemetry.Tracer
@@ -134,6 +144,11 @@ type MethodRaw struct {
 	// Timing is the solver's kernel-class wall-clock breakdown when
 	// RawOptions.CollectTiming is set.
 	Timing krylov.Timing
+
+	// CacheAttrib is the attributed precondition trace when
+	// RawOptions.CollectCacheAttrib is set: the same total misses as
+	// MissG/MissGT, split by entry class and row block.
+	CacheAttrib *cachesim.PrecondAttrib
 
 	// StdIterations is the iteration count under the classical
 	// post-filtering strategy (Table 3); 0 when not measured. StdConverged
@@ -221,9 +236,10 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 
 	kopt := krylov.Options{
 		Tol: opts.Tol, MaxIter: opts.MaxIter, Workers: opts.Workers,
-		RecordHistory: opts.RecordHistory,
-		CollectTiming: opts.CollectTiming,
-		Metrics:       opts.Metrics,
+		RecordHistory:  opts.RecordHistory,
+		CollectTiming:  opts.CollectTiming,
+		Metrics:        opts.Metrics,
+		ProgressDetail: opts.ProgressDetail,
 	}
 	cache := cachesim.New(opts.L1)
 	trace := cachesim.TraceOptions{AlignElems: align, IncludeStreams: true}
@@ -246,25 +262,33 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 		gm, gtm := cachesim.TracePrecondition(cache, gp, trace)
 		lvG := cachesim.CountLineVisits(gp, elems, align)
 		lvGT := cachesim.CountLineVisits(gp.Transpose(), elems, align)
+		var attrib *cachesim.PrecondAttrib
+		if opts.CollectCacheAttrib {
+			a := cachesim.TracePreconditionAttrib(cache, gp, p.BasePattern, trace, 0)
+			attrib = &a
+			attrib.Publish(opts.Metrics)
+		}
+		fsai.PublishSetupStats(opts.Metrics, fopt.Variant.String(), &p.Stats)
 		m := MethodRaw{
-			Variant:    fopt.Variant,
-			Filter:     fopt.Filter,
-			NNZG:       p.NNZ(),
-			ExtPct:     p.ExtensionPct(),
-			Iterations: res.Iterations,
-			Converged:  res.Converged,
-			MissA:      missA,
-			MissG:      gm,
-			MissGT:     gtm,
-			LVA:        lvA,
-			LVG:        lvG,
-			LVGT:       lvGT,
-			MissPerNNZ: float64(gm+gtm) / float64(p.NNZ()),
-			Stats:      p.Stats,
-			WallSetup:  wallSetup,
-			WallSolve:  wallSolve,
-			History:    res.History,
-			Timing:     res.Timing,
+			Variant:     fopt.Variant,
+			Filter:      fopt.Filter,
+			NNZG:        p.NNZ(),
+			ExtPct:      p.ExtensionPct(),
+			Iterations:  res.Iterations,
+			Converged:   res.Converged,
+			MissA:       missA,
+			MissG:       gm,
+			MissGT:      gtm,
+			LVA:         lvA,
+			LVG:         lvG,
+			LVGT:        lvGT,
+			MissPerNNZ:  float64(gm+gtm) / float64(p.NNZ()),
+			Stats:       p.Stats,
+			WallSetup:   wallSetup,
+			WallSolve:   wallSolve,
+			History:     res.History,
+			Timing:      res.Timing,
+			CacheAttrib: attrib,
 		}
 		return m, p, nil
 	}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/cachesim"
 	fsai "repro/internal/core"
 	"repro/internal/krylov"
 	"repro/internal/sparse"
@@ -22,8 +25,18 @@ import (
 // decodable or fail loudly.
 
 // RunReportSchemaVersion is the current schema_version written by
-// WriteRunReport and required by ReadRunReport.
-const RunReportSchemaVersion = 1
+// WriteRunReport. ReadRunReport accepts any version it can upgrade in place
+// (RunReportMinSchemaVersion and later); newer or unknown versions fail
+// loudly.
+//
+// Version history:
+//
+//	1: initial — entries with phases/history/timing, metrics, spmv_ops.
+//	2: adds the per-entry "cache" miss-attribution section (optional).
+const RunReportSchemaVersion = 2
+
+// RunReportMinSchemaVersion is the oldest schema ReadRunReport upgrades.
+const RunReportMinSchemaVersion = 1
 
 // RunReport is the top-level run-report document.
 type RunReport struct {
@@ -89,6 +102,74 @@ type RunEntry struct {
 
 	// Timing is the solver kernel-class breakdown when collected.
 	Timing *RunTiming `json:"timing,omitempty"`
+
+	// Cache is the simulated x-access miss attribution of the GᵀGp
+	// preconditioner application (schema v2, optional).
+	Cache *RunCacheAttrib `json:"cache,omitempty"`
+}
+
+// RunCacheSweep serializes one sweep's miss attribution (cachesim.SweepAttrib).
+type RunCacheSweep struct {
+	// Phase is "G" (the Gp product) or "GT" (the Gᵀp product).
+	Phase       string `json:"phase"`
+	BaseEntries int    `json:"base_entries"`
+	FillEntries int    `json:"fill_entries"`
+	BaseMisses  uint64 `json:"base_misses"`
+	FillMisses  uint64 `json:"fill_misses"`
+	// MissPerBaseNNZ/MissPerFillNNZ normalize each miss class by its own
+	// entry count — the Section 4 claim is FillMissPerNNZ ≈ 0.
+	MissPerBaseNNZ float64 `json:"miss_per_base_nnz"`
+	MissPerFillNNZ float64 `json:"miss_per_fill_nnz"`
+	// RowBlockMisses buckets misses by row region (BlockRows rows each).
+	RowBlockMisses []uint64 `json:"row_block_misses,omitempty"`
+}
+
+// RunCacheAttrib is the per-entry cache section: the simulated miss
+// attribution next to the modelled (line-visit) and measured (op-counter)
+// intensities, so all three views of the same sweep sit side by side.
+type RunCacheAttrib struct {
+	LineBytes int `json:"line_bytes"`
+	BlockRows int `json:"block_rows"`
+
+	Sweeps []RunCacheSweep `json:"sweeps"`
+
+	// SimMissPerNNZ is the cache-simulated (MissG+MissGT)/nnz(G) — the
+	// Figure 3 metric as the simulator attributes it.
+	SimMissPerNNZ float64 `json:"sim_miss_per_nnz"`
+	// ModelLineVisitsPerNNZ is the perfmodel view: distinct x cache lines
+	// visited per stored entry ((LVG+LVGT)/nnz(G)), the quantity the
+	// cache-friendly extension holds constant.
+	ModelLineVisitsPerNNZ float64 `json:"model_line_visits_per_nnz,omitempty"`
+	// MeasuredAI is the op-counter flop/byte intensity of the run when the
+	// build collects sparse op counters (0 otherwise).
+	MeasuredAI float64 `json:"measured_ai,omitempty"`
+}
+
+// RunCacheOf converts a cachesim attribution into the report's cache section.
+// modelLVPerNNZ may be 0 when line visits were not counted.
+func RunCacheOf(a *cachesim.PrecondAttrib, modelLVPerNNZ float64) *RunCacheAttrib {
+	if a == nil {
+		return nil
+	}
+	out := &RunCacheAttrib{
+		LineBytes:             a.LineBytes,
+		BlockRows:             a.BlockRows,
+		SimMissPerNNZ:         a.MissPerNNZ(),
+		ModelLineVisitsPerNNZ: modelLVPerNNZ,
+	}
+	for _, s := range []*cachesim.SweepAttrib{&a.G, &a.GT} {
+		out.Sweeps = append(out.Sweeps, RunCacheSweep{
+			Phase:          s.Phase,
+			BaseEntries:    s.BaseEntries,
+			FillEntries:    s.FillEntries,
+			BaseMisses:     s.BaseMisses,
+			FillMisses:     s.FillMisses,
+			MissPerBaseNNZ: s.MissPerBaseNNZ(),
+			MissPerFillNNZ: s.MissPerFillNNZ(),
+			RowBlockMisses: append([]uint64(nil), s.RowBlockMisses...),
+		})
+	}
+	return out
 }
 
 func runTimingOf(t krylov.Timing) *RunTiming {
@@ -104,6 +185,10 @@ func runTimingOf(t krylov.Timing) *RunTiming {
 }
 
 func runEntryOf(mr *MatrixRaw, m *MethodRaw) RunEntry {
+	var modelLV float64
+	if m.NNZG > 0 {
+		modelLV = float64(m.LVG+m.LVGT) / float64(m.NNZG)
+	}
 	return RunEntry{
 		MatrixID:    mr.Spec.ID,
 		Matrix:      mr.Spec.Name,
@@ -121,6 +206,7 @@ func runEntryOf(mr *MatrixRaw, m *MethodRaw) RunEntry {
 		SolveWallNS: m.WallSolve.Nanoseconds(),
 		History:     m.History,
 		Timing:      runTimingOf(m.Timing),
+		Cache:       RunCacheOf(m.CacheAttrib, modelLV),
 	}
 }
 
@@ -174,18 +260,61 @@ func WriteRunReport(w io.Writer, r *RunReport) error {
 	return enc.Encode(r)
 }
 
-// ReadRunReport decodes and validates a run report. Unknown schema versions
-// are rejected so downstream tooling never silently misreads an artifact.
+// ReadRunReport decodes and validates a run report. Older schema versions
+// are upgraded in place (every v2 addition is optional, so a v1 document is
+// a valid v2 document with no cache sections); newer or unknown versions are
+// rejected so downstream tooling never silently misreads an artifact.
 func ReadRunReport(rd io.Reader) (*RunReport, error) {
 	var r RunReport
 	dec := json.NewDecoder(rd)
 	if err := dec.Decode(&r); err != nil {
 		return nil, fmt.Errorf("run report: %w", err)
 	}
-	if r.Schema != RunReportSchemaVersion {
-		return nil, fmt.Errorf("run report: schema_version %d, tool supports %d", r.Schema, RunReportSchemaVersion)
+	switch {
+	case r.Schema < RunReportMinSchemaVersion:
+		return nil, fmt.Errorf("run report: schema_version %d predates the oldest upgradable version %d",
+			r.Schema, RunReportMinSchemaVersion)
+	case r.Schema > RunReportSchemaVersion:
+		return nil, fmt.Errorf("run report: schema_version %d, tool supports at most %d",
+			r.Schema, RunReportSchemaVersion)
 	}
+	r.Schema = RunReportSchemaVersion
 	return &r, nil
+}
+
+// ReadRunReportFile reads and upgrades the run report at path.
+func ReadRunReportFile(path string) (*RunReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadRunReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteRunReportFile writes the report to path atomically: the JSON goes to
+// a temporary file in the same directory which is renamed over the target
+// only after a successful write, so a mid-run failure can never truncate an
+// existing report.
+func WriteRunReportFile(path string, r *RunReport) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := WriteRunReport(tmp, r); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // SolveTotalNS sums an entry list's solve wall times — a convenience for

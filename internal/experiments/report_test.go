@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -140,5 +142,161 @@ func TestRunReportPhasesMatchVariant(t *testing.T) {
 	}
 	if SolveTotalNS(rep.Entries) <= 0 {
 		t.Fatal("solve wall total should be positive")
+	}
+}
+
+func TestRunReportCacheSection(t *testing.T) {
+	specs := matgen.QuickSuite()[:1]
+	reg := telemetry.NewRegistry()
+	raw, err := RunRaw(specs, RawOptions{
+		L1:                 arch.Skylake().L1Sim,
+		Filters:            []float64{0.01},
+		Metrics:            reg,
+		CollectCacheAttrib: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildRunReport(raw, "t", "Skylake", reg)
+	for _, e := range rep.Entries {
+		c := e.Cache
+		if c == nil {
+			t.Fatalf("%s/%s: cache section missing", e.Matrix, e.Variant)
+		}
+		if c.LineBytes != arch.Skylake().L1Sim.LineBytes || c.BlockRows <= 0 {
+			t.Fatalf("cache geometry: %+v", c)
+		}
+		if len(c.Sweeps) != 2 || c.Sweeps[0].Phase != "G" || c.Sweeps[1].Phase != "GT" {
+			t.Fatalf("sweeps: %+v", c.Sweeps)
+		}
+		// The attribution must agree with the unattributed trace already in
+		// the entry: total misses and the Figure 3 metric line up.
+		var mr *MatrixRaw
+		for i := range raw.Results {
+			if raw.Results[i].Spec.Name == e.Matrix {
+				mr = &raw.Results[i]
+			}
+		}
+		var m *MethodRaw
+		switch e.Variant {
+		case "FSAI":
+			m = &mr.FSAI
+		case "FSAIE(sp)":
+			m = &mr.Sp[0]
+		case "FSAIE(full)":
+			m = &mr.Full[0]
+		}
+		if got := c.Sweeps[0].BaseMisses + c.Sweeps[0].FillMisses; got != m.MissG {
+			t.Errorf("%s: attributed G misses %d != traced %d", e.Variant, got, m.MissG)
+		}
+		if got := c.Sweeps[1].BaseMisses + c.Sweeps[1].FillMisses; got != m.MissGT {
+			t.Errorf("%s: attributed GT misses %d != traced %d", e.Variant, got, m.MissGT)
+		}
+		if diff := c.SimMissPerNNZ - m.MissPerNNZ; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s: sim miss/nnz %g != %g", e.Variant, c.SimMissPerNNZ, m.MissPerNNZ)
+		}
+		if c.ModelLineVisitsPerNNZ <= 0 {
+			t.Errorf("%s: model line visits per nnz not populated", e.Variant)
+		}
+		if e.Variant == "FSAI" && (c.Sweeps[0].FillEntries != 0 || c.Sweeps[1].FillEntries != 0) {
+			t.Errorf("FSAI has no fill-in, got %+v", c.Sweeps)
+		}
+	}
+
+	// The attribution series land in the shared registry.
+	snap := reg.Snapshot()
+	var sawAttrib bool
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "cachesim.x_misses{") {
+			sawAttrib = true
+		}
+	}
+	if !sawAttrib {
+		t.Error("cachesim.x_misses counters missing from registry")
+	}
+
+	// Round trip preserves the cache section exactly.
+	var buf bytes.Buffer
+	if err := WriteRunReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rep.Entries[0].Cache, got.Entries[0].Cache
+	if b == nil || a.SimMissPerNNZ != b.SimMissPerNNZ || len(a.Sweeps) != len(b.Sweeps) ||
+		a.Sweeps[0].BaseMisses != b.Sweeps[0].BaseMisses ||
+		len(a.Sweeps[0].RowBlockMisses) != len(b.Sweeps[0].RowBlockMisses) {
+		t.Fatalf("cache section round trip:\n  wrote %+v\n  read  %+v", a, b)
+	}
+}
+
+func TestRunReportUpgradesV1(t *testing.T) {
+	// A v1 document (no cache sections) must load and come back stamped with
+	// the current schema version.
+	v1 := `{
+  "schema_version": 1,
+  "tool": "fsaibench",
+  "machine": "Skylake",
+  "line_bytes": 64,
+  "entries": [
+    {
+      "matrix_id": 1, "matrix": "lap2d", "rows": 100, "nnz": 460,
+      "variant": "FSAI", "filter": 0, "nnz_g": 280, "ext_pct": 0,
+      "iterations": 42, "converged": true,
+      "setup_wall_ns": 1000, "solve_wall_ns": 2000
+    }
+  ]
+}`
+	r, err := ReadRunReport(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if r.Schema != RunReportSchemaVersion {
+		t.Errorf("schema not upgraded: %d", r.Schema)
+	}
+	if len(r.Entries) != 1 || r.Entries[0].Iterations != 42 || r.Entries[0].Cache != nil {
+		t.Errorf("v1 entry mangled: %+v", r.Entries)
+	}
+	// Versions outside [min, current] still fail loudly.
+	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 0}`)); err == nil {
+		t.Error("v0 must be rejected")
+	}
+	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 3}`)); err == nil {
+		t.Error("future schema must be rejected")
+	}
+}
+
+func TestWriteRunReportFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	rep := &RunReport{Tool: "t", Entries: []RunEntry{{Matrix: "m", Iterations: 5}}}
+	if err := WriteRunReportFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].Iterations != 5 {
+		t.Fatalf("read back: %+v", got)
+	}
+
+	// Failure mid-write must leave the existing file untouched: writing to a
+	// path whose directory has vanished errors without clobbering anything,
+	// and no temp litter remains after a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file litter: %v", entries)
+	}
+	if err := WriteRunReportFile(filepath.Join(dir, "missing", "r.json"), rep); err == nil {
+		t.Fatal("write into missing directory should fail")
+	}
+	if again, err := ReadRunReportFile(path); err != nil || again.Entries[0].Iterations != 5 {
+		t.Fatalf("original report damaged: %v %+v", err, again)
 	}
 }

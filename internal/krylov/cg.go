@@ -64,6 +64,12 @@ type Options struct {
 	// with the 1-based iteration number and the current relative residual.
 	// It runs on the solver goroutine; keep it cheap.
 	Progress func(iter int, relres float64)
+	// ProgressDetail, when non-nil, is called after every completed
+	// iteration (after Progress) with a richer snapshot: the running
+	// kernel-class timing breakdown is populated when CollectTiming is set,
+	// zero otherwise. It runs on the solver goroutine; keep it cheap. This
+	// is the hook live observability (obs.SolveWatcher) plugs into.
+	ProgressDetail func(ProgressInfo)
 	// CollectTiming enables the per-iteration wall-clock breakdown (SpMV
 	// vs. preconditioner-apply vs. BLAS-1) returned in Result.Timing. Off
 	// by default so the inner loop carries no clock calls.
@@ -88,6 +94,20 @@ type Timing struct {
 	Precond time.Duration // z = M r applications (for FSAI: two more SpMVs)
 	BLAS1   time.Duration // dot products, AXPYs, norms
 	Total   time.Duration // whole Solve call
+}
+
+// ProgressInfo is the per-iteration snapshot passed to
+// Options.ProgressDetail.
+type ProgressInfo struct {
+	// Iteration is the 1-based completed iteration count.
+	Iteration int
+	// RelRes is the current relative residual ||r_k||/||r₀||.
+	RelRes float64
+	// Converged reports whether this iteration reached the tolerance.
+	Converged bool
+	// Timing is the running kernel-class breakdown (Total included) when
+	// Options.CollectTiming is set; the zero value otherwise.
+	Timing Timing
 }
 
 // Result reports the outcome of a CG/PCG solve.
@@ -215,6 +235,13 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		}
 		if opt.Progress != nil {
 			opt.Progress(it+1, rel)
+		}
+		if opt.ProgressDetail != nil {
+			info := ProgressInfo{Iteration: it + 1, RelRes: rel, Converged: rel <= opt.Tol, Timing: res.Timing}
+			if collect {
+				info.Timing.Total = time.Since(start)
+			}
+			opt.ProgressDetail(info)
 		}
 		if rel <= opt.Tol {
 			res.Converged = true

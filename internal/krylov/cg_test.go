@@ -352,3 +352,48 @@ func TestSolveParallelWorkersMatchSerial(t *testing.T) {
 		}
 	}
 }
+
+func TestSolveProgressDetail(t *testing.T) {
+	a := tridiag(30, -1, 2.5, -1)
+	rhs := make([]float64, 30)
+	rhs[0] = 1
+	x := make([]float64, 30)
+	var infos []ProgressInfo
+	res := Solve(a, x, rhs, nil, Options{
+		Tol: 1e-8, MaxIter: 200, CollectTiming: true,
+		ProgressDetail: func(pi ProgressInfo) { infos = append(infos, pi) },
+	})
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if len(infos) != res.Iterations {
+		t.Fatalf("detail called %d times, want %d", len(infos), res.Iterations)
+	}
+	for i, pi := range infos {
+		if pi.Iteration != i+1 {
+			t.Fatalf("iteration %d at call %d", pi.Iteration, i)
+		}
+		if pi.Converged != (i == len(infos)-1) {
+			t.Fatalf("converged=%v at call %d of %d", pi.Converged, i, len(infos))
+		}
+		if pi.Timing.Total <= 0 {
+			t.Fatalf("call %d: running Total = %v, want > 0 with CollectTiming", i, pi.Timing.Total)
+		}
+		if i > 0 && pi.Timing.Total < infos[i-1].Timing.Total {
+			t.Fatalf("running Total decreased at call %d", i)
+		}
+	}
+	last := infos[len(infos)-1]
+	if math.Abs(last.RelRes-res.RelResidual) > 1e-15 {
+		t.Errorf("last detail residual %g != final %g", last.RelRes, res.RelResidual)
+	}
+
+	// Without CollectTiming the snapshot carries a zero Timing.
+	x = make([]float64, 30)
+	var zero ProgressInfo
+	Solve(a, x, rhs, nil, Options{Tol: 1e-8, MaxIter: 200,
+		ProgressDetail: func(pi ProgressInfo) { zero = pi }})
+	if zero.Timing != (Timing{}) {
+		t.Errorf("Timing = %+v without CollectTiming, want zero", zero.Timing)
+	}
+}

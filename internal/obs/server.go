@@ -1,0 +1,245 @@
+// Package obs provides the embeddable live-observability HTTP server: a
+// Prometheus /metrics endpoint over the telemetry registry, a live /debug/solve
+// view (JSON snapshot or SSE stream) fed by a SolveWatcher plugged into the
+// krylov progress hooks, the stdlib pprof handlers, and a run-report browser.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options configures a Server. All fields are optional: a zero Options yields
+// a server whose endpoints report empty metrics / idle solve state.
+type Options struct {
+	// Registry backs GET /metrics (Prometheus text exposition).
+	Registry *telemetry.Registry
+	// Watcher backs GET /debug/solve (JSON snapshot and SSE stream).
+	Watcher *SolveWatcher
+	// RunsDir, when set, backs GET /runs (JSON listing of run reports in the
+	// directory) and GET /runs/<name> (the report file itself).
+	RunsDir string
+	// Heartbeat is the SSE keep-alive interval when no solve updates arrive
+	// (default 1s).
+	Heartbeat time.Duration
+}
+
+// Server serves the observability endpoints. Construct with NewServer, then
+// either mount Handler() on an existing mux or call Start to listen in the
+// background.
+type Server struct {
+	opt Options
+	mux *http.ServeMux
+
+	mu sync.Mutex
+	ln net.Listener
+	hs *http.Server
+}
+
+// NewServer builds a server with all endpoints registered.
+func NewServer(opt Options) *Server {
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = time.Second
+	}
+	s := &Server{opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/solve", s.handleSolve)
+	s.mux.HandleFunc("/runs", s.handleRuns)
+	s.mux.HandleFunc("/runs/", s.handleRunFile)
+	// Wire the stdlib profiler explicitly — the package-level init only
+	// registers on http.DefaultServeMux, which we deliberately avoid.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the HTTP handler with all endpoints, for embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in a background
+// goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.ln, s.hs = ln, hs
+	s.mu.Unlock()
+	go func() { _ = hs.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Close stops a server previously started with Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	hs := s.hs
+	s.hs, s.ln = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `fsai observability server
+
+  /metrics          Prometheus text exposition of the telemetry registry
+  /debug/solve      live solve state (JSON; add ?stream=1 for SSE)
+  /debug/pprof/     Go runtime profiles
+  /runs             run-report history (JSON listing; /runs/<name> to fetch)
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.opt.Registry.WritePrometheus(w); err != nil {
+		// Headers are already out; nothing useful left to do but log-free
+		// best effort. The registry writer only fails on the writer itself.
+		return
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream") != "" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !stream {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.opt.Watcher.State())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, cancel := s.opt.Watcher.Subscribe()
+	defer cancel()
+
+	writeEvent := func(st SolveState) error {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: solve\ndata: %s\n\n", data); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+
+	heartbeat := time.NewTicker(s.opt.Heartbeat)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case st, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := writeEvent(st); err != nil {
+				return
+			}
+			// A finished solve ends the stream after its final event so
+			// clients like the smoke test and curl terminate cleanly.
+			if st.Done {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// runInfo is one entry in the GET /runs listing.
+type runInfo struct {
+	Name     string `json:"name"`
+	Bytes    int64  `json:"bytes"`
+	Modified string `json:"modified"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	runs := []runInfo{}
+	if s.opt.RunsDir != "" {
+		entries, err := os.ReadDir(s.opt.RunsDir)
+		if err != nil && !os.IsNotExist(err) {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			runs = append(runs, runInfo{
+				Name:     e.Name(),
+				Bytes:    info.Size(),
+				Modified: info.ModTime().UTC().Format(time.RFC3339),
+			})
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Name < runs[j].Name })
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(runs)
+}
+
+func (s *Server) handleRunFile(w http.ResponseWriter, r *http.Request) {
+	if s.opt.RunsDir == "" {
+		http.NotFound(w, r)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/runs/")
+	// Reject anything that could escape RunsDir: the listing only ever
+	// advertises flat .json names, so that is all we serve back.
+	if name == "" || name != filepath.Base(name) || !strings.HasSuffix(name, ".json") {
+		http.NotFound(w, r)
+		return
+	}
+	path := filepath.Join(s.opt.RunsDir, name)
+	f, err := os.Open(path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeContent(w, r, name, time.Time{}, f)
+}

@@ -192,6 +192,30 @@ func (p *Pattern) Union(q *Pattern) *Pattern {
 	return out
 }
 
+// Minus returns the positions of p not present in q (same shape required) —
+// e.g. the fill-in-only pattern of an extended factor, final minus base.
+func (p *Pattern) Minus(q *Pattern) *Pattern {
+	if p.Rows != q.Rows || p.NCols != q.NCols {
+		panic("pattern: Minus shape mismatch")
+	}
+	out := New(p.Rows, p.NCols)
+	for i := 0; i < p.Rows; i++ {
+		b := q.Row(i)
+		kb := 0
+		for _, j := range p.Row(i) {
+			for kb < len(b) && b[kb] < j {
+				kb++
+			}
+			if kb < len(b) && b[kb] == j {
+				continue
+			}
+			out.Cols = append(out.Cols, j)
+		}
+		out.RowPtr[i+1] = len(out.Cols)
+	}
+	return out
+}
+
 // WithDiagonal returns p with all diagonal positions (i,i) present (for
 // square patterns). FSAI requires the diagonal in every row pattern.
 func (p *Pattern) WithDiagonal() *Pattern {

@@ -245,3 +245,34 @@ func TestQuickPowerMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMinus(t *testing.T) {
+	p := FromRows(3, 4, [][]int{{0, 1, 2}, {1, 3}, {2}})
+	q := FromRows(3, 4, [][]int{{1}, {1, 3}, {}})
+	d := p.Minus(q)
+	if got := d.Row(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("minus row 0 = %v", got)
+	}
+	if got := d.Row(1); len(got) != 0 {
+		t.Fatalf("minus row 1 = %v", got)
+	}
+	if got := d.Row(2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("minus row 2 = %v", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Union of the difference and the intersection base reconstructs p when
+	// q ⊆ p positions are removed: p = (p − q) ∪ (p ∩ q); with q ⊆ p this is
+	// (p − q) ∪ q.
+	if sub := FromRows(3, 4, [][]int{{1}, {1, 3}, {}}); !d.Union(sub).Equal(p) {
+		t.Error("(p − q) ∪ q != p for q ⊆ p")
+	}
+	// Shape mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("Minus shape mismatch did not panic")
+		}
+	}()
+	p.Minus(FromRows(2, 4, [][]int{{0}, {1}}))
+}

@@ -1,0 +1,258 @@
+package telemetry
+
+// Prometheus text-format rendering of a Registry (exposition format 0.0.4,
+// the format every Prometheus-compatible scraper speaks). This is what
+// obs.Server serves on GET /metrics.
+//
+// Metric names may carry labels inline, registry-side, using the same brace
+// syntax Prometheus prints: a metric registered as
+//
+//	cachesim.x_misses{phase="G",entries="fill"}
+//
+// belongs to the family cachesim_x_misses with labels phase/entries. The
+// registry itself stays a flat name→metric map — labelled series are just
+// distinct names — and the renderer groups series into families, emitting
+// one # HELP/# TYPE header per family. Dots (invalid in Prometheus names)
+// become underscores.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// labelPair is one parsed key="value" label.
+type labelPair struct {
+	key, val string
+}
+
+// parseMetricName splits a registry metric name into its Prometheus family
+// name and label pairs. Values may be quoted or bare; keys and the family
+// are sanitized to the Prometheus name charset.
+func parseMetricName(name string) (family string, labels []labelPair) {
+	brace := strings.IndexByte(name, '{')
+	if brace < 0 {
+		return sanitizeMetricName(name), nil
+	}
+	family = sanitizeMetricName(name[:brace])
+	inner := strings.TrimSuffix(name[brace+1:], "}")
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			labels = append(labels, labelPair{key: sanitizeLabelName(part), val: ""})
+			continue
+		}
+		val := strings.TrimSpace(part[eq+1:])
+		val = strings.TrimPrefix(val, `"`)
+		val = strings.TrimSuffix(val, `"`)
+		labels = append(labels, labelPair{key: sanitizeLabelName(part[:eq]), val: val})
+	}
+	return family, labels
+}
+
+func sanitizeMetricName(s string) string {
+	return sanitizeChars(s, true)
+}
+
+func sanitizeLabelName(s string) string {
+	return sanitizeChars(strings.TrimSpace(s), false)
+}
+
+// sanitizeChars maps s onto the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons excluded for label names).
+func sanitizeChars(s string, allowColon bool) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0) || (allowColon && r == ':')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels renders parsed labels (plus optional extras) as {k="v",...},
+// or "" when there are none.
+func renderLabels(labels []labelPair, extra ...labelPair) string {
+	all := append(append([]labelPair(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf(`%s="%s"`, l.key, escapeLabelValue(l.val))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatValue renders a sample value; Prometheus spells infinities +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// series is one renderable sample line under a family.
+type series struct {
+	name   string // original registry name (sort key for stable output)
+	labels []labelPair
+}
+
+// promFamily groups the series of one family for header emission.
+type promFamily struct {
+	name   string
+	kind   string // counter | gauge | histogram
+	series []series
+}
+
+// groupFamilies buckets registry names into families of one metric kind.
+func groupFamilies(names []string, kind string) []promFamily {
+	byFam := map[string]*promFamily{}
+	var order []string
+	sort.Strings(names)
+	for _, n := range names {
+		fam, labels := parseMetricName(n)
+		f, ok := byFam[fam]
+		if !ok {
+			f = &promFamily{name: fam, kind: kind}
+			byFam[fam] = f
+			order = append(order, fam)
+		}
+		f.series = append(f.series, series{name: n, labels: labels})
+	}
+	sort.Strings(order)
+	out := make([]promFamily, 0, len(order))
+	for _, fam := range order {
+		out = append(out, *byFam[fam])
+	}
+	return out
+}
+
+// writeHeader emits the # HELP and # TYPE lines for a family.
+func (r *Registry) writeHeader(w io.Writer, fam promFamily, defaultHelp string) error {
+	help := r.helpFor(fam.name)
+	if help == "" {
+		help = defaultHelp
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, help); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind)
+	return err
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: every family gets # HELP and # TYPE lines, histograms render
+// cumulative le-buckets plus _sum/_count and bucket-interpolated
+// p50/p95/p99 gauge families (<family>_p50 …). Safe on a nil registry
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	var names []string
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	for _, fam := range groupFamilies(names, "counter") {
+		if err := r.writeHeader(w, fam, "counter "+fam.name); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, renderLabels(s.labels), snap.Counters[s.name]); err != nil {
+				return err
+			}
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	for _, fam := range groupFamilies(names, "gauge") {
+		if err := r.writeHeader(w, fam, "gauge "+fam.name); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(s.labels), formatValue(snap.Gauges[s.name])); err != nil {
+				return err
+			}
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	hfams := groupFamilies(names, "histogram")
+	for _, fam := range hfams {
+		if err := r.writeHeader(w, fam, "histogram "+fam.name); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			h := snap.Histograms[s.name]
+			var cum int64
+			for i, b := range h.Bounds {
+				cum += h.Counts[i]
+				lbl := renderLabels(s.labels, labelPair{key: "le", val: formatValue(b)})
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, lbl, cum); err != nil {
+					return err
+				}
+			}
+			lbl := renderLabels(s.labels, labelPair{key: "le", val: "+Inf"})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, lbl, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(s.labels), formatValue(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(s.labels), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	// Quantile companions: one gauge family per histogram family so scrapers
+	// without histogram_quantile support still see the latency ladder.
+	for _, fam := range hfams {
+		for _, q := range []struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			qfam := promFamily{name: fam.name + "_" + q.suffix, kind: "gauge", series: fam.series}
+			if err := r.writeHeader(w, qfam, fmt.Sprintf("bucket-interpolated %s of %s", q.suffix, fam.name)); err != nil {
+				return err
+			}
+			for _, s := range fam.series {
+				v := snap.Histograms[s.name].Quantile(q.q)
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", qfam.name, renderLabels(s.labels), formatValue(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

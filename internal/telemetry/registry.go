@@ -135,6 +135,24 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// Quantile returns the bucket-interpolated q-quantile of the observations
+// (see HistogramSnapshot.Quantile). Nil-safe: returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	s := HistogramSnapshot{
+		Bounds:   h.bounds,
+		Counts:   make([]int64, len(h.counts)),
+		Overflow: h.over.Load(),
+		Count:    h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s.Quantile(q)
+}
+
 // ExpBuckets returns n upper bounds start, start*factor, start*factor², …,
 // the usual latency-histogram ladder.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -158,6 +176,7 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	helps  map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -166,7 +185,30 @@ func NewRegistry() *Registry {
 		ctrs:   map[string]*Counter{},
 		gauges: map[string]*Gauge{},
 		hists:  map[string]*Histogram{},
+		helps:  map[string]string{},
 	}
+}
+
+// SetHelp records a help string for a metric family — the metric name with
+// any {label} suffix stripped — rendered by WritePrometheus as the # HELP
+// line. Nil-safe.
+func (r *Registry) SetHelp(family, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[family] = help
+}
+
+// helpFor returns the recorded help string for a family ("" if none).
+func (r *Registry) helpFor(family string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.helps[family]
 }
 
 // Counter returns the counter with the given name, creating it on first use.
@@ -225,6 +267,51 @@ type HistogramSnapshot struct {
 	Overflow int64     `json:"overflow"`
 	Count    int64     `json:"count"`
 	Sum      float64   `json:"sum"`
+}
+
+// Quantile returns the bucket-interpolated q-quantile (q in [0,1], clamped)
+// of the recorded distribution, following the usual Prometheus
+// histogram_quantile convention:
+//
+//   - an empty histogram yields 0;
+//   - within the selected bucket the value is interpolated linearly between
+//     the previous upper bound (0 for the first bucket) and the bucket's own
+//     bound;
+//   - observations beyond the last finite bound (the overflow bucket, or an
+//     explicit +Inf bucket) report the last finite bound — the histogram
+//     carries no information above it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	lastFinite := 0.0
+	var cum int64
+	lower := 0.0
+	for i, b := range s.Bounds {
+		c := s.Counts[i]
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			if math.IsInf(b, 1) {
+				return lastFinite
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (b-lower)*frac
+		}
+		cum += c
+		lower = b
+		if !math.IsInf(b, 1) {
+			lastFinite = b
+		}
+	}
+	// Quantile falls in the overflow bucket (or every counted observation
+	// did): the last finite bound is the best statement the data supports.
+	return lastFinite
 }
 
 // RegistrySnapshot is the serializable state of a whole registry.
@@ -309,7 +396,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if h.Count > 0 {
 			mean = h.Sum / float64(h.Count)
 		}
-		if _, err := fmt.Fprintf(w, "hist    %-40s count=%d sum=%g mean=%g\n", n, h.Count, h.Sum, mean); err != nil {
+		if _, err := fmt.Fprintf(w, "hist    %-40s count=%d sum=%g mean=%g p50=%g p95=%g p99=%g\n",
+			n, h.Count, h.Sum, mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Perf-regression gate: reproduce the committed BENCH_baseline.json run and
+# diff it with fsaicompare. Deterministic metrics only (iterations, factor
+# size, simulated cache misses), so the gate is stable across machines.
+#
+#   scripts/compare_baseline.sh           # compare against the baseline
+#   scripts/compare_baseline.sh -update   # regenerate the committed baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+baseline=BENCH_baseline.json
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/fsaisolve" ./cmd/fsaisolve
+go build -o "$workdir/mmtool" ./cmd/mmtool
+go build -o "$workdir/fsaicompare" ./cmd/fsaicompare
+
+"$workdir/mmtool" gen jump64x64-b8-j1e3 "$workdir/m.mtx"
+# -align 0 pins the x-vector alignment so the simulated miss counts are
+# reproducible bit-for-bit.
+"$workdir/fsaisolve" -precond fsaie -align 0 -metrics-out "$workdir/candidate.json" "$workdir/m.mtx"
+
+if [ "${1:-}" = "-update" ]; then
+    cp "$workdir/candidate.json" "$baseline"
+    echo "updated $baseline"
+    exit 0
+fi
+
+[ -f "$baseline" ] || { echo "missing $baseline (run with -update to create it)"; exit 2; }
+"$workdir/fsaicompare" "$baseline" "$workdir/candidate.json"

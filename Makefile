@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean obs-smoke compare-baseline
+.PHONY: all build test race vet check bench clean obs-smoke compare-baseline chaos
 
 all: check
 
@@ -30,6 +30,13 @@ obs-smoke:
 # diff the deterministic metrics with fsaicompare.
 compare-baseline:
 	./scripts/compare_baseline.sh
+
+# Fault-injection chaos suite: seeded injectors corrupting SpMV outputs,
+# diagonals and computed factors, with the recovery chain proving detection,
+# attribution and recovery under the race detector (docs/robustness.md).
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/resilience/ \
+		./internal/krylov/ ./internal/parallel/
 
 clean:
 	$(GO) clean ./...

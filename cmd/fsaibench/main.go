@@ -23,6 +23,9 @@
 //	-listen ADDR   serve the live observability endpoints (/metrics,
 //	               /debug/solve, /debug/pprof/) while the campaign runs
 //	-pprof ADDR    serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-timeout D     overall campaign wall-clock budget (e.g. 10m); on expiry
+//	               the running solve stops cooperatively and the tool exits
+//	               with an error instead of publishing partial tables
 //
 // Tables 1-3 and Figures 2-4 are Skylake artifacts; Table 4/Figure 5 are
 // POWER9; Table 5/Figure 6 are A64FX; Figure 7 spans all three. The tool
@@ -31,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -63,6 +67,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write a machine-readable run report (JSON) to this file")
 		listenAddr  = flag.String("listen", "", "serve observability endpoints on this address while the campaign runs")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		timeout     = flag.Duration("timeout", 0, "overall campaign wall-clock budget (0: none)")
 	)
 	flag.Parse()
 	var need64Host bool
@@ -174,12 +179,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observability server listening on http://%s\n", addr)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var progress *os.File
 	if *verbose {
 		progress = os.Stderr
 	}
 	run := func(m arch.Arch) *experiments.RawCampaign {
 		opts := experiments.RawOptions{
+			Ctx:                ctx,
 			L1:                 m.L1Sim,
 			WithRandom:         needRandom,
 			WithStandard:       needStandard,

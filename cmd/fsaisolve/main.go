@@ -28,10 +28,27 @@
 //	-hold           with -listen: keep serving after the solve until SIGINT/SIGTERM
 //	-runs-dir DIR   directory served under /runs (default: the -metrics-out directory)
 //	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-timeout D      overall solve wall-clock budget (e.g. 30s); on expiry the
+//	                solve stops cooperatively at a resumable checkpoint and the
+//	                tool exits 3
+//	-resilient      route the solve through the adaptive recovery chain
+//	                (internal/resilience): diagonal-shift setup retries, then
+//	                preconditioner fallback fsaie → fsaie-sp → fsai → jacobi →
+//	                none with warm restarts from the best iterate; the recovery
+//	                log streams to stderr and lands in the -metrics-out report
+//
+// Exit status: 0 when the solve converged, 1 on runtime errors (unreadable
+// input, preconditioner setup failure), 2 on usage errors, 3 when the solve
+// finished without reaching the tolerance — iteration cap, breakdown (with
+// -resilient: only after the whole recovery chain is exhausted), or -timeout
+// expiry. fsaicompare shares the 0 = ok / 2 = usage convention but uses exit
+// 1 for "regression found"; exit 3 is specific to the solver tools.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -53,6 +70,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/precond"
 	"repro/internal/reorder"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
 	"repro/internal/stats"
@@ -80,6 +98,8 @@ func main() {
 		hold       = flag.Bool("hold", false, "with -listen: keep serving after the solve until SIGINT/SIGTERM")
 		runsDir    = flag.String("runs-dir", "", "directory served under /runs (default: the -metrics-out directory)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		timeout    = flag.Duration("timeout", 0, "overall solve wall-clock budget (0: none); exits 3 on expiry")
+		resilient  = flag.Bool("resilient", false, "solve through the adaptive recovery chain (internal/resilience)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -110,13 +130,14 @@ func main() {
 	}
 
 	var watcher *obs.SolveWatcher
+	var srv *obs.Server
 	if *listenAddr != "" {
 		watcher = obs.NewSolveWatcher()
 		dir := *runsDir
 		if dir == "" && *metricsOut != "" {
 			dir = filepath.Dir(*metricsOut)
 		}
-		srv := obs.NewServer(obs.Options{Registry: metrics, Watcher: watcher, RunsDir: dir})
+		srv = obs.NewServer(obs.Options{Registry: metrics, Watcher: watcher, RunsDir: dir})
 		addr, err := srv.Start(*listenAddr)
 		if err != nil {
 			fatal("listen: %v", err)
@@ -168,8 +189,14 @@ func main() {
 		align = cachesim.AlignOf(x, *line)
 	}
 
-	t0 := time.Now()
-	m, g, err := buildPreconditioner(*precName, a, fsai.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fo := fsai.Options{
 		Filter:       *filter,
 		LineBytes:    *line,
 		AlignElems:   align,
@@ -177,30 +204,87 @@ func main() {
 		ThresholdTau: *tau,
 		MaxRowNNZ:    512,
 		Tracer:       tracer,
-	})
-	if err != nil {
-		fatal("preconditioner: %v", err)
 	}
-	setup := time.Since(t0)
-
 	opts := krylov.Options{
 		Tol: *tol, MaxIter: *maxIter,
 		RecordHistory: *history || *metricsOut != "",
 		CollectTiming: observing,
 		Metrics:       metrics,
+		Ctx:           ctx,
 	}
 	if watcher != nil {
 		watcher.Begin(fmt.Sprintf("%s/%s", filepath.Base(flag.Arg(0)), *precName), *tol, *maxIter)
 		opts.Progress = watcher.Progress
 		opts.ProgressDetail = watcher.ProgressDetail
 	}
-	t0 = time.Now()
-	res := krylov.Solve(a, x, b, m, opts)
-	solve := time.Since(t0)
+
+	var (
+		res          krylov.Result
+		g            *fsai.Preconditioner
+		rout         *resilience.Outcome
+		setup, solve time.Duration
+	)
+	finalPrecond := *precName
+	if *resilient {
+		if resilience.Chain(*precName) == nil {
+			fatal("-resilient needs -precond to name a recovery rung: %s",
+				strings.Join(resilience.Chain(resilience.PrecondFSAIEFull), "|"))
+		}
+		out, rerr := resilience.Solve(ctx, a, x, b, resilience.Options{
+			Precond: *precName,
+			Setup:   fo,
+			Solve:   opts,
+			Metrics: metrics,
+			OnAttempt: func(at resilience.Attempt) {
+				msg := fmt.Sprintf("resilience: %-5s %-8s status=%s", at.Stage, at.Precond, at.Status)
+				if at.Shift > 0 {
+					msg += fmt.Sprintf(" shift=%.3g", at.Shift)
+				}
+				if at.Stage == "solve" {
+					msg += fmt.Sprintf(" iters=%d relres=%.2e", at.Iterations, at.RelRes)
+				}
+				fmt.Fprintln(os.Stderr, msg)
+			},
+		})
+		if out == nil {
+			fatal("resilient solve: %v", rerr)
+		}
+		if rerr != nil && !errors.Is(rerr, resilience.ErrNotConverged) &&
+			!errors.Is(rerr, context.Canceled) && !errors.Is(rerr, context.DeadlineExceeded) {
+			fatal("resilient solve: %v", rerr)
+		}
+		res, g, rout = out.Result, out.FSAI, out
+		finalPrecond = out.Precond
+		// The chain interleaves setup and solve attempts; split the wall
+		// clock the same way the log does.
+		for _, at := range out.Log.Attempts {
+			if at.Stage == "setup" {
+				setup += time.Duration(at.NS)
+			} else {
+				solve += time.Duration(at.NS)
+			}
+		}
+		if srv != nil && out.Recovered && res.Converged {
+			srv.SetHealth(obs.HealthDegraded, fmt.Sprintf(
+				"recovered on %q after %d setup retries and %d fallbacks",
+				out.Precond, out.Log.Retries, out.Log.Fallbacks))
+		}
+	} else {
+		t0 := time.Now()
+		m, gp, err := buildPreconditioner(*precName, a, fo)
+		if err != nil {
+			fatal("preconditioner: %v", err)
+		}
+		g = gp
+		setup = time.Since(t0)
+		t0 = time.Now()
+		res = krylov.Solve(a, x, b, m, opts)
+		solve = time.Since(t0)
+	}
 	watcher.End(res)
 
 	fmt.Printf("precond=%s setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
-		*precName, msec(setup), msec(solve), res.Iterations, res.Converged, res.RelResidual)
+		finalPrecond, msec(setup), msec(solve), res.Iterations, res.Converged, res.RelResidual)
 
 	if *traceFlag {
 		tm := res.Timing
@@ -248,6 +332,10 @@ func main() {
 			SolveWallNS: solve.Nanoseconds(),
 			History:     res.History,
 		}
+		if res.Status != krylov.StatusUnknown {
+			entry.Status = res.Status.String()
+		}
+		entry.Resilience = experiments.RunResilienceOf(*precName, rout)
 		if t := res.Timing; t != (krylov.Timing{}) {
 			entry.Timing = &experiments.RunTiming{
 				SpMVNS:    t.SpMV.Nanoseconds(),
@@ -310,6 +398,14 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+	}
+
+	// Exit 3 on any non-converged end state (see the doc comment's exit
+	// status contract) so scripts and CI can tell "solved" from "gave up"
+	// without parsing stdout.
+	if !res.Converged {
+		fmt.Fprintf(os.Stderr, "fsaisolve: solve did not converge (status: %s)\n", res.Status)
+		os.Exit(3)
 	}
 }
 

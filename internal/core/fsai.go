@@ -82,6 +82,13 @@ type Options struct {
 	// ExtendPattern); <= 0 disables the bound. DefaultOptions sets 512.
 	MaxRowNNZ int
 
+	// MaxPatternNNZFactor, when > 0, fails the setup with a typed
+	// ReasonPatternBlowup SetupError if an extended pattern grows beyond
+	// factor × nnz(A). It guards production setups against pathological
+	// fill-in (a blown-up G costs more per iteration than it saves);
+	// 0 disables the check.
+	MaxPatternNNZFactor float64
+
 	// StandardFiltering switches FSAIE to the classical compute-drop-rescale
 	// post-filtering of Algorithm 1 instead of the precalculation strategy,
 	// for the Table 3 comparison.
@@ -313,7 +320,7 @@ func computeRows(a *sparse.CSR, p *pattern.Pattern, workers int, stats *SetupSta
 	errs := make([]error, nw)
 	partial := make([]SetupStats, nw)
 	bounds := parallel.Chunks(n, nw)
-	parallel.For(len(bounds)/2, nw, func(wlo, whi int) {
+	poolErr := parallel.ForErr(len(bounds)/2, nw, func(wlo, whi int) {
 		for c := wlo; c < whi; c++ {
 			lo, hi := bounds[2*c], bounds[2*c+1]
 			var aloc, rhs []float64
@@ -322,7 +329,7 @@ func computeRows(a *sparse.CSR, p *pattern.Pattern, workers int, stats *SetupSta
 				idx := p.Row(i)
 				m := len(idx)
 				if m == 0 || idx[m-1] != i {
-					errs[c] = fmt.Errorf("fsai: row %d pattern lacks diagonal", i)
+					errs[c] = setupErrf(ReasonMissingDiagonal, i, "row %d pattern lacks diagonal", i)
 					return
 				}
 				if m > st.MaxLocal {
@@ -337,14 +344,14 @@ func computeRows(a *sparse.CSR, p *pattern.Pattern, workers int, stats *SetupSta
 				rhs = rhs[:m]
 				sparse.GatherRHS(rhs, m-1)
 				if err := dense.SolveSPD(aloc, m, rhs); err != nil {
-					errs[c] = fmt.Errorf("fsai: row %d: %w", i, ErrNotSPD)
+					errs[c] = setupErrf(ReasonNotSPD, i, "row %d: %w", i, ErrNotSPD)
 					return
 				}
 				fm := float64(m)
 				st.DirectFlops += fm*fm*fm/3 + 2*fm*fm
 				d := rhs[m-1]
 				if d <= 0 || math.IsNaN(d) {
-					errs[c] = fmt.Errorf("fsai: row %d diagonal %g: %w", i, d, ErrNotSPD)
+					errs[c] = setupErrf(ReasonNotSPD, i, "row %d diagonal %g: %w", i, d, ErrNotSPD)
 					return
 				}
 				scale := 1 / math.Sqrt(d)
@@ -355,6 +362,11 @@ func computeRows(a *sparse.CSR, p *pattern.Pattern, workers int, stats *SetupSta
 			}
 		}
 	})
+	if poolErr != nil {
+		// A panicking row task was contained by the pool; surface it as a
+		// typed setup failure instead of crashing the process.
+		return nil, setupErr(ReasonWorkerPanic, -1, poolErr)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

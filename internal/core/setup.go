@@ -1,7 +1,6 @@
 package fsai
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -31,12 +30,12 @@ func (pr phaseRecorder) phase(name string) func() {
 // according to opts. It is the entry point covering Algorithms 1, 2 and 4.
 func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("fsai: matrix is %dx%d, want square", a.Rows, a.Cols)
+		return nil, setupErrf(ReasonBadInput, -1, "matrix is %dx%d, want square", a.Rows, a.Cols)
 	}
 	opts.normalize()
 	elems := opts.LineBytes / 8
 	if elems < 1 {
-		return nil, fmt.Errorf("fsai: line size %dB smaller than one element", opts.LineBytes)
+		return nil, setupErrf(ReasonBadInput, -1, "line size %dB smaller than one element", opts.LineBytes)
 	}
 
 	p := &Preconditioner{Workers: opts.Workers}
@@ -90,6 +89,14 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 				return nil, err
 			}
 		}
+		if opts.MaxPatternNNZFactor > 0 {
+			budget := opts.MaxPatternNNZFactor * float64(a.NNZ())
+			if float64(final.NNZ()) > budget {
+				return nil, setupErrf(ReasonPatternBlowup, -1,
+					"extended pattern has %d entries, budget %.0f (%.3g × nnz(A)=%d)",
+					final.NNZ(), budget, opts.MaxPatternNNZFactor, a.NNZ())
+			}
+		}
 		// Step 7: compute the final G coefficients on the resulting pattern,
 		// a Frobenius-minimal inverse approximation on that pattern.
 		endSolve := rec.phase(PhaseSolve)
@@ -112,7 +119,7 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 		p.FinalPattern = pattern.FromCSR(g)
 
 	default:
-		return nil, fmt.Errorf("fsai: unknown variant %d", opts.Variant)
+		return nil, setupErrf(ReasonBadInput, -1, "unknown variant %d", opts.Variant)
 	}
 
 	p.GT = p.G.Transpose()

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -62,6 +63,10 @@ type RawOptions struct {
 	Workers int
 	// Progress, when non-nil, receives one line per matrix.
 	Progress io.Writer
+	// Ctx, when non-nil, cancels the campaign cooperatively: the running
+	// PCG solve stops at the next check and RunRaw returns the context's
+	// error (partial results are discarded).
+	Ctx context.Context
 
 	// RecordHistory stores per-iteration relative residuals in each
 	// MethodRaw (needed for machine-readable run reports).
@@ -119,6 +124,8 @@ type MethodRaw struct {
 
 	Iterations int
 	Converged  bool
+	// Status is the typed solver termination for this measurement.
+	Status krylov.Status
 
 	// X-access L1 misses per sweep: the A SpMV and the two preconditioner
 	// products (GᵀGp traced jointly, reported per sweep).
@@ -240,6 +247,7 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 		CollectTiming:  opts.CollectTiming,
 		Metrics:        opts.Metrics,
 		ProgressDetail: opts.ProgressDetail,
+		Ctx:            opts.Ctx,
 	}
 	cache := cachesim.New(opts.L1)
 	trace := cachesim.TraceOptions{AlignElems: align, IncludeStreams: true}
@@ -258,6 +266,9 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 		t0 = time.Now()
 		res := krylov.Solve(a, x, b, p, kopt)
 		wallSolve := time.Since(t0)
+		if res.Status == krylov.StatusCancelled {
+			return MethodRaw{}, nil, fmt.Errorf("solve cancelled: %w", context.Cause(opts.Ctx))
+		}
 		gp := pattern.FromCSR(p.G)
 		gm, gtm := cachesim.TracePrecondition(cache, gp, trace)
 		lvG := cachesim.CountLineVisits(gp, elems, align)
@@ -276,6 +287,7 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 			ExtPct:      p.ExtensionPct(),
 			Iterations:  res.Iterations,
 			Converged:   res.Converged,
+			Status:      res.Status,
 			MissA:       missA,
 			MissG:       gm,
 			MissGT:      gtm,
@@ -359,6 +371,9 @@ func runMatrix(spec matgen.Spec, opts RawOptions) (MatrixRaw, error) {
 		x := make([]float64, a.Rows)
 		pre := &fsai.Preconditioner{G: g, GT: g.Transpose(), Workers: opts.Workers}
 		res := krylov.Solve(a, x, b, pre, kopt)
+		if res.Status == krylov.StatusCancelled {
+			return mr, fmt.Errorf("solve cancelled: %w", context.Cause(opts.Ctx))
+		}
 		mr.RandomIterations = res.Iterations
 		mr.RandomConverged = res.Converged
 		mr.RandomMeasured = true

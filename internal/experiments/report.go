@@ -11,6 +11,7 @@ import (
 	"repro/internal/cachesim"
 	fsai "repro/internal/core"
 	"repro/internal/krylov"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -33,7 +34,9 @@ import (
 //
 //	1: initial — entries with phases/history/timing, metrics, spmv_ops.
 //	2: adds the per-entry "cache" miss-attribution section (optional).
-const RunReportSchemaVersion = 2
+//	3: adds the per-entry typed "status" and the "resilience" recovery
+//	   section (both optional).
+const RunReportSchemaVersion = 3
 
 // RunReportMinSchemaVersion is the oldest schema ReadRunReport upgrades.
 const RunReportMinSchemaVersion = 1
@@ -90,6 +93,11 @@ type RunEntry struct {
 	Iterations int  `json:"iterations"`
 	Converged  bool `json:"converged"`
 
+	// Status is the typed solver termination ("converged", "max-iter",
+	// "indefinite-curvature", "nan-or-inf", "stagnation", "cancelled";
+	// schema v3, optional — absent in upgraded older reports).
+	Status string `json:"status,omitempty"`
+
 	// SetupPhases lists the Algorithm 3-4 phase wall times in execution
 	// order (extend/precalc/filter repeat for FSAIE(full)'s second pass).
 	SetupPhases []fsai.PhaseTiming `json:"setup_phases,omitempty"`
@@ -106,6 +114,42 @@ type RunEntry struct {
 	// Cache is the simulated x-access miss attribution of the GᵀGp
 	// preconditioner application (schema v2, optional).
 	Cache *RunCacheAttrib `json:"cache,omitempty"`
+
+	// Resilience is the recovery record of a fault-aware solve (schema v3,
+	// optional): what the solver had to do — shift retries, preconditioner
+	// fallbacks, warm restarts — to produce this entry's result.
+	Resilience *RunResilience `json:"resilience,omitempty"`
+}
+
+// RunAttempt is one recorded setup or solve attempt of a resilient solve
+// (the report-side mirror of resilience.Attempt).
+type RunAttempt struct {
+	Stage      string  `json:"stage"`
+	Precond    string  `json:"precond"`
+	Shift      float64 `json:"shift,omitempty"`
+	Status     string  `json:"status"`
+	Err        string  `json:"error,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	RelRes     float64 `json:"relres,omitempty"`
+	NS         int64   `json:"ns"`
+}
+
+// RunResilience is the report's recovery section: the requested and final
+// preconditioner rungs, the counters, and the full attempt log.
+type RunResilience struct {
+	// Requested is the rung the solve started at; Final the rung that
+	// produced the result.
+	Requested string `json:"requested"`
+	Final     string `json:"final"`
+	// Shift is the diagonal shift the final setup needed (0: none).
+	Shift float64 `json:"shift,omitempty"`
+	// Retries / Fallbacks mirror the RecoveryLog counters; Recovered is
+	// false for a clean first-attempt convergence.
+	Retries   int  `json:"retries"`
+	Fallbacks int  `json:"fallbacks"`
+	Recovered bool `json:"recovered"`
+	// Attempts is the ordered attempt log.
+	Attempts []RunAttempt `json:"attempts,omitempty"`
 }
 
 // RunCacheSweep serializes one sweep's miss attribution (cachesim.SweepAttrib).
@@ -172,6 +216,36 @@ func RunCacheOf(a *cachesim.PrecondAttrib, modelLVPerNNZ float64) *RunCacheAttri
 	return out
 }
 
+// RunResilienceOf converts a resilient-solve outcome into the report's
+// recovery section. requested names the rung the caller asked for; nil in,
+// nil out.
+func RunResilienceOf(requested string, out *resilience.Outcome) *RunResilience {
+	if out == nil {
+		return nil
+	}
+	r := &RunResilience{
+		Requested: requested,
+		Final:     out.Precond,
+		Shift:     out.Shift,
+		Retries:   out.Log.Retries,
+		Fallbacks: out.Log.Fallbacks,
+		Recovered: out.Recovered,
+	}
+	for _, at := range out.Log.Attempts {
+		r.Attempts = append(r.Attempts, RunAttempt{
+			Stage:      at.Stage,
+			Precond:    at.Precond,
+			Shift:      at.Shift,
+			Status:     at.Status,
+			Err:        at.Err,
+			Iterations: at.Iterations,
+			RelRes:     at.RelRes,
+			NS:         at.NS,
+		})
+	}
+	return r
+}
+
 func runTimingOf(t krylov.Timing) *RunTiming {
 	if t == (krylov.Timing{}) {
 		return nil
@@ -182,6 +256,15 @@ func runTimingOf(t krylov.Timing) *RunTiming {
 		BLAS1NS:   t.BLAS1.Nanoseconds(),
 		TotalNS:   t.Total.Nanoseconds(),
 	}
+}
+
+// statusName renders a typed status for the report, leaving the field absent
+// (empty) for the zero value so pre-taxonomy measurements stay unchanged.
+func statusName(s krylov.Status) string {
+	if s == krylov.StatusUnknown {
+		return ""
+	}
+	return s.String()
 }
 
 func runEntryOf(mr *MatrixRaw, m *MethodRaw) RunEntry {
@@ -201,6 +284,7 @@ func runEntryOf(mr *MatrixRaw, m *MethodRaw) RunEntry {
 		ExtPct:      m.ExtPct,
 		Iterations:  m.Iterations,
 		Converged:   m.Converged,
+		Status:      statusName(m.Status),
 		SetupPhases: m.Stats.Phases,
 		SetupWallNS: m.WallSetup.Nanoseconds(),
 		SolveWallNS: m.WallSolve.Nanoseconds(),

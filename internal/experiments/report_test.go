@@ -10,6 +10,7 @@ import (
 	"repro/internal/arch"
 	fsai "repro/internal/core"
 	"repro/internal/matgen"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -263,7 +264,7 @@ func TestRunReportUpgradesV1(t *testing.T) {
 	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 0}`)); err == nil {
 		t.Error("v0 must be rejected")
 	}
-	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 3}`)); err == nil {
+	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 4}`)); err == nil {
 		t.Error("future schema must be rejected")
 	}
 }
@@ -298,5 +299,86 @@ func TestWriteRunReportFileAtomic(t *testing.T) {
 	}
 	if again, err := ReadRunReportFile(path); err != nil || again.Entries[0].Iterations != 5 {
 		t.Fatalf("original report damaged: %v %+v", err, again)
+	}
+}
+
+func TestRunReportUpgradesV2(t *testing.T) {
+	// A v2 document (cache sections, no status/resilience) must load
+	// unchanged: the v3 additions are optional.
+	v2 := `{
+  "schema_version": 2,
+  "tool": "fsaibench",
+  "entries": [
+    {
+      "matrix_id": 1, "matrix": "lap2d", "rows": 100, "nnz": 460,
+      "variant": "FSAI", "filter": 0, "nnz_g": 280, "ext_pct": 0,
+      "iterations": 42, "converged": true,
+      "setup_wall_ns": 1000, "solve_wall_ns": 2000,
+      "cache": {"line_bytes": 64, "block_rows": 1, "sweeps": [], "sim_miss_per_nnz": 0.5}
+    }
+  ]
+}`
+	r, err := ReadRunReport(strings.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 report rejected: %v", err)
+	}
+	if r.Schema != RunReportSchemaVersion {
+		t.Errorf("schema not upgraded: %d", r.Schema)
+	}
+	e := r.Entries[0]
+	if e.Cache == nil || e.Cache.SimMissPerNNZ != 0.5 {
+		t.Errorf("v2 cache section mangled: %+v", e.Cache)
+	}
+	if e.Status != "" || e.Resilience != nil {
+		t.Errorf("upgraded v2 entry invented v3 data: %+v", e)
+	}
+}
+
+func TestRunReportResilienceSection(t *testing.T) {
+	out := &resilience.Outcome{
+		Precond:   "jacobi",
+		Shift:     0,
+		Recovered: true,
+	}
+	out.Log.Retries = 2
+	out.Log.Fallbacks = 3
+	out.Log.Attempts = []resilience.Attempt{
+		{Stage: "setup", Precond: "fsaie", Status: "error:not-spd", Err: "boom", NS: 10},
+		{Stage: "setup", Precond: "jacobi", Status: "ok", NS: 5},
+		{Stage: "solve", Precond: "jacobi", Status: "converged", Iterations: 40, RelRes: 1e-9, NS: 100},
+	}
+	rep := &RunReport{
+		Tool: "fsaisolve",
+		Entries: []RunEntry{{
+			Matrix:     "lap2d",
+			Iterations: 40,
+			Converged:  true,
+			Status:     "converged",
+			Resilience: RunResilienceOf("fsaie", out),
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRunReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.Entries[0]
+	if e.Status != "converged" {
+		t.Errorf("status lost: %+v", e)
+	}
+	rs := e.Resilience
+	if rs == nil || rs.Requested != "fsaie" || rs.Final != "jacobi" ||
+		rs.Retries != 2 || rs.Fallbacks != 3 || !rs.Recovered {
+		t.Fatalf("resilience section mangled: %+v", rs)
+	}
+	if len(rs.Attempts) != 3 || rs.Attempts[0].Status != "error:not-spd" ||
+		rs.Attempts[2].Iterations != 40 {
+		t.Fatalf("attempt log mangled: %+v", rs.Attempts)
+	}
+	if RunResilienceOf("fsaie", nil) != nil {
+		t.Errorf("nil outcome should map to nil section")
 	}
 }

@@ -1,0 +1,240 @@
+// Package faultinject provides deterministic, seeded fault injection for the
+// solver pipeline's chaos tests. It models the failure classes a production
+// FSAI/PCG deployment meets in the wild — NaNs appearing in an SpMV output,
+// corrupted matrix diagonals handed to the preconditioner setup, a dropped
+// factor row, a stalled worker — and makes each reproducible from a seed so a
+// failing chaos run can be replayed bit-for-bit.
+//
+// Injection sites are threaded through the library behind build-tag-free
+// hooks: the hot paths (the krylov loop, the parallel pool) pay one atomic
+// load when no injector is active. Matrix- and factor-level corruptions are
+// applied directly by the test harness via the Injector methods, since they
+// happen outside any hot loop.
+//
+// Every fired injection is recorded as an Event, so tests can assert not
+// only that a fault was detected but that the detection is attributed to the
+// fault actually injected.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// enabled is the global fast-path gate: hooks are no-ops unless an injector
+// is active. A single atomic load keeps the disabled cost negligible.
+var enabled atomic.Bool
+
+var (
+	mu     sync.Mutex
+	active *Injector
+)
+
+// Enabled reports whether an injector is currently active. Library hooks
+// check it before calling into the slow path.
+func Enabled() bool { return enabled.Load() }
+
+// Activate installs inj as the process-wide injector and returns a restore
+// function that deactivates it (and uninstalls the worker-delay hook).
+// Activations do not nest: the restore function of the most recent Activate
+// must run before the next one.
+func Activate(inj *Injector) func() {
+	mu.Lock()
+	active = inj
+	mu.Unlock()
+	parallel.SetWorkerHook(func(worker int) { WorkerStart(worker) })
+	enabled.Store(true)
+	return func() {
+		enabled.Store(false)
+		parallel.SetWorkerHook(nil)
+		mu.Lock()
+		active = nil
+		mu.Unlock()
+	}
+}
+
+// Site names of the injection points, as recorded in Events.
+const (
+	SiteSpMVOut     = "spmv-out"
+	SiteDiagonal    = "diagonal"
+	SiteDropGRow    = "drop-g-row"
+	SiteWorkerDelay = "worker-delay"
+)
+
+// Event records one fired injection.
+type Event struct {
+	// Site is the injection point (Site* constants).
+	Site string
+	// Iter is the 1-based solver iteration for solver-loop sites, 0 otherwise.
+	Iter int
+	// Index is the affected vector index, matrix row or worker id.
+	Index int
+	// Detail describes the concrete corruption.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s@iter=%d idx=%d: %s", e.Site, e.Iter, e.Index, e.Detail)
+}
+
+// Injector is a seeded set of armed faults. Arm faults with the With*
+// methods (chainable), then install with Activate for the hook-based sites.
+// All randomness (which index to poison, which row to corrupt) derives from
+// the seed, so two injectors with equal seed and arming produce identical
+// corruption and identical Events.
+type Injector struct {
+	seed int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	spmvNaN map[int]bool // 1-based iterations whose SpMV output gets a NaN
+	delay   time.Duration
+	delayN  int // remaining worker starts to delay (-1: every start)
+	events  []Event
+}
+
+// New returns an injector with the given seed and nothing armed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed)), spmvNaN: map[int]bool{}}
+}
+
+// Seed returns the injector's seed (for replay logs).
+func (in *Injector) Seed() int64 { return in.seed }
+
+// WithSpMVNaN arms a NaN write into the A·p SpMV output at each given
+// 1-based solver iteration. The poisoned index is drawn from the seed.
+func (in *Injector) WithSpMVNaN(iters ...int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, it := range iters {
+		in.spmvNaN[it] = true
+	}
+	return in
+}
+
+// WithWorkerDelay arms a sleep of d at the start of the next count parallel
+// worker bodies (count < 0: every worker start). This models a straggling
+// core; it must never deadlock the pool, only slow it.
+func (in *Injector) WithWorkerDelay(d time.Duration, count int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.delay = d
+	in.delayN = count
+	return in
+}
+
+// Events returns a copy of the fired-injection log.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+func (in *Injector) record(e Event) { in.events = append(in.events, e) }
+
+// SpMVOut is the krylov-loop hook: called with the 1-based iteration and the
+// freshly computed A·p product. Only reached when Enabled() is true.
+func SpMVOut(iter int, y []float64) {
+	mu.Lock()
+	in := active
+	mu.Unlock()
+	if in == nil || len(y) == 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.spmvNaN[iter] {
+		return
+	}
+	delete(in.spmvNaN, iter) // fire once per armed iteration
+	idx := in.rng.Intn(len(y))
+	y[idx] = math.NaN()
+	in.record(Event{Site: SiteSpMVOut, Iter: iter, Index: idx, Detail: "NaN into SpMV output"})
+}
+
+// WorkerStart is the parallel-pool hook: called with the worker index at the
+// start of each worker body while an injector is active.
+func WorkerStart(worker int) {
+	mu.Lock()
+	in := active
+	mu.Unlock()
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	if in.delay <= 0 || in.delayN == 0 {
+		in.mu.Unlock()
+		return
+	}
+	if in.delayN > 0 {
+		in.delayN--
+	}
+	d := in.delay
+	in.record(Event{Site: SiteWorkerDelay, Index: worker, Detail: fmt.Sprintf("delayed %v", d)})
+	in.mu.Unlock()
+	time.Sleep(d)
+}
+
+// PerturbDiagonal returns a copy of a with one seeded diagonal entry changed
+// by delta (a negative delta of sufficient magnitude makes the local systems
+// indefinite), along with the corrupted row. The input is not modified —
+// the corruption models a bad matrix handed to the preconditioner *setup*,
+// while the solve keeps the true operator.
+func (in *Injector) PerturbDiagonal(a *sparse.CSR, delta float64) (*sparse.CSR, int) {
+	in.mu.Lock()
+	row := in.rng.Intn(a.Rows)
+	in.record(Event{Site: SiteDiagonal, Index: row, Detail: fmt.Sprintf("a[%d,%d] += %g", row, row, delta)})
+	in.mu.Unlock()
+	out := a.Clone()
+	setDiag(out, row, out.At(row, row)+delta)
+	return out, row
+}
+
+// ZeroDiagonal returns a copy of a with one seeded diagonal entry set to
+// zero, along with the corrupted row.
+func (in *Injector) ZeroDiagonal(a *sparse.CSR) (*sparse.CSR, int) {
+	in.mu.Lock()
+	row := in.rng.Intn(a.Rows)
+	in.record(Event{Site: SiteDiagonal, Index: row, Detail: fmt.Sprintf("a[%d,%d] = 0", row, row)})
+	in.mu.Unlock()
+	out := a.Clone()
+	setDiag(out, row, 0)
+	return out, row
+}
+
+// DropGRow zeroes every stored value of one seeded row of the factor g in
+// place (the pattern stays, the values vanish), returning the row. This
+// models a lost or corrupted block of the computed preconditioner: GᵀG
+// becomes singular and PCG stagnates on the lost component.
+func (in *Injector) DropGRow(g *sparse.CSR) int {
+	in.mu.Lock()
+	row := in.rng.Intn(g.Rows)
+	in.record(Event{Site: SiteDropGRow, Index: row, Detail: "zeroed factor row"})
+	in.mu.Unlock()
+	for k := g.RowPtr[row]; k < g.RowPtr[row+1]; k++ {
+		g.Val[k] = 0
+	}
+	return row
+}
+
+// setDiag overwrites the stored diagonal entry of row i (which must exist
+// structurally, as it does for every SPD matrix in the suite).
+func setDiag(m *sparse.CSR, i int, v float64) {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		if m.ColIdx[k] == i {
+			m.Val[k] = v
+			return
+		}
+	}
+	panic(fmt.Sprintf("faultinject: row %d has no stored diagonal", i))
+}

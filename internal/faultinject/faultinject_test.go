@@ -1,0 +1,148 @@
+// The tests live in an external package: they drive the injector through the
+// real krylov loop and parallel pool, which themselves import faultinject.
+package faultinject_test
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/parallel"
+)
+
+// replay runs a fixed corruption scenario against the injector and returns
+// the fired-event log plus the corrupted indices it produced.
+func replay(seed int64) ([]faultinject.Event, []int) {
+	in := faultinject.New(seed).WithSpMVNaN(2, 5)
+	restore := faultinject.Activate(in)
+	defer restore()
+
+	var idxs []int
+	y := make([]float64, 64)
+	for iter := 1; iter <= 6; iter++ {
+		for i := range y {
+			y[i] = 1
+		}
+		faultinject.SpMVOut(iter, y)
+		for i, v := range y {
+			if math.IsNaN(v) {
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	a := matgen.Laplace2D(8, 8)
+	_, row := in.PerturbDiagonal(a, -10)
+	idxs = append(idxs, row)
+	_, row = in.ZeroDiagonal(a)
+	idxs = append(idxs, row)
+	g := matgen.Laplace2D(8, 8)
+	idxs = append(idxs, in.DropGRow(g))
+	return in.Events(), idxs
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	ev1, idx1 := replay(1234)
+	ev2, idx2 := replay(1234)
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatalf("same seed, different events:\n%v\n%v", ev1, ev2)
+	}
+	if !reflect.DeepEqual(idx1, idx2) {
+		t.Fatalf("same seed, different corruption: %v vs %v", idx1, idx2)
+	}
+	// Two NaN injections + two diagonal events + one dropped row.
+	if len(ev1) != 5 {
+		t.Fatalf("expected 5 events, got %d: %v", len(ev1), ev1)
+	}
+	ev3, _ := replay(99)
+	if reflect.DeepEqual(ev1, ev3) {
+		t.Fatalf("different seeds should not replay identically")
+	}
+}
+
+func TestSpMVNaNDetectedByKrylov(t *testing.T) {
+	in := faultinject.New(7).WithSpMVNaN(3)
+	restore := faultinject.Activate(in)
+	defer restore()
+
+	a := matgen.Laplace2D(16, 16)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x := make([]float64, a.Rows)
+	res := krylov.Solve(a, x, rhs, nil, krylov.DefaultOptions())
+	if res.Status != krylov.StatusNaNOrInf {
+		t.Fatalf("status=%v want nan-or-inf", res.Status)
+	}
+	if res.Iterations > 3 {
+		t.Fatalf("NaN injected at iteration 3 detected only at %d", res.Iterations)
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Site != faultinject.SiteSpMVOut || ev[0].Iter != 3 {
+		t.Fatalf("event log does not attribute the fault: %v", ev)
+	}
+}
+
+func TestWorkerDelayHook(t *testing.T) {
+	in := faultinject.New(3).WithWorkerDelay(2*time.Millisecond, 2)
+	restore := faultinject.Activate(in)
+	defer restore()
+
+	var ran atomic.Int64
+	start := time.Now()
+	parallel.For(64, 4, func(lo, hi int) {
+		ran.Add(int64(hi - lo))
+	})
+	if ran.Load() != 64 {
+		t.Fatalf("pool lost work under delay: %d/64", ran.Load())
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatalf("delay did not take effect")
+	}
+	var delays int
+	for _, e := range in.Events() {
+		if e.Site == faultinject.SiteWorkerDelay {
+			delays++
+		}
+	}
+	if delays != 2 {
+		t.Fatalf("expected exactly 2 delay events, got %d: %v", delays, in.Events())
+	}
+}
+
+func TestDisabledFastPath(t *testing.T) {
+	if faultinject.Enabled() {
+		t.Fatalf("injector active at test start")
+	}
+	// Hooks must be harmless no-ops without an active injector.
+	y := []float64{1, 2, 3}
+	faultinject.SpMVOut(1, y)
+	faultinject.WorkerStart(0)
+	for i, v := range y {
+		if v != float64(i+1) {
+			t.Fatalf("disabled hook modified data: %v", y)
+		}
+	}
+}
+
+func TestActivateRestore(t *testing.T) {
+	in := faultinject.New(1).WithSpMVNaN(1)
+	restore := faultinject.Activate(in)
+	if !faultinject.Enabled() {
+		t.Fatalf("Activate did not enable")
+	}
+	restore()
+	if faultinject.Enabled() {
+		t.Fatalf("restore did not disable")
+	}
+	y := []float64{1}
+	faultinject.SpMVOut(1, y)
+	if math.IsNaN(y[0]) {
+		t.Fatalf("deactivated injector still fired")
+	}
+}

@@ -1,10 +1,12 @@
 package krylov
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -24,21 +26,49 @@ func (Identity) Apply(z, r []float64) { copy(z, r) }
 // Jacobi is the diagonal (point Jacobi) preconditioner z_i = r_i / a_ii.
 type Jacobi struct {
 	InvDiag []float64
+	// NegDiag counts diagonal entries that were negative and got the
+	// magnitude fallback 1/|a_ii|; ZeroDiag counts exact zeros that fell
+	// back to 1. Either is a red flag for an SPD solve — publish them with
+	// PublishWarnings so the telemetry surface sees the repair.
+	NegDiag, ZeroDiag int
 }
 
-// NewJacobi builds a Jacobi preconditioner from the diagonal of A. Zero
-// diagonal entries fall back to 1 (no scaling) to stay well defined.
+// NewJacobi builds a Jacobi preconditioner from the diagonal of A. A negative
+// diagonal entry would flip the sign of z and destroy the PCG inner-product
+// structure, so it falls back to 1/|a_ii|; zero entries fall back to 1 (no
+// scaling). Both repairs are counted on the returned preconditioner.
 func NewJacobi(a *sparse.CSR) *Jacobi {
 	d := a.Diag()
 	inv := make([]float64, len(d))
+	j := &Jacobi{InvDiag: inv}
 	for i, v := range d {
-		if v != 0 {
+		switch {
+		case v > 0:
 			inv[i] = 1 / v
-		} else {
+		case v < 0:
+			inv[i] = 1 / -v
+			j.NegDiag++
+		default:
 			inv[i] = 1
+			j.ZeroDiag++
 		}
 	}
-	return &Jacobi{InvDiag: inv}
+	return j
+}
+
+// PublishWarnings records the diagonal repairs in reg as warning counters
+// ("krylov.jacobi.neg_diag_fixed", "krylov.jacobi.zero_diag_fixed").
+// Nil-safe on both receiver and registry.
+func (j *Jacobi) PublishWarnings(reg *telemetry.Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	if j.NegDiag > 0 {
+		reg.Counter("krylov.jacobi.neg_diag_fixed").Add(int64(j.NegDiag))
+	}
+	if j.ZeroDiag > 0 {
+		reg.Counter("krylov.jacobi.zero_diag_fixed").Add(int64(j.ZeroDiag))
+	}
 }
 
 // Apply computes z = D⁻¹ r.
@@ -54,7 +84,8 @@ type Options struct {
 	// uses 1e-8 (initial residual reduced by eight orders of magnitude).
 	Tol float64
 	// MaxIter caps the iteration count; the paper excludes matrices that
-	// need more than 10000 FSAI-preconditioned iterations.
+	// need more than 10000 FSAI-preconditioned iterations. With Resume the
+	// cap applies to the total (resumed-from plus new) iteration count.
 	MaxIter int
 	// Workers sets the SpMV parallelism (<=0: all CPUs, 1: serial).
 	Workers int
@@ -67,8 +98,11 @@ type Options struct {
 	// ProgressDetail, when non-nil, is called after every completed
 	// iteration (after Progress) with a richer snapshot: the running
 	// kernel-class timing breakdown is populated when CollectTiming is set,
-	// zero otherwise. It runs on the solver goroutine; keep it cheap. This
-	// is the hook live observability (obs.SolveWatcher) plugs into.
+	// zero otherwise. On a terminal breakdown or cancellation one final
+	// snapshot with Status set is emitted, so stream watchers never see a
+	// solve vanish mid-flight. It runs on the solver goroutine; keep it
+	// cheap. This is the hook live observability (obs.SolveWatcher) plugs
+	// into.
 	ProgressDetail func(ProgressInfo)
 	// CollectTiming enables the per-iteration wall-clock breakdown (SpMV
 	// vs. preconditioner-apply vs. BLAS-1) returned in Result.Timing. Off
@@ -79,7 +113,35 @@ type Options struct {
 	// "krylov.iter.precond_ns", "krylov.iter.blas1_ns") and the
 	// "krylov.iterations" counter.
 	Metrics *telemetry.Registry
+
+	// Ctx, when non-nil, cancels the solve cooperatively: it is checked
+	// every CancelCheckEvery iterations and on cancellation the solve
+	// returns StatusCancelled with a resumable Result.Checkpoint.
+	Ctx context.Context
+	// CancelCheckEvery is the Ctx poll interval in iterations (default 32).
+	CancelCheckEvery int
+	// CheckpointEvery, when > 0 together with OnCheckpoint, emits a full
+	// resumable snapshot every so many iterations.
+	CheckpointEvery int
+	// OnCheckpoint receives the periodic snapshots. It runs on the solver
+	// goroutine; the snapshot owns its buffers.
+	OnCheckpoint func(Checkpoint)
+	// Resume, when non-nil, continues a previous solve instead of starting
+	// from x = 0: a full checkpoint (P set) restores the exact recurrence;
+	// a warm checkpoint (P nil) restarts from the saved iterate with a
+	// fresh search direction (residual recomputed when R is nil).
+	Resume *Checkpoint
+	// StagnationWindow, when > 0, declares breakdown (StatusStagnation)
+	// after that many consecutive iterations without a relative-residual
+	// improvement of at least StagnationRelImprovement. Off by default: a
+	// plain CG plateau can recover, so only recovery-aware callers (the
+	// resilience layer) should arm it.
+	StagnationWindow int
 }
+
+// StagnationRelImprovement is the minimum relative residual decrease that
+// counts as progress for the stagnation guard: rel < best*(1-this).
+const StagnationRelImprovement = 1e-3
 
 // DefaultOptions mirrors the paper's experimental setup.
 func DefaultOptions() Options {
@@ -105,6 +167,9 @@ type ProgressInfo struct {
 	RelRes float64
 	// Converged reports whether this iteration reached the tolerance.
 	Converged bool
+	// Status is StatusUnknown for ordinary mid-flight snapshots and the
+	// terminal status on the final snapshot of a breakdown or cancellation.
+	Status Status
 	// Timing is the running kernel-class breakdown (Total included) when
 	// Options.CollectTiming is set; the zero value otherwise.
 	Timing Timing
@@ -114,18 +179,30 @@ type ProgressInfo struct {
 type Result struct {
 	Iterations  int
 	Converged   bool
+	Status      Status    // typed termination diagnosis
 	RelResidual float64   // final ||r||/||r₀||
 	History     []float64 // per-iteration relative residuals if recorded
 	Timing      Timing    // kernel-class breakdown if CollectTiming was set
+	// Checkpoint is a resumable snapshot on non-converged termination:
+	// a full checkpoint on cancellation, a warm (iterate-only) checkpoint
+	// on breakdown — the iterate is worth keeping, the direction is not.
+	// Nil on convergence and max-iter exhaustion of a from-zero solve is
+	// avoided too: max-iter also carries a full checkpoint so callers can
+	// grant more budget and continue.
+	Checkpoint *Checkpoint
 }
 
 // Solve runs preconditioned conjugate gradient on A x = b with the given
-// preconditioner (nil or Identity{} for plain CG), starting from x = 0.
-// The solution overwrites x, which must have length A.Rows.
+// preconditioner (nil or Identity{} for plain CG), starting from x = 0
+// (or from Options.Resume). The solution overwrites x, which must have
+// length A.Rows.
 //
 // The loop is the standard PCG recurrence of Section 2.1: one SpMV with A,
 // one preconditioner application (for FSAI, two more SpMVs), two dot
-// products and three AXPY-class updates per iteration.
+// products and three AXPY-class updates per iteration. On top of it sit the
+// robustness guards: indefinite-curvature and NaN/Inf detection, optional
+// stagnation detection, cooperative cancellation and checkpointing. Every
+// terminal path reports a typed Result.Status.
 func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result {
 	n := a.Rows
 	if m == nil {
@@ -142,6 +219,9 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		// convention to every kernel call.
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opt.CancelCheckEvery <= 0 {
+		opt.CancelCheckEvery = 32
+	}
 	collect := opt.CollectTiming
 	var hSpMV, hPrecond, hBlas1 *telemetry.Histogram
 	var iterCtr *telemetry.Counter
@@ -157,37 +237,43 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		start = time.Now()
 	}
 	res := Result{RelResidual: 1}
-	finish := func() Result {
+	finish := func(status Status) Result {
+		res.Status = status
+		res.Converged = status == StatusConverged
 		if collect {
 			res.Timing.Total = time.Since(start)
 		}
 		return res
 	}
+	// terminal handles the paths that end a solve between the per-iteration
+	// progress emissions (breakdown, cancellation): it appends the final
+	// residual to the history and emits one last ProgressDetail carrying the
+	// terminal status, so SSE watchers see the end instead of a vanishing
+	// solve, then finishes with the typed status.
+	terminal := func(status Status, rel float64, cp *Checkpoint, addHist bool) Result {
+		res.RelResidual = rel
+		res.Checkpoint = cp
+		if opt.RecordHistory && addHist {
+			res.History = append(res.History, rel)
+		}
+		out := finish(status)
+		if opt.ProgressDetail != nil {
+			info := ProgressInfo{
+				Iteration: res.Iterations,
+				RelRes:    rel,
+				Status:    status,
+				Timing:    res.Timing,
+			}
+			opt.ProgressDetail(info)
+		}
+		return out
+	}
 
-	Fill(x, 0)
 	r := append([]float64(nil), b...)
 	z := make([]float64, n)
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	bnorm := Norm2(b)
-	if bnorm == 0 {
-		res.Converged = true
-		res.RelResidual = 0
-		return finish()
-	}
-	if collect {
-		t0 = time.Now()
-	}
-	m.Apply(z, r)
-	if collect {
-		res.Timing.Precond += time.Since(t0)
-	}
-	copy(p, z)
-	rz := Dot(r, z)
-	if opt.RecordHistory {
-		res.History = append(res.History, 1)
-	}
 	spmv := func(y, v []float64) {
 		if opt.Workers == 1 {
 			a.MulVec(y, v)
@@ -195,11 +281,89 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			a.MulVecParallel(y, v, opt.Workers)
 		}
 	}
-	for it := 0; it < opt.MaxIter; it++ {
+
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		Fill(x, 0)
+		res.RelResidual = 0
+		return finish(StatusConverged)
+	}
+
+	var rz float64
+	startIter := 0
+	exact := false // exact-recurrence resume: p and rz restored
+	if cp := opt.Resume; cp != nil && len(cp.X) == n {
+		copy(x, cp.X)
+		startIter = cp.Iter
+		res.Iterations = cp.Iter
+		if len(cp.R) == n {
+			copy(r, cp.R)
+		} else {
+			// Recompute r = b - A x from the restored iterate.
+			spmv(ap, x)
+			for i := range r {
+				r[i] = b[i] - ap[i]
+			}
+		}
+		if len(cp.P) == n && !math.IsNaN(cp.RZ) && cp.RZ > 0 {
+			copy(p, cp.P)
+			rz = cp.RZ
+			exact = true
+		}
+	} else {
+		Fill(x, 0)
+	}
+
+	rel := Norm2(r) / bnorm
+	res.RelResidual = rel
+	if math.IsNaN(rel) || math.IsInf(rel, 0) {
+		return terminal(StatusNaNOrInf, rel, nil, true)
+	}
+	if opt.RecordHistory {
+		res.History = append(res.History, rel)
+	}
+	if rel <= opt.Tol {
+		// A resumed solve can arrive already converged.
+		return finish(StatusConverged)
+	}
+	if !exact {
+		if collect {
+			t0 = time.Now()
+		}
+		m.Apply(z, r)
+		if collect {
+			res.Timing.Precond += time.Since(t0)
+		}
+		copy(p, z)
+		rz = Dot(r, z)
+	}
+
+	// Stagnation tracking: the best residual seen and when it was set.
+	bestRel, bestIter := rel, startIter
+
+	snapshot := func(it int) *Checkpoint { return snapshotCheckpoint(it, x, r, p, rz) }
+
+	for it := startIter; it < opt.MaxIter; it++ {
+		if opt.Ctx != nil && (it-startIter)%opt.CancelCheckEvery == 0 {
+			select {
+			case <-opt.Ctx.Done():
+				// The last residual is already in the history; don't
+				// duplicate it.
+				return terminal(StatusCancelled, res.RelResidual, snapshot(it), false)
+			default:
+			}
+		}
+		if opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil &&
+			it > startIter && (it-startIter)%opt.CheckpointEvery == 0 {
+			opt.OnCheckpoint(*snapshot(it))
+		}
 		if collect {
 			t0 = time.Now()
 		}
 		spmv(ap, p)
+		if faultinject.Enabled() {
+			faultinject.SpMVOut(it+1, ap)
+		}
 		if collect {
 			d := time.Since(t0)
 			res.Timing.SpMV += d
@@ -207,16 +371,25 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			t0 = time.Now()
 		}
 		pap := Dot(p, ap)
-		if pap <= 0 || math.IsNaN(pap) {
+		if pap <= 0 || math.IsNaN(pap) || math.IsInf(pap, 0) {
 			// Breakdown: A (or the preconditioned operator) lost positive
-			// definiteness in finite precision. Report current state; the
-			// recorded history gets the final residual too, so it is never
-			// silently truncated relative to RelResidual.
-			res.RelResidual = Norm2(r) / bnorm
-			if opt.RecordHistory {
-				res.History = append(res.History, res.RelResidual)
+			// definiteness in finite precision, or a NaN/Inf entered the
+			// recurrence. The iterate x and residual r are still the last
+			// good state, so hand them back as a warm checkpoint; the
+			// direction p is what broke, so it is dropped.
+			status := StatusIndefinite
+			if math.IsNaN(pap) || math.IsInf(pap, 0) {
+				status = StatusNaNOrInf
 			}
-			return finish()
+			rel := Norm2(r) / bnorm
+			if collect {
+				// Record the partial BLAS-1 slice (the pᵀAp dot and the
+				// final norm) so the breakdown path loses no timing.
+				d := time.Since(t0)
+				res.Timing.BLAS1 += d
+				hBlas1.Observe(float64(d.Nanoseconds()))
+			}
+			return terminal(status, rel, warmCheckpoint(it, x, r), true)
 		}
 		alpha := rz / pap
 		Axpy(alpha, p, x)
@@ -230,6 +403,10 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			hBlas1.Observe(float64(d.Nanoseconds()))
 		}
 		iterCtr.Inc()
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			// The iterate itself may be poisoned; no checkpoint to offer.
+			return terminal(StatusNaNOrInf, rel, nil, true)
+		}
 		if opt.RecordHistory {
 			res.History = append(res.History, rel)
 		}
@@ -244,8 +421,14 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			opt.ProgressDetail(info)
 		}
 		if rel <= opt.Tol {
-			res.Converged = true
-			return finish()
+			return finish(StatusConverged)
+		}
+		if opt.StagnationWindow > 0 {
+			if rel < bestRel*(1-StagnationRelImprovement) {
+				bestRel, bestIter = rel, it+1
+			} else if it+1-bestIter >= opt.StagnationWindow {
+				return terminal(StatusStagnation, rel, warmCheckpoint(it+1, x, r), false)
+			}
 		}
 		if collect {
 			t0 = time.Now()
@@ -265,5 +448,8 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			res.Timing.BLAS1 += time.Since(t0)
 		}
 	}
-	return finish()
+	// Budget exhausted: keep a full checkpoint so the caller can continue
+	// with a larger budget via Resume.
+	res.Checkpoint = snapshot(opt.MaxIter)
+	return finish(StatusMaxIter)
 }

@@ -1,0 +1,117 @@
+package krylov
+
+import "fmt"
+
+// Status is the typed outcome of a CG/PCG solve. It refines the boolean
+// Converged with a diagnosis of *why* a solve terminated, so callers can
+// distinguish plain iteration-budget exhaustion from numerical breakdown
+// (which calls for a different remedy: shift, fallback or restart — see
+// internal/resilience).
+type Status int
+
+const (
+	// StatusUnknown is the zero value; Solve never returns it.
+	StatusUnknown Status = iota
+	// StatusConverged: the relative residual reached the tolerance.
+	StatusConverged
+	// StatusMaxIter: the iteration budget ran out with a finite,
+	// non-stagnant residual above the tolerance.
+	StatusMaxIter
+	// StatusIndefinite: pᵀAp <= 0 — the operator (or the preconditioned
+	// operator in finite precision) lost positive definiteness, so the CG
+	// recurrence is no longer a descent. The classic SPD breakdown.
+	StatusIndefinite
+	// StatusNaNOrInf: a NaN or Inf appeared in the recurrence (poisoned
+	// input, overflow, or an injected fault).
+	StatusNaNOrInf
+	// StatusStagnation: the residual made no relative progress for
+	// Options.StagnationWindow consecutive iterations (only reported when
+	// the guard is enabled).
+	StatusStagnation
+	// StatusCancelled: Options.Ctx was cancelled; Result.Checkpoint holds a
+	// resumable snapshot.
+	StatusCancelled
+)
+
+// String returns the stable machine-readable name of the status (used in run
+// reports, /healthz and the SSE stream).
+func (s Status) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusConverged:
+		return "converged"
+	case StatusMaxIter:
+		return "max-iter"
+	case StatusIndefinite:
+		return "indefinite-curvature"
+	case StatusNaNOrInf:
+		return "nan-or-inf"
+	case StatusStagnation:
+		return "stagnation"
+	case StatusCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Breakdown reports whether the status is a numerical breakdown (as opposed
+// to success, budget exhaustion or cancellation). Breakdowns are the statuses
+// the resilience layer reacts to with a preconditioner fallback.
+func (s Status) Breakdown() bool {
+	switch s {
+	case StatusIndefinite, StatusNaNOrInf, StatusStagnation:
+		return true
+	}
+	return false
+}
+
+// MarshalJSON encodes the status as its string name, keeping run reports
+// readable and independent of the enum ordering.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Checkpoint is a resumable snapshot of the CG recurrence state.
+//
+// A full checkpoint (P non-nil) restores the exact Krylov subspace: passing
+// it as Options.Resume continues the solve as if never interrupted, provided
+// the matrix and preconditioner are unchanged. A warm checkpoint (P nil)
+// keeps only the iterate (and optionally the residual): Resume then rebuilds
+// the search direction from scratch, which is the correct restart after a
+// breakdown or when switching preconditioners — the iterate survives, the
+// poisoned direction does not.
+type Checkpoint struct {
+	// Iter is the number of iterations completed when the snapshot was taken.
+	Iter int
+	// X is the current iterate.
+	X []float64
+	// R is the current residual b - A·X (nil: recomputed on resume).
+	R []float64
+	// P is the current search direction (nil: warm restart).
+	P []float64
+	// RZ is the current rᵀz inner product matching P (full checkpoints only).
+	RZ float64
+}
+
+// clone copies vecs so the snapshot is decoupled from the solver buffers.
+func snapshotCheckpoint(iter int, x, r, p []float64, rz float64) *Checkpoint {
+	return &Checkpoint{
+		Iter: iter,
+		X:    append([]float64(nil), x...),
+		R:    append([]float64(nil), r...),
+		P:    append([]float64(nil), p...),
+		RZ:   rz,
+	}
+}
+
+// warmCheckpoint snapshots only iterate and residual: enough to restart from
+// the best point with a fresh direction (or a different preconditioner).
+func warmCheckpoint(iter int, x, r []float64) *Checkpoint {
+	return &Checkpoint{
+		Iter: iter,
+		X:    append([]float64(nil), x...),
+		R:    append([]float64(nil), r...),
+	}
+}

@@ -41,3 +41,15 @@ func Fill(a []float64, v float64) {
 		a[i] = v
 	}
 }
+
+// AllFinite reports whether every element of a is finite (no NaN or Inf).
+// The resilience layer uses it to decide whether a breakdown checkpoint's
+// iterate is worth restarting from.
+func AllFinite(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/krylov"
+)
+
+// Health status values served on /healthz.
+const (
+	HealthOK       = "ok"       // no trouble observed
+	HealthDegraded = "degraded" // converged, but recovery was needed
+	HealthFailing  = "failing"  // the last solve ended without convergence
+)
+
+// Health is the GET /healthz document.
+type Health struct {
+	// Status is HealthOK, HealthDegraded or HealthFailing.
+	Status string `json:"status"`
+	// Reason explains a non-ok status.
+	Reason string `json:"reason,omitempty"`
+	// Solve echoes the typed status of the most recent solve when known.
+	Solve string `json:"solve,omitempty"`
+}
+
+// healthState is the settable health override. When unset, /healthz derives
+// its answer from the solve watcher.
+type healthState struct {
+	mu  sync.Mutex
+	set bool
+	h   Health
+}
+
+// SetHealth pins the /healthz answer — solver frontends call it with the
+// resilience outcome (recovered → degraded, unrecovered → failing). A zero
+// status string clears the override, returning /healthz to watcher-derived
+// health.
+func (s *Server) SetHealth(status, reason string) {
+	s.health.mu.Lock()
+	defer s.health.mu.Unlock()
+	if status == "" {
+		s.health.set = false
+		s.health.h = Health{}
+		return
+	}
+	s.health.set = true
+	s.health.h = Health{Status: status, Reason: reason}
+}
+
+// HealthState returns what /healthz would currently answer.
+func (s *Server) HealthState() Health {
+	s.health.mu.Lock()
+	if s.health.set {
+		h := s.health.h
+		s.health.mu.Unlock()
+		return h
+	}
+	s.health.mu.Unlock()
+	// Derive from the watcher: a finished, non-converged solve means the
+	// process is not healthy; everything else (idle, mid-flight, converged)
+	// is ok.
+	st := s.opt.Watcher.State()
+	h := Health{Status: HealthOK, Solve: st.Status}
+	if st.Done && !st.Converged {
+		h.Status = HealthFailing
+		h.Reason = "last solve did not converge"
+		if st.Status == krylov.StatusCancelled.String() {
+			h.Status = HealthDegraded
+			h.Reason = "last solve was cancelled"
+		}
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.HealthState()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status == HealthFailing {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/krylov"
+)
+
+func getHealth(t *testing.T, srv *Server) (int, Health) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, _, body := get(t, ts.URL+"/healthz")
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	return code, h
+}
+
+func TestHealthzIdle(t *testing.T) {
+	srv := NewServer(Options{Watcher: NewSolveWatcher()})
+	code, h := getHealth(t, srv)
+	if code != 200 || h.Status != HealthOK {
+		t.Fatalf("idle healthz: %d %+v", code, h)
+	}
+}
+
+func TestHealthzNilWatcher(t *testing.T) {
+	srv := NewServer(Options{})
+	code, h := getHealth(t, srv)
+	if code != 200 || h.Status != HealthOK {
+		t.Fatalf("nil-watcher healthz: %d %+v", code, h)
+	}
+}
+
+func TestHealthzDerivedFromWatcher(t *testing.T) {
+	w := NewSolveWatcher()
+	srv := NewServer(Options{Watcher: w})
+
+	w.Begin("m1", 1e-8, 100)
+	w.End(krylov.Result{Iterations: 12, Converged: true, Status: krylov.StatusConverged, RelResidual: 1e-9})
+	code, h := getHealth(t, srv)
+	if code != 200 || h.Status != HealthOK || h.Solve != "converged" {
+		t.Fatalf("converged healthz: %d %+v", code, h)
+	}
+
+	w.Begin("m2", 1e-8, 100)
+	w.End(krylov.Result{Iterations: 7, Status: krylov.StatusNaNOrInf, RelResidual: 3})
+	code, h = getHealth(t, srv)
+	if code != 503 || h.Status != HealthFailing || h.Solve != "nan-or-inf" {
+		t.Fatalf("breakdown healthz: %d %+v", code, h)
+	}
+
+	w.Begin("m3", 1e-8, 100)
+	w.End(krylov.Result{Iterations: 9, Status: krylov.StatusCancelled, RelResidual: 0.5})
+	code, h = getHealth(t, srv)
+	if code != 200 || h.Status != HealthDegraded {
+		t.Fatalf("cancelled healthz: %d %+v", code, h)
+	}
+}
+
+func TestHealthzOverride(t *testing.T) {
+	w := NewSolveWatcher()
+	srv := NewServer(Options{Watcher: w})
+	srv.SetHealth(HealthDegraded, "recovered via fallback to jacobi")
+	code, h := getHealth(t, srv)
+	if code != 200 || h.Status != HealthDegraded || h.Reason == "" {
+		t.Fatalf("override healthz: %d %+v", code, h)
+	}
+	srv.SetHealth(HealthFailing, "solve exhausted recovery chain")
+	if code, h = getHealth(t, srv); code != 503 || h.Status != HealthFailing {
+		t.Fatalf("failing healthz: %d %+v", code, h)
+	}
+	srv.SetHealth("", "")
+	if code, h = getHealth(t, srv); code != 200 || h.Status != HealthOK {
+		t.Fatalf("cleared healthz: %d %+v", code, h)
+	}
+}
+
+func TestWatcherPublishesStatus(t *testing.T) {
+	w := NewSolveWatcher()
+	w.Begin("m", 1e-8, 100)
+	w.ProgressDetail(krylov.ProgressInfo{Iteration: 1, RelRes: 0.5})
+	if st := w.State(); st.Status != "" {
+		t.Fatalf("mid-flight status should be empty, got %q", st.Status)
+	}
+	// A terminal breakdown snapshot carries its status even before End.
+	w.ProgressDetail(krylov.ProgressInfo{Iteration: 2, RelRes: 0.6, Status: krylov.StatusIndefinite})
+	if st := w.State(); st.Status != "indefinite-curvature" {
+		t.Fatalf("terminal snapshot status %q", st.Status)
+	}
+	w.End(krylov.Result{Iterations: 2, Status: krylov.StatusIndefinite, RelResidual: 0.6})
+	if st := w.State(); st.Status != "indefinite-curvature" || !st.Done {
+		t.Fatalf("end status %q done=%v", st.Status, st.Done)
+	}
+}

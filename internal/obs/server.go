@@ -42,6 +42,8 @@ type Server struct {
 	opt Options
 	mux *http.ServeMux
 
+	health healthState
+
 	mu sync.Mutex
 	ln net.Listener
 	hs *http.Server
@@ -55,6 +57,7 @@ func NewServer(opt Options) *Server {
 	s := &Server{opt: opt, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/solve", s.handleSolve)
 	s.mux.HandleFunc("/runs", s.handleRuns)
 	s.mux.HandleFunc("/runs/", s.handleRunFile)
@@ -107,6 +110,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `fsai observability server
 
   /metrics          Prometheus text exposition of the telemetry registry
+  /healthz          solver health (ok/degraded/failing; 503 when failing)
   /debug/solve      live solve state (JSON; add ?stream=1 for SSE)
   /debug/pprof/     Go runtime profiles
   /runs             run-report history (JSON listing; /runs/<name> to fetch)

@@ -25,6 +25,13 @@ type SolveState struct {
 	Tol       float64 `json:"tol,omitempty"`
 	Converged bool    `json:"converged"`
 
+	// Status is the typed krylov termination status: empty while the
+	// outcome is still open, then "converged", "max-iter",
+	// "indefinite-curvature", "nan-or-inf", "stagnation" or "cancelled"
+	// (terminal breakdowns are published even mid-stream, so a watcher
+	// never sees a solve silently vanish).
+	Status string `json:"status,omitempty"`
+
 	// ElapsedNS is wall time since Begin; ItersPerSec the observed rate.
 	ElapsedNS   int64   `json:"elapsed_ns"`
 	ItersPerSec float64 `json:"iters_per_sec,omitempty"`
@@ -110,6 +117,9 @@ func (w *SolveWatcher) ProgressDetail(info krylov.ProgressInfo) {
 	s.Iteration = info.Iteration
 	s.RelRes = info.RelRes
 	s.Converged = info.Converged
+	if info.Status != krylov.StatusUnknown {
+		s.Status = info.Status.String()
+	}
 	s.SpMVNS = info.Timing.SpMV.Nanoseconds()
 	s.PrecondNS = info.Timing.Precond.Nanoseconds()
 	s.BLAS1NS = info.Timing.BLAS1.Nanoseconds()
@@ -158,6 +168,9 @@ func (w *SolveWatcher) End(res krylov.Result) {
 	s.Iteration = res.Iterations
 	s.RelRes = res.RelResidual
 	s.Converged = res.Converged
+	if res.Status != krylov.StatusUnknown {
+		s.Status = res.Status.String()
+	}
 	s.ETAIterations, s.ETANS = 0, 0
 	if t := res.Timing; t != (krylov.Timing{}) {
 		s.SpMVNS = t.SpMV.Nanoseconds()

@@ -8,9 +8,47 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// workerHook, when set, runs at the start of every worker chunk with the
+// chunk index. It exists for deterministic fault injection (a delayed
+// worker) without a build tag; the disabled cost is one atomic load per
+// chunk. See internal/faultinject.
+var workerHook atomic.Pointer[func(worker int)]
+
+// SetWorkerHook installs (or, with nil, removes) the process-wide worker
+// hook. Only the fault-injection harness should call this.
+func SetWorkerHook(h func(worker int)) {
+	if h == nil {
+		workerHook.Store(nil)
+		return
+	}
+	workerHook.Store(&h)
+}
+
+func runWorkerHook(worker int) {
+	if h := workerHook.Load(); h != nil {
+		(*h)(worker)
+	}
+}
+
+// PanicError wraps a panic recovered from a worker goroutine, preserving the
+// panic value and the worker's stack. Containing the panic (instead of
+// letting it kill the process) lets setup pipelines convert a poisoned row
+// task into a typed, recoverable error.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v", e.Value)
+}
 
 // MaxWorkers returns the default worker count used when a caller passes
 // workers <= 0: the number of usable CPUs.
@@ -63,26 +101,61 @@ func Chunks(n, workers int) []int {
 // once per chunk, and For returns when all chunks finish. The chunks are
 // contiguous and disjoint, so body may write to disjoint slices of a shared
 // output without synchronization.
+//
+// A panic in any chunk never deadlocks the pool: the remaining chunks run to
+// completion and the first panic is re-raised on the caller's goroutine as a
+// *PanicError, where a recover can turn it into an ordinary error (or use
+// ForErr to get the error directly).
 func For(n, workers int, body func(lo, hi int)) {
+	if err := ForErr(n, workers, body); err != nil {
+		panic(err)
+	}
+}
+
+// ForErr is For with panic containment surfaced as a value: it returns the
+// first worker panic as a *PanicError (nil when every chunk completes).
+func ForErr(n, workers int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers = clampWorkers(workers, n)
 	if workers == 1 {
-		body(0, n)
-		return
+		return runChunk(0, 0, n, body)
 	}
 	bounds := Chunks(n, workers)
+	errs := make([]error, len(bounds)/2)
 	var wg sync.WaitGroup
 	for c := 0; c < len(bounds); c += 2 {
-		lo, hi := bounds[c], bounds[c+1]
+		lo, hi, idx := bounds[c], bounds[c+1], c/2
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body(lo, hi)
+			errs[idx] = runChunk(idx, lo, hi, body)
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChunk executes one chunk with the worker hook and panic containment.
+func runChunk(worker, lo, hi int, body func(lo, hi int)) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if pe, ok := v.(*PanicError); ok {
+				err = pe // single-worker path re-entering: keep the original
+				return
+			}
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	runWorkerHook(worker)
+	body(lo, hi)
+	return nil
 }
 
 // ForEach runs body(i) for every i in [0,n), scheduling contiguous chunks on
@@ -105,20 +178,31 @@ func Reduce(n, workers int, init float64, body func(lo, hi int) float64, combine
 	}
 	workers = clampWorkers(workers, n)
 	if workers == 1 {
+		runWorkerHook(0)
 		return combine(init, body(0, n))
 	}
 	bounds := Chunks(n, workers)
 	parts := make([]float64, len(bounds)/2)
+	errs := make([]error, len(bounds)/2)
 	var wg sync.WaitGroup
 	for c := 0; c < len(bounds); c += 2 {
 		lo, hi, idx := bounds[c], bounds[c+1], c/2
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			parts[idx] = body(lo, hi)
+			errs[idx] = runChunk(idx, lo, hi, func(lo, hi int) {
+				parts[idx] = body(lo, hi)
+			})
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Same containment contract as For: the pool never deadlocks,
+			// the panic resurfaces on the caller's goroutine.
+			panic(err)
+		}
+	}
 	acc := init
 	for _, p := range parts {
 		acc = combine(acc, p)

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -101,5 +102,94 @@ func TestReduceDeterministic(t *testing.T) {
 func TestMaxWorkersPositive(t *testing.T) {
 	if MaxWorkers() < 1 {
 		t.Error("MaxWorkers < 1")
+	}
+}
+
+func TestForPanicContainment(t *testing.T) {
+	var ran atomic.Int64
+	var got error
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				var ok bool
+				if got, ok = v.(*PanicError); !ok {
+					t.Fatalf("re-panic value is %T, want *PanicError", v)
+				}
+			}
+		}()
+		For(100, 4, func(lo, hi int) {
+			if lo == 0 {
+				panic("poisoned chunk")
+			}
+			ran.Add(int64(hi - lo))
+		})
+	}()
+	if got == nil {
+		t.Fatalf("panic was swallowed")
+	}
+	pe := got.(*PanicError)
+	if pe.Value != "poisoned chunk" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError lost the panic: %+v", pe)
+	}
+	// The other chunks must have run to completion: no deadlock, no
+	// abandoned work (100 total minus the first chunk of 25).
+	if ran.Load() != 75 {
+		t.Fatalf("surviving chunks ran %d iterations, want 75", ran.Load())
+	}
+}
+
+func TestForErrReturnsPanic(t *testing.T) {
+	err := ForErr(10, 2, func(lo, hi int) {
+		if lo == 0 {
+			panic(42)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("ForErr = %v, want *PanicError{42}", err)
+	}
+	if err := ForErr(10, 2, func(lo, hi int) {}); err != nil {
+		t.Fatalf("clean ForErr = %v", err)
+	}
+	// Single-worker path must contain panics the same way.
+	err = ForErr(10, 1, func(lo, hi int) { panic("serial") })
+	if !errors.As(err, &pe) || pe.Value != "serial" {
+		t.Fatalf("serial ForErr = %v", err)
+	}
+}
+
+func TestReducePanicContainment(t *testing.T) {
+	defer func() {
+		v := recover()
+		if _, ok := v.(*PanicError); !ok {
+			t.Fatalf("Reduce re-panic = %T(%v), want *PanicError", v, v)
+		}
+	}()
+	Reduce(100, 4, 0, func(lo, hi int) float64 {
+		if lo == 0 {
+			panic("reduce chunk")
+		}
+		return 1
+	}, func(a, b float64) float64 { return a + b })
+	t.Fatalf("Reduce did not re-panic")
+}
+
+func TestWorkerHook(t *testing.T) {
+	var starts atomic.Int64
+	SetWorkerHook(func(worker int) { starts.Add(1) })
+	For(64, 4, func(lo, hi int) {})
+	if starts.Load() != 4 {
+		t.Fatalf("hook ran %d times, want 4", starts.Load())
+	}
+	starts.Store(0)
+	Reduce(64, 1, 0, func(lo, hi int) float64 { return 0 }, func(a, b float64) float64 { return a })
+	if starts.Load() != 1 {
+		t.Fatalf("single-worker Reduce hook ran %d times, want 1", starts.Load())
+	}
+	SetWorkerHook(nil)
+	starts.Store(0)
+	For(64, 4, func(lo, hi int) {})
+	if starts.Load() != 0 {
+		t.Fatalf("removed hook still ran %d times", starts.Load())
 	}
 }

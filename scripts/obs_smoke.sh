@@ -53,6 +53,11 @@ for want in "# TYPE" "# HELP" "krylov_iterations" "cachesim_x_misses"; do
     grep -q "$want" "$workdir/metrics.txt" || { echo "FAIL: /metrics missing '$want'"; fail=1; }
 done
 
+echo "== GET /healthz =="
+curl -fsS "http://$addr/healthz" >"$workdir/health.json"
+grep -q '"status": *"ok"' "$workdir/health.json" || { echo "FAIL: /healthz not ok:"; cat "$workdir/health.json"; fail=1; }
+grep -q '"solve": *"converged"' "$workdir/health.json" || { echo "FAIL: /healthz missing solve status:"; cat "$workdir/health.json"; fail=1; }
+
 echo "== GET /debug/solve =="
 curl -fsS "http://$addr/debug/solve" >"$workdir/solve.json"
 grep -q '"done": *true' "$workdir/solve.json" || { echo "FAIL: /debug/solve not done:"; cat "$workdir/solve.json"; fail=1; }

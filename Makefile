@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean obs-smoke compare-baseline chaos
+.PHONY: all build test race vet check bench bench-smoke clean obs-smoke compare-baseline chaos
 
 all: check
 
@@ -19,7 +19,15 @@ vet:
 check: build vet test race
 
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Quick pass over the hot-path kernel benchmarks (docs/performance.md): a
+# few iterations each, -benchmem so an alloc regression in the steady-state
+# solve loop shows up as non-zero allocs/op.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SpMV|FusedBlas1|PCGIteration|EngineDot' \
+		-benchtime 10x -benchmem \
+		./internal/sparse/ ./internal/kernels/ ./internal/krylov/
 
 # Start fsaisolve with the observability server on a generated matrix and
 # scrape /metrics, /debug/solve (incl. SSE), /debug/pprof/ and /runs.

@@ -110,6 +110,7 @@ func ComputeAdaptive(a *sparse.CSR, opts AdaptiveOptions) (*Preconditioner, erro
 	pre.G = g
 	pre.GT = g.Transpose()
 	pre.FinalPattern = pattern.FromCSR(g)
+	pre.initApply()
 	return pre, nil
 }
 

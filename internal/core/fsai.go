@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/kernels"
 	"repro/internal/parallel"
 	"repro/internal/pattern"
 	"repro/internal/sparse"
@@ -225,24 +226,61 @@ type Preconditioner struct {
 	BasePattern, FinalPattern *pattern.Pattern
 	// Stats records setup work for the performance model.
 	Stats SetupStats
-	// Workers is the SpMV parallelism used by Apply (<=0: all CPUs).
+	// Workers is the SpMV parallelism used by Apply. The convention matches
+	// krylov.Options.Workers: <=0 means all CPUs, 1 means serial. (Before
+	// the kernel-layer rewrite, Apply treated 0 as serial while the rest of
+	// the stack treated it as "all CPUs"; the mismatch is fixed.)
 	Workers int
 
 	tmp []float64
+	eng *kernels.Engine
 }
 
-// Apply computes z = Gᵀ(G r), the FSAI preconditioning operation.
+// Apply computes z = Gᵀ(G r), the FSAI preconditioning operation: two SpMV
+// products scheduled on the persistent worker pool with per-matrix
+// nnz-balanced partition plans. The scratch vector and kernel engine are
+// reused across calls (Compute pre-allocates them), so steady-state
+// applications perform no heap allocations.
+//
+// Apply is not safe for concurrent use of one Preconditioner; concurrent
+// solves need their own instance (or their own clone of G/GT).
 func (p *Preconditioner) Apply(z, r []float64) {
+	w := p.Workers
+	if w <= 0 {
+		w = parallel.MaxWorkers()
+	}
 	if p.tmp == nil || len(p.tmp) != p.G.Rows {
 		p.tmp = make([]float64, p.G.Rows)
 	}
-	if p.Workers == 1 || p.Workers == 0 {
+	if w == 1 {
 		p.G.MulVec(p.tmp, r)
 		p.GT.MulVec(z, p.tmp)
 		return
 	}
-	p.G.MulVecParallel(p.tmp, r, p.Workers)
-	p.GT.MulVecParallel(z, p.tmp, p.Workers)
+	if p.eng == nil || p.eng.Workers() != w {
+		p.eng = kernels.New(p.G.Rows, w)
+	}
+	p.eng.SpMV(p.G, p.tmp, r)
+	p.eng.SpMV(p.GT, z, p.tmp)
+}
+
+// initApply pre-allocates Apply's scratch and engine (and the partition
+// plans of both factors) so the first application inside the solve loop
+// allocates nothing.
+func (p *Preconditioner) initApply() {
+	if p.G == nil || p.GT == nil {
+		return
+	}
+	w := p.Workers
+	if w <= 0 {
+		w = parallel.MaxWorkers()
+	}
+	p.tmp = make([]float64, p.G.Rows)
+	if w > 1 {
+		p.eng = kernels.New(p.G.Rows, w)
+		p.G.PartitionPlan(w)
+		p.GT.PartitionPlan(w)
+	}
 }
 
 // NNZ returns the stored-entry count of the lower factor G.
@@ -276,7 +314,7 @@ func PublishSetupStats(reg *telemetry.Registry, variant string, s *SetupStats) {
 	reg.SetHelp("fsai_setup_phase_ns", "accumulated FSAI setup wall nanoseconds by phase and variant")
 	reg.SetHelp("fsai_setups", "preconditioner setups by variant")
 	for _, ph := range s.Phases {
-		reg.Counter(`fsai.setup.phase_ns{phase="`+ph.Name+`",variant="`+variant+`"}`).Add(ph.NS)
+		reg.Counter(`fsai.setup.phase_ns{phase="` + ph.Name + `",variant="` + variant + `"}`).Add(ph.NS)
 	}
 	reg.Counter(`fsai.setups{variant="` + variant + `"}`).Inc()
 }

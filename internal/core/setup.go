@@ -123,6 +123,7 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 	}
 
 	p.GT = p.G.Transpose()
+	p.initApply()
 	return p, nil
 }
 

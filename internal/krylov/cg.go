@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/kernels"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -232,6 +233,19 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		hBlas1 = opt.Metrics.Histogram("krylov.iter.blas1_ns", buckets)
 		iterCtr = opt.Metrics.Counter("krylov.iterations")
 	}
+	// Kernel-layer attribution: the partition plan's residual SpMV load
+	// imbalance and, at the end of the solve, how many pooled dispatches the
+	// solve issued. Both land in the run report / Prometheus surface.
+	var dispatches0 int64
+	if opt.Metrics != nil {
+		dispatches0 = kernels.PoolDispatches()
+		imb := 0.0
+		if opt.Workers > 1 {
+			imb = a.PartitionPlan(opt.Workers).ImbalancePct
+		}
+		opt.Metrics.Gauge("kernels.spmv.imbalance_pct").Set(imb)
+	}
+	eng := kernels.New(n, opt.Workers)
 	var start, t0 time.Time
 	if collect {
 		start = time.Now()
@@ -242,6 +256,9 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		res.Converged = status == StatusConverged
 		if collect {
 			res.Timing.Total = time.Since(start)
+		}
+		if opt.Metrics != nil {
+			opt.Metrics.Counter("kernels.pool.dispatches").Add(kernels.PoolDispatches() - dispatches0)
 		}
 		return res
 	}
@@ -274,15 +291,9 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	spmv := func(y, v []float64) {
-		if opt.Workers == 1 {
-			a.MulVec(y, v)
-		} else {
-			a.MulVecParallel(y, v, opt.Workers)
-		}
-	}
+	spmv := func(y, v []float64) { eng.SpMV(a, y, v) }
 
-	bnorm := Norm2(b)
+	bnorm := eng.Norm2(b)
 	if bnorm == 0 {
 		Fill(x, 0)
 		res.RelResidual = 0
@@ -314,7 +325,7 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		Fill(x, 0)
 	}
 
-	rel := Norm2(r) / bnorm
+	rel := eng.Norm2(r) / bnorm
 	res.RelResidual = rel
 	if math.IsNaN(rel) || math.IsInf(rel, 0) {
 		return terminal(StatusNaNOrInf, rel, nil, true)
@@ -335,7 +346,7 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			res.Timing.Precond += time.Since(t0)
 		}
 		copy(p, z)
-		rz = Dot(r, z)
+		rz = eng.Dot(r, z)
 	}
 
 	// Stagnation tracking: the best residual seen and when it was set.
@@ -370,7 +381,7 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			hSpMV.Observe(float64(d.Nanoseconds()))
 			t0 = time.Now()
 		}
-		pap := Dot(p, ap)
+		pap := eng.Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) || math.IsInf(pap, 0) {
 			// Breakdown: A (or the preconditioned operator) lost positive
 			// definiteness in finite precision, or a NaN/Inf entered the
@@ -381,7 +392,7 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			if math.IsNaN(pap) || math.IsInf(pap, 0) {
 				status = StatusNaNOrInf
 			}
-			rel := Norm2(r) / bnorm
+			rel := eng.Norm2(r) / bnorm
 			if collect {
 				// Record the partial BLAS-1 slice (the pᵀAp dot and the
 				// final norm) so the breakdown path loses no timing.
@@ -392,10 +403,12 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			return terminal(status, rel, warmCheckpoint(it, x, r), true)
 		}
 		alpha := rz / pap
-		Axpy(alpha, p, x)
-		Axpy(-alpha, ap, r)
+		// Fused iterate/residual update: x += αp, r -= αap and ‖r‖² in one
+		// sweep instead of the textbook two AXPYs plus a norm. The serial
+		// path is bit-identical to the separate kernels.
+		rr := eng.XRUpdate(alpha, p, ap, x, r)
 		res.Iterations = it + 1
-		rel := Norm2(r) / bnorm
+		rel := math.Sqrt(rr) / bnorm
 		res.RelResidual = rel
 		if collect {
 			d := time.Since(t0)
@@ -440,9 +453,9 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 			hPrecond.Observe(float64(d.Nanoseconds()))
 			t0 = time.Now()
 		}
-		rzNew := Dot(r, z)
+		rzNew := eng.Dot(r, z)
 		beta := rzNew / rz
-		Xpay(z, beta, p)
+		eng.Xpay(z, beta, p)
 		rz = rzNew
 		if collect {
 			res.Timing.BLAS1 += time.Since(t0)

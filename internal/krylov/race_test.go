@@ -1,0 +1,54 @@
+package krylov
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSolvesShareThePool runs several parallel solves at once:
+// each has its own kernels.Engine but all dispatch onto the process-wide
+// worker pool, whose busy-fallback must keep them independent and correct.
+// Run with -race, this is the pool's main data-race regression test.
+func TestConcurrentSolvesShareThePool(t *testing.T) {
+	n := 300
+	a := tridiag(n, -1, 2.4, -1)
+	a.PartitionPlan(4) // pre-build so goroutines share one cached plan
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+	serial := make([]float64, n)
+	ref := Solve(a, serial, rhs, nil, Options{Tol: 1e-10, MaxIter: 2000, Workers: 1})
+	if !ref.Converged {
+		t.Fatalf("reference solve did not converge: %+v", ref)
+	}
+
+	const solves = 8
+	var wg sync.WaitGroup
+	errs := make([]string, solves)
+	for s := 0; s < solves; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			x := make([]float64, n)
+			res := Solve(a, x, rhs, nil, Options{Tol: 1e-10, MaxIter: 2000, Workers: 4})
+			if !res.Converged {
+				errs[s] = "did not converge"
+				return
+			}
+			for i := range x {
+				if math.Abs(x[i]-serial[i]) > 1e-8 {
+					errs[s] = "solution diverged from serial reference"
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, e := range errs {
+		if e != "" {
+			t.Errorf("solve %d: %s", s, e)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // Package krylov implements the iterative solvers of the reproduction: the
-// Conjugate Gradient method and its preconditioned variant (PCG), together
-// with the vector kernels (dot product, AXPY) that, with SpMV, make up the
-// paper's Section 2.1 solver loop.
+// Conjugate Gradient method and its preconditioned variant (PCG). The solve
+// loop schedules its SpMV and BLAS-1 sweeps on internal/kernels (pooled,
+// nnz-balanced, fused — see docs/performance.md); the straight-line vector
+// kernels below remain as the serial reference semantics and for callers
+// outside the hot path.
 package krylov
 
 import "math"

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sync"
 	"sync/atomic"
 )
 
@@ -114,6 +113,10 @@ func For(n, workers int, body func(lo, hi int)) {
 
 // ForErr is For with panic containment surfaced as a value: it returns the
 // first worker panic as a *PanicError (nil when every chunk completes).
+//
+// Since the kernel-layer rewrite the chunks run on the persistent Default
+// pool instead of freshly spawned goroutines; the chunking (and therefore
+// the work each chunk produces) is unchanged.
 func ForErr(n, workers int, body func(lo, hi int)) error {
 	if n <= 0 {
 		return nil
@@ -123,23 +126,7 @@ func ForErr(n, workers int, body func(lo, hi int)) error {
 		return runChunk(0, 0, n, body)
 	}
 	bounds := Chunks(n, workers)
-	errs := make([]error, len(bounds)/2)
-	var wg sync.WaitGroup
-	for c := 0; c < len(bounds); c += 2 {
-		lo, hi, idx := bounds[c], bounds[c+1], c/2
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[idx] = runChunk(idx, lo, hi, body)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return Default().Run(bounds, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // runChunk executes one chunk with the worker hook and panic containment.
@@ -183,25 +170,10 @@ func Reduce(n, workers int, init float64, body func(lo, hi int) float64, combine
 	}
 	bounds := Chunks(n, workers)
 	parts := make([]float64, len(bounds)/2)
-	errs := make([]error, len(bounds)/2)
-	var wg sync.WaitGroup
-	for c := 0; c < len(bounds); c += 2 {
-		lo, hi, idx := bounds[c], bounds[c+1], c/2
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[idx] = runChunk(idx, lo, hi, func(lo, hi int) {
-				parts[idx] = body(lo, hi)
-			})
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			// Same containment contract as For: the pool never deadlocks,
-			// the panic resurfaces on the caller's goroutine.
-			panic(err)
-		}
+	if err := Default().Run(bounds, func(c, lo, hi int) { parts[c] = body(lo, hi) }); err != nil {
+		// Same containment contract as For: the pool never deadlocks,
+		// the panic resurfaces on the caller's goroutine.
+		panic(err)
 	}
 	acc := init
 	for _, p := range parts {

@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent fork-join worker pool. Workers are spawned once and
+// parked on per-worker channels; a dispatch wakes them, they drain a shared
+// chunk cursor (static partition plus work stealing at chunk granularity),
+// and a reusable barrier returns control to the caller. This removes the
+// goroutine-spawn and sync.WaitGroup cost that For/ForErr paid on every call
+// — a real cost in the solve hot path, where every CG iteration issues ~3
+// SpMV dispatches plus the parallel BLAS-1 sweeps.
+//
+// Concurrency contract: one dispatch runs at a time. A Run issued while the
+// pool is busy — from another goroutine, or a nested kernel on the same
+// goroutine — degrades to inline execution on the caller, so the pool can
+// never deadlock and correctness never depends on it being available. The
+// caller always participates in its own dispatch, so a Pool of size 1 does
+// all work inline with zero synchronization.
+//
+// Panic containment matches For: a panicking chunk never deadlocks the
+// barrier; remaining chunks run to completion and the first panic is
+// returned as a *PanicError.
+type Pool struct {
+	size int             // max participants per dispatch, caller included
+	mu   sync.Mutex      // serializes dispatches; TryLock-degraded to inline
+	wake []chan struct{} // one per parked worker goroutine (size-1 of them)
+	done chan struct{}
+
+	// Job state, valid for the duration of one dispatch.
+	bounds  []int
+	body    func(chunk, lo, hi int)
+	cursor  atomic.Int64
+	pending atomic.Int64
+	fail    atomic.Pointer[PanicError]
+
+	dispatches atomic.Int64
+	inlineRuns atomic.Int64
+	closed     atomic.Bool
+}
+
+// NewPool returns a pool that runs dispatches with up to size concurrent
+// participants (the calling goroutine plus size-1 persistent workers).
+// size < 1 is treated as 1.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{size: size, done: make(chan struct{})}
+	p.wake = make([]chan struct{}, size-1)
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		go p.worker(ch)
+	}
+	return p
+}
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the process-wide pool, created on first use with
+// MaxWorkers participants. All kernel layers share it; its TryLock-inline
+// fallback keeps concurrent solves safe without serializing them.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(MaxWorkers()) })
+	return defaultPool
+}
+
+// Size returns the maximum number of concurrent participants per dispatch.
+func (p *Pool) Size() int { return p.size }
+
+// Dispatches returns the number of pooled (non-inline) dispatches issued.
+func (p *Pool) Dispatches() int64 { return p.dispatches.Load() }
+
+// InlineRuns returns how many Run calls degraded to inline execution
+// because the pool was busy with another dispatch.
+func (p *Pool) InlineRuns() int64 { return p.inlineRuns.Load() }
+
+// Close stops the worker goroutines. The pool must be idle; only tests that
+// create throwaway pools need this — the Default pool lives for the process.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, ch := range p.wake {
+		close(ch)
+	}
+}
+
+// worker is the parked goroutine loop: wake, drain the chunk cursor, strike
+// the barrier, park again.
+func (p *Pool) worker(ch chan struct{}) {
+	for range ch {
+		p.drain()
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// drain claims chunks off the shared cursor until none remain.
+func (p *Pool) drain() {
+	n := int64(len(p.bounds) / 2)
+	for {
+		c := p.cursor.Add(1) - 1
+		if c >= n {
+			return
+		}
+		if err := runPoolChunk(int(c), p.bounds[2*c], p.bounds[2*c+1], p.body); err != nil {
+			p.fail.CompareAndSwap(nil, err)
+		}
+	}
+}
+
+// Run executes body once per (lo,hi) chunk of bounds (flattened pairs, as
+// produced by Chunks or sparse partition plans), using up to Size
+// participants including the caller. It returns when every chunk finished;
+// the first contained panic is returned as a *PanicError.
+//
+// Run performs no allocations itself, so a caller that reuses a pre-bound
+// body (see internal/kernels) pays zero heap traffic per dispatch.
+func (p *Pool) Run(bounds []int, body func(chunk, lo, hi int)) error {
+	nChunks := len(bounds) / 2
+	if nChunks == 0 {
+		return nil
+	}
+	participants := p.size
+	if participants > nChunks {
+		participants = nChunks
+	}
+	if participants <= 1 {
+		return runInline(bounds, body)
+	}
+	if !p.mu.TryLock() {
+		// Pool busy: another dispatch is in flight (possibly from this very
+		// goroutine via a nested kernel). Degrade to inline execution —
+		// correctness never depends on the pool being free.
+		p.inlineRuns.Add(1)
+		return runInline(bounds, body)
+	}
+	p.bounds, p.body = bounds, body
+	p.cursor.Store(0)
+	p.fail.Store(nil)
+	p.pending.Store(int64(participants))
+	p.dispatches.Add(1)
+	for i := 0; i < participants-1; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.drain()
+	if p.pending.Add(-1) != 0 {
+		<-p.done
+	}
+	err := p.fail.Load()
+	p.bounds, p.body = nil, nil
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// runInline executes every chunk on the calling goroutine, with the same
+// hook and containment semantics as a pooled dispatch.
+func runInline(bounds []int, body func(chunk, lo, hi int)) error {
+	var first *PanicError
+	for c := 0; 2*c < len(bounds); c++ {
+		if err := runPoolChunk(c, bounds[2*c], bounds[2*c+1], body); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return nil
+}
+
+// runPoolChunk executes one chunk with the worker hook and panic containment.
+func runPoolChunk(chunk, lo, hi int, body func(chunk, lo, hi int)) (err *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			if pe, ok := v.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	runWorkerHook(chunk)
+	body(chunk, lo, hi)
+	return nil
+}

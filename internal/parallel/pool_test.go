@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunCoversAllChunks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	n := 1000
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		bounds := Chunks(n, workers)
+		seen := make([]int32, n)
+		err := p.Run(bounds, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolRunEmptyBounds(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if err := p.Run(nil, func(_, _, _ int) { t.Fatal("body called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRunPanicContainment(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	bounds := Chunks(100, 4)
+	var visited int32
+	err := p.Run(bounds, func(chunk, lo, hi int) {
+		if chunk == 1 {
+			panic("boom")
+		}
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	// The other three chunks (75 indices) must still have run: a panicking
+	// chunk doesn't abort its siblings.
+	if visited != 75 {
+		t.Fatalf("surviving chunks covered %d indices, want 75", visited)
+	}
+}
+
+func TestPoolNestedRunFallsBackInline(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	inner0 := p.InlineRuns()
+	var innerSum int64
+	err := p.Run(Chunks(4, 4), func(_, lo, hi int) {
+		// A nested Run sees the pool busy and must execute inline rather
+		// than deadlock waiting for workers that are waiting for us.
+		_ = p.Run(Chunks(10, 2), func(_, l, h int) {
+			for i := l; i < h; i++ {
+				atomic.AddInt64(&innerSum, int64(i))
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4 * (9 * 10 / 2)); innerSum != want {
+		t.Fatalf("nested runs computed %d, want %d", innerSum, want)
+	}
+	if p.InlineRuns() == inner0 {
+		t.Fatal("expected nested dispatches to be counted as inline runs")
+	}
+}
+
+func TestPoolDispatchCounterAndGoroutineStability(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Warm up so the worker goroutines exist before we count.
+	_ = p.Run(Chunks(64, 4), func(_, _, _ int) {})
+	before := runtime.NumGoroutine()
+	d0 := p.Dispatches()
+	for k := 0; k < 50; k++ {
+		if err := p.Run(Chunks(64, 4), func(_, _, _ int) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Dispatches() - d0; got != 50 {
+		t.Fatalf("dispatches advanced by %d, want 50", got)
+	}
+	after := runtime.NumGoroutine()
+	// The whole point of the pool: repeated dispatches spawn no goroutines.
+	if after > before+1 {
+		t.Fatalf("goroutine count grew from %d to %d across 50 dispatches", before, after)
+	}
+}
+
+func TestPoolConcurrentRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				n := 64 + c
+				sum := make([]int64, 1)
+				err := p.Run(Chunks(n, 4), func(_, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt64(&sum[0], 1)
+					}
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if sum[0] != int64(n) {
+					t.Errorf("client %d: covered %d of %d", c, sum[0], n)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestPoolRunWorkerHook(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var calls int32
+	SetWorkerHook(func(int) { atomic.AddInt32(&calls, 1) })
+	defer SetWorkerHook(nil)
+	if err := p.Run(Chunks(64, 4), func(_, _, _ int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("worker hook called %d times, want 4 (once per chunk)", calls)
+	}
+}
+
+func TestDefaultPoolSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() must return one process-wide pool")
+	}
+	if Default().Size() != MaxWorkers() {
+		t.Fatalf("default pool size %d, want MaxWorkers=%d", Default().Size(), MaxWorkers())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/dense"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -170,11 +171,15 @@ func (p *SSOR) Apply(z, r []float64) {
 
 // BlockJacobi is the block-diagonal preconditioner: A's diagonal blocks of
 // the given size are extracted, Cholesky-factorized at setup, and applied
-// with dense triangular solves. Blocks are independent, so Apply
-// parallelizes naturally (kept serial here, matching the campaign host).
+// with dense triangular solves. Blocks are independent, so Apply fans the
+// solves out over Workers goroutines.
 type BlockJacobi struct {
 	n, bs   int
 	factors [][]float64 // per block, column-major Cholesky factor
+
+	// Workers bounds Apply's parallelism, following the krylov convention:
+	// <=0 means all CPUs, 1 means serial.
+	Workers int
 }
 
 // NewBlockJacobi builds the preconditioner with blocks of size bs (the last
@@ -208,10 +213,12 @@ func NewBlockJacobi(a *sparse.CSR, bs int) (*BlockJacobi, error) {
 	return p, nil
 }
 
-// Apply computes z = M⁻¹ r blockwise.
+// Apply computes z = M⁻¹ r blockwise. Blocks touch disjoint slices of z, so
+// the solves run in parallel on the worker pool when Workers allows it.
 func (p *BlockJacobi) Apply(z, r []float64) {
 	copy(z, r)
-	for b, blk := range p.factors {
+	solve := func(b int) {
+		blk := p.factors[b]
 		lo := b * p.bs
 		hi := lo + p.bs
 		if hi > p.n {
@@ -219,4 +226,19 @@ func (p *BlockJacobi) Apply(z, r []float64) {
 		}
 		dense.CholeskySolve(blk, hi-lo, z[lo:hi])
 	}
+	w := p.Workers
+	if w <= 0 {
+		w = parallel.MaxWorkers()
+	}
+	if w == 1 || len(p.factors) == 1 {
+		for b := range p.factors {
+			solve(b)
+		}
+		return
+	}
+	parallel.For(len(p.factors), w, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			solve(b)
+		}
+	})
 }

@@ -3,6 +3,8 @@ package sparse
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // benchMatrix builds a banded-ish matrix with ~10 entries per row for SpMV
@@ -37,6 +39,68 @@ func BenchmarkSpMV(b *testing.B) {
 	b.SetBytes(int64(m.NNZ() * 12))
 }
 
+// benchSkewedMatrix concentrates ~60% of the nnz in the first 2% of the
+// rows, the shape where equal-row chunking starves all workers but one.
+func benchSkewedMatrix(n int) *CSR {
+	rng := rand.New(rand.NewSource(2))
+	heavy := n / 50
+	b := NewCOO(n, n, 6*n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 10)
+		per := 3
+		if i < heavy {
+			per = 150
+		}
+		for k := 0; k < per; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				b.Add(i, j, -0.01)
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// BenchmarkSpMVSkewed compares the SpMV scheduling strategies on a matrix
+// with heavy row skew: serial, the pre-plan equal-row chunking, and the
+// cached nnz-balanced partition plan. All variants report allocs; the
+// pooled paths must show zero in steady state.
+func BenchmarkSpMVSkewed(b *testing.B) {
+	m := benchSkewedMatrix(20000)
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	w := parallel.MaxWorkers()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			m.MulVec(y, x)
+		}
+	})
+	b.Run("pool-equalrows", func(b *testing.B) {
+		bounds := parallel.Chunks(m.Rows, w)
+		body := func(_, lo, hi int) { m.MulVecRange(y, x, lo, hi) }
+		b.ReportAllocs()
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			if err := parallel.Default().Run(bounds, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pool-nnzplan", func(b *testing.B) {
+		m.PartitionPlan(w) // build once outside the timed region
+		b.ReportAllocs()
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			m.MulVecParallel(y, x, w)
+		}
+	})
+}
+
 func BenchmarkSpMVT(b *testing.B) {
 	m := benchMatrix(20000)
 	x := make([]float64, m.Rows)
@@ -46,6 +110,53 @@ func BenchmarkSpMVT(b *testing.B) {
 		m.MulVecT(y, x)
 	}
 	b.SetBytes(int64(m.NNZ() * 12))
+}
+
+// BenchmarkSpMVTZeroSkip measures MulVecT's zero-skip branch: with a mostly
+// zero x the scatter loop body is skipped for the zero rows, so the sparse
+// case should run far under the dense case.
+func BenchmarkSpMVTZeroSkip(b *testing.B) {
+	m := benchMatrix(20000)
+	y := make([]float64, m.Cols)
+	dense := make([]float64, m.Rows)
+	for i := range dense {
+		dense[i] = float64(i%7) + 1
+	}
+	mostlyZero := make([]float64, m.Rows)
+	for i := 0; i < len(mostlyZero); i += 100 {
+		mostlyZero[i] = 1
+	}
+	b.Run("dense-x", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			m.MulVecT(y, dense)
+		}
+	})
+	b.Run("zero-skip-x", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			m.MulVecT(y, mostlyZero)
+		}
+	})
+}
+
+func BenchmarkSpMVTParallel(b *testing.B) {
+	m := benchMatrix(20000)
+	x := make([]float64, m.Rows)
+	y := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i%7) + 1
+	}
+	w := parallel.MaxWorkers()
+	m.PartitionPlan(w)
+	b.ReportAllocs()
+	b.SetBytes(int64(m.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecTParallel(y, x, w)
+	}
 }
 
 func BenchmarkSpMVCSC(b *testing.B) {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // CSR is a sparse matrix in Compressed Sparse Row format.
@@ -24,6 +25,11 @@ type CSR struct {
 	RowPtr     []int
 	ColIdx     []int
 	Val        []float64
+
+	// plan caches the nnz-balanced row partition used by the parallel SpMV
+	// kernels (see PartitionPlan). It is advisory state: a zero value is
+	// always valid, and structural mutators drop it.
+	plan atomic.Pointer[Plan]
 }
 
 // NNZ returns the number of stored entries.
@@ -172,6 +178,7 @@ func (m *CSR) sortDedupRows() {
 	m.RowPtr = outPtr
 	m.ColIdx = m.ColIdx[:w]
 	m.Val = m.Val[:w]
+	m.InvalidatePlan()
 }
 
 type rowSorter struct {

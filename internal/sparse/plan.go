@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// Plan is a static row partition of a CSR matrix for parallel SpMV: the
+// half-open row ranges in Bounds (flattened (lo,hi) pairs, the same layout
+// parallel.Chunks produces) split the matrix so every chunk carries a
+// near-equal share of the stored entries, not of the rows. Equal-row
+// chunking — what MulVecParallel used before the kernel-layer rewrite —
+// assigns a worker whose rows happen to be dense several times the work of
+// its neighbours; nnz-balancing removes that skew up to single-row
+// granularity.
+//
+// A Plan is immutable once built. It is computed lazily by
+// CSR.PartitionPlan, cached on the matrix, and invalidated when the
+// matrix's structure changes.
+type Plan struct {
+	// Workers is the worker count the plan was built for (= number of
+	// chunks, except when the matrix has fewer rows than workers).
+	Workers int
+	// Bounds holds the chunk row ranges as flattened (lo,hi) pairs.
+	Bounds []int
+	// ImbalancePct is the residual load imbalance of the plan:
+	// 100 * (max chunk nnz / mean chunk nnz - 1). Zero for a perfectly
+	// balanced plan; large values mean single rows dominate the matrix and
+	// no static row partition can do better.
+	ImbalancePct float64
+
+	rows, nnz int // validity stamp against the matrix
+}
+
+// NChunks returns the number of row chunks in the plan.
+func (p *Plan) NChunks() int { return len(p.Bounds) / 2 }
+
+// PartitionPlan returns the cached nnz-balanced row partition of m for the
+// given worker count (<=0: all CPUs), computing it on first use. The plan is
+// invalidated automatically when the matrix's row structure changes (rows or
+// stored-entry count); callers that mutate structure in place without
+// changing either should call InvalidatePlan.
+//
+// Concurrent callers may race to build the same plan; all of them receive a
+// structurally identical plan and one of the builds wins the cache.
+func (m *CSR) PartitionPlan(workers int) *Plan {
+	if workers <= 0 {
+		workers = parallel.MaxWorkers()
+	}
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if pl := m.plan.Load(); pl != nil && pl.Workers == workers && pl.rows == m.Rows && pl.nnz == m.NNZ() {
+		return pl
+	}
+	pl := buildPlan(m, workers)
+	m.plan.Store(pl)
+	return pl
+}
+
+// InvalidatePlan drops the cached partition plan. Constructors and the
+// structural mutators of this package call it; external callers only need it
+// after mutating RowPtr/ColIdx directly.
+func (m *CSR) InvalidatePlan() { m.plan.Store(nil) }
+
+// buildPlan computes the nnz-balanced partition. RowPtr is the prefix sum of
+// per-row entry counts, so the boundary of chunk k is found by binary search
+// for the row where the running nnz crosses k/workers of the total.
+func buildPlan(m *CSR, workers int) *Plan {
+	pl := &Plan{Workers: workers, rows: m.Rows, nnz: m.NNZ()}
+	if m.Rows == 0 {
+		return pl
+	}
+	nnz := m.NNZ()
+	pl.Bounds = make([]int, 0, 2*workers)
+	lo := 0
+	for k := 1; k <= workers; k++ {
+		var hi int
+		if k == workers {
+			hi = m.Rows
+		} else {
+			target := nnz * k / workers
+			// First row boundary whose cumulative nnz reaches the target.
+			hi = sort.SearchInts(m.RowPtr, target)
+			if hi < lo {
+				hi = lo
+			}
+			if hi > m.Rows {
+				hi = m.Rows
+			}
+		}
+		pl.Bounds = append(pl.Bounds, lo, hi)
+		lo = hi
+	}
+	// Residual imbalance: how much the heaviest chunk exceeds the mean.
+	chunks := pl.NChunks()
+	if nnz > 0 && chunks > 0 {
+		maxChunk := 0
+		for c := 0; c < chunks; c++ {
+			w := m.RowPtr[pl.Bounds[2*c+1]] - m.RowPtr[pl.Bounds[2*c]]
+			if w > maxChunk {
+				maxChunk = w
+			}
+		}
+		mean := float64(nnz) / float64(chunks)
+		pl.ImbalancePct = 100 * (float64(maxChunk)/mean - 1)
+	}
+	return pl
+}

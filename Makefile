@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke clean obs-smoke compare-baseline chaos
+.PHONY: all build test race vet check bench bench-smoke clean obs-smoke service-smoke compare-baseline chaos
 
 all: check
 
@@ -33,6 +33,12 @@ bench-smoke:
 # scrape /metrics, /debug/solve (incl. SSE), /debug/pprof/ and /runs.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Start the fsaid solve daemon on a free port, register a matrix, run a
+# cold then a warm solve, and assert the preconditioner cache made the warm
+# solve skip setup (plus 429 backpressure and graceful shutdown).
+service-smoke:
+	./scripts/service_smoke.sh
 
 # Perf-regression gate: reproduce the committed BENCH_baseline.json run and
 # diff the deterministic metrics with fsaicompare.

@@ -1,0 +1,318 @@
+// Command fsaid is the long-running solve daemon: it serves the
+// internal/service HTTP/JSON API — a content-addressed matrix registry, an
+// LRU cache of computed FSAI/FSAIE factors (warm solves skip setup
+// entirely) and an admission-controlled job queue — with the observability
+// endpoints (/metrics, /healthz, /debug/solve, /debug/pprof/, /runs)
+// mounted on the same listener.
+//
+// Usage:
+//
+//	fsaid serve [flags]            run the daemon
+//	  -listen ADDR      listen address (default :7474; ":0" picks a free port)
+//	  -runs-dir DIR     keep per-job run reports here, served under /runs
+//	  -max-inflight N   concurrent solve jobs (default 2)
+//	  -queue N          jobs allowed to wait for a slot (default 16)
+//	  -cache N          cached preconditioner factors (default 16)
+//	  -matrices N       registry capacity (default 128)
+//	  -workers N        kernel parallelism per solve (default: all CPUs)
+//	  -timeout D        default per-job deadline (default 60s)
+//
+//	fsaid register [flags]         register a matrix with a running daemon
+//	  -addr URL         daemon address (default http://127.0.0.1:7474)
+//	  -matgen NAME      register a generator-suite matrix by spec name
+//	  -file F.mtx       upload a MatrixMarket file instead
+//	  -name ALIAS       optional registry alias
+//
+//	fsaid solve [flags]            submit a solve job and wait for the result
+//	  -addr URL         daemon address
+//	  -matrix REF       registered matrix (fingerprint or alias) — required
+//	  -precond NAME     none|jacobi|fsai|fsaie-sp|fsaie|adaptive (default fsaie)
+//	  -filter F -line N -power N -tau T -tol T -maxiter N   as in fsaisolve
+//	  -resilient        route through the adaptive recovery chain
+//	  -timeout D        job deadline
+//
+//	fsaid stats [-addr URL]        print the daemon's registry/cache/queue stats
+//	fsaid jobs  [-addr URL]        print the daemon's job history
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight jobs drain,
+// streaming watchers are ended, then the process exits. A second signal
+// force-exits.
+//
+// Exit status: 0 ok (for solve: converged), 1 runtime error, 2 usage
+// error, 3 solve finished without converging — the fsaisolve convention.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "register":
+		cmdRegister(os.Args[2:])
+	case "solve":
+		cmdSolve(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "jobs":
+		cmdJobs(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fsaid: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: fsaid <subcommand> [flags]
+
+  serve      run the solve daemon
+  register   register a matrix with a running daemon
+  solve      submit a solve job and wait for the result
+  stats      print daemon registry/cache/queue statistics
+  jobs       print the daemon job history
+
+Run "fsaid <subcommand> -h" for flags.
+`)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsaid: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("fsaid serve", flag.ExitOnError)
+	var (
+		listen      = fs.String("listen", ":7474", "listen address (\":0\" picks a free port)")
+		runsDir     = fs.String("runs-dir", "", "keep per-job run reports here (served under /runs)")
+		maxInflight = fs.Int("max-inflight", 0, "concurrent solve jobs (default 2)")
+		queueCap    = fs.Int("queue", 0, "jobs allowed to wait for a slot (default 16)")
+		cacheN      = fs.Int("cache", 0, "cached preconditioner factors (default 16)")
+		matrixCap   = fs.Int("matrices", 0, "matrix registry capacity (default 128)")
+		workers     = fs.Int("workers", 0, "kernel parallelism per solve (0: all CPUs)")
+		timeout     = fs.Duration("timeout", 0, "default per-job deadline (default 60s)")
+	)
+	_ = fs.Parse(args)
+
+	if *runsDir != "" {
+		if err := os.MkdirAll(*runsDir, 0o755); err != nil {
+			fatal("runs-dir: %v", err)
+		}
+	}
+	metrics := telemetry.NewRegistry()
+	stopRuntime := telemetry.StartRuntimeMetrics(metrics, 0)
+	defer stopRuntime()
+
+	srv := service.New(service.Options{
+		Metrics:        metrics,
+		RunsDir:        *runsDir,
+		MaxInflight:    *maxInflight,
+		QueueCap:       *queueCap,
+		CacheEntries:   *cacheN,
+		MatrixCap:      *matrixCap,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+	})
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fsaid listening on http://%s\n", addr)
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	<-sigCtx.Done()
+	// Restore default signal handling immediately: a second SIGINT/SIGTERM
+	// during the drain kills the process instead of being swallowed.
+	stopSignals()
+
+	fmt.Fprintln(os.Stderr, "fsaid: shutting down (draining in-flight jobs)")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fsaid: shutdown: %v\n", err)
+		_ = srv.Close()
+		os.Exit(1)
+	}
+}
+
+// clientContext is the interrupt-aware context for the client subcommands.
+func clientContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+func cmdRegister(args []string) {
+	fs := flag.NewFlagSet("fsaid register", flag.ExitOnError)
+	var (
+		addr   = fs.String("addr", "http://127.0.0.1:7474", "daemon address")
+		matgen = fs.String("matgen", "", "register a generator-suite matrix by spec name")
+		file   = fs.String("file", "", "upload a MatrixMarket file")
+		name   = fs.String("name", "", "optional registry alias")
+	)
+	_ = fs.Parse(args)
+	if (*matgen == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "fsaid register: need exactly one of -matgen or -file")
+		os.Exit(2)
+	}
+	ctx, cancel := clientContext()
+	defer cancel()
+	c := client.New(*addr)
+	var (
+		info service.MatrixInfo
+		err  error
+	)
+	if *matgen != "" {
+		info, err = c.RegisterMatgen(ctx, *matgen, *name)
+	} else {
+		var f *os.File
+		if f, err = os.Open(*file); err == nil {
+			info, err = c.RegisterMatrixMarket(ctx, f, *name)
+			f.Close()
+		}
+	}
+	if err != nil {
+		fatal("register: %v", err)
+	}
+	verb := "registered"
+	if !info.Created {
+		verb = "already registered"
+	}
+	fmt.Printf("%s %s (%d unknowns, %d nonzeros) fingerprint=%s\n",
+		verb, displayName(info), info.Rows, info.NNZ, info.Fingerprint)
+}
+
+func displayName(info service.MatrixInfo) string {
+	if info.Name != "" {
+		return info.Name
+	}
+	return info.Fingerprint[:12]
+}
+
+func cmdSolve(args []string) {
+	fs := flag.NewFlagSet("fsaid solve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:7474", "daemon address")
+		matrix    = fs.String("matrix", "", "registered matrix (fingerprint or alias)")
+		precond   = fs.String("precond", "fsaie", "preconditioner: none|jacobi|fsai|fsaie-sp|fsaie|adaptive")
+		filter    = fs.Float64("filter", 0.01, "FSAIE filter threshold (negative: no filtering)")
+		line      = fs.Int("line", 64, "cache line size in bytes")
+		power     = fs.Int("power", 1, "initial pattern power N of Ã^N")
+		tau       = fs.Float64("tau", 0, "threshold for Ã")
+		tol       = fs.Float64("tol", 1e-8, "PCG relative residual tolerance")
+		maxIter   = fs.Int("maxiter", 10000, "PCG iteration cap")
+		resilient = fs.Bool("resilient", false, "solve through the adaptive recovery chain")
+		timeout   = fs.Duration("timeout", 0, "job deadline (0: server default)")
+	)
+	_ = fs.Parse(args)
+	if *matrix == "" {
+		fmt.Fprintln(os.Stderr, "fsaid solve: -matrix is required")
+		os.Exit(2)
+	}
+	ctx, cancel := clientContext()
+	defer cancel()
+	resp, err := client.New(*addr).Solve(ctx, service.SolveRequest{
+		Matrix:       *matrix,
+		Precond:      *precond,
+		Filter:       *filter,
+		LineBytes:    *line,
+		PatternPower: *power,
+		Tau:          *tau,
+		Tol:          *tol,
+		MaxIter:      *maxIter,
+		Resilient:    *resilient,
+		TimeoutMS:    timeout.Milliseconds(),
+	})
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+			fatal("%v (retry after %s)", err, apiErr.RetryAfter)
+		}
+		fatal("solve: %v", err)
+	}
+	fmt.Printf("job=%s precond=%s cache=%s queue_wait=%.1fms setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
+		resp.JobID, resp.Precond, resp.Cache,
+		msec(resp.QueueWaitNS), msec(resp.SetupNS), msec(resp.SolveNS),
+		resp.Iterations, resp.Converged, resp.RelRes)
+	if resp.Report != "" {
+		fmt.Printf("report: /runs/%s\n", resp.Report)
+	}
+	if !resp.Converged {
+		fmt.Fprintf(os.Stderr, "fsaid: solve did not converge (status: %s)\n", resp.Status)
+		os.Exit(3)
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("fsaid stats", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7474", "daemon address")
+	_ = fs.Parse(args)
+	ctx, cancel := clientContext()
+	defer cancel()
+	st, err := client.New(*addr).Stats(ctx)
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	fmt.Printf("matrices: %d\n", st.Matrices)
+	fmt.Printf("cache:    %d/%d entries, %d hits, %d misses, %d evictions\n",
+		st.Cache.Entries, st.Cache.Capacity, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+	fmt.Printf("queue:    %d/%d waiting, %d/%d inflight, %d accepted, %d rejected, %d completed\n",
+		st.Queue.Depth, st.Queue.Capacity, st.Queue.Inflight, st.Queue.MaxInflight,
+		st.Queue.Accepted, st.Queue.Rejected, st.Queue.Completed)
+}
+
+func cmdJobs(args []string) {
+	fs := flag.NewFlagSet("fsaid jobs", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7474", "daemon address")
+	_ = fs.Parse(args)
+	ctx, cancel := clientContext()
+	defer cancel()
+	jobs, err := client.New(*addr).Jobs(ctx)
+	if err != nil {
+		fatal("jobs: %v", err)
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return
+	}
+	for _, j := range jobs {
+		extra := ""
+		switch {
+		case j.Err != "":
+			extra = " error=" + j.Err
+		case j.State == service.JobDone:
+			extra = fmt.Sprintf(" cache=%s iters=%d status=%s total=%.1fms",
+				j.Cache, j.Iterations, j.Status, msec(j.TotalNS))
+		}
+		fmt.Printf("%-10s %-8s precond=%-8s matrix=%s%s\n",
+			j.ID, j.State, j.Precond, shortRef(j.Matrix), extra)
+	}
+}
+
+func shortRef(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+func msec(ns int64) float64 { return float64(ns) / 1e6 }

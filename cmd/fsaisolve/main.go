@@ -37,11 +37,15 @@
 //	                none with warm restarts from the best iterate; the recovery
 //	                log streams to stderr and lands in the -metrics-out report
 //
+// SIGINT/SIGTERM cancel a running solve cooperatively (status "cancelled",
+// exit 3); a second signal force-kills. With -listen -hold, the first
+// signal also drains the observability server gracefully.
+//
 // Exit status: 0 when the solve converged, 1 on runtime errors (unreadable
 // input, preconditioner setup failure), 2 on usage errors, 3 when the solve
 // finished without reaching the tolerance — iteration cap, breakdown (with
 // -resilient: only after the whole recovery chain is exhausted), or -timeout
-// expiry. fsaicompare shares the 0 = ok / 2 = usage convention but uses exit
+// expiry or interruption. fsaicompare shares the 0 = ok / 2 = usage convention but uses exit
 // 1 for "regression found"; exit 3 is specific to the solver tools.
 package main
 
@@ -106,6 +110,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// SIGINT/SIGTERM cancel the solve cooperatively through krylov
+	// Options.Ctx: the solver stops at a resumable checkpoint, the result
+	// reports status "cancelled" and the tool exits 3 — same contract as
+	// -timeout expiry. Installed before the (possibly slow) matrix read so
+	// an early interrupt is honored too. After the first signal the default
+	// handling is restored, so a second interrupt force-kills a stuck
+	// process.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-sigCtx.Done()
+		stopSignals()
+	}()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -189,10 +208,10 @@ func main() {
 		align = cachesim.AlignOf(x, *line)
 	}
 
-	ctx := context.Background()
+	ctx := sigCtx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(sigCtx, *timeout)
 		defer cancel()
 	}
 
@@ -393,11 +412,14 @@ func main() {
 		fmt.Printf("wrote solution to %s\n", *outPath)
 	}
 
-	if *hold && *listenAddr != "" {
+	if *hold && *listenAddr != "" && sigCtx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "holding for scrapes; interrupt to exit")
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		<-sigCtx.Done()
+		// Graceful drain: end any attached SSE watchers and let in-flight
+		// scrapes finish before exiting.
+		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(shCtx)
+		shCancel()
 	}
 
 	// Exit 3 on any non-converged end state (see the doc comment's exit

@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	fsai "repro/internal/core"
 	"repro/internal/krylov"
 	"repro/internal/matgen"
+	"repro/internal/mmio"
 )
 
 func TestBuildPreconditionerAllKinds(t *testing.T) {
@@ -62,5 +68,55 @@ func TestVectorRoundTrip(t *testing.T) {
 	os.WriteFile(bad, []byte("1.0\nnot-a-number\n"), 0o644)
 	if _, err := readVector(bad, 2); err == nil {
 		t.Error("bad value accepted")
+	}
+}
+
+// TestSignalCancelsSolve builds the real binary, starts a solve that cannot
+// finish (unreachable tolerance, huge iteration cap), interrupts it with
+// SIGINT and expects the cooperative-cancellation contract: exit code 3 and
+// a "cancelled" status report.
+func TestSignalCancelsSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fsaisolve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	// Large enough that plain CG with an unreachable tolerance keeps
+	// iterating far past the interrupt (a small system can hit an exact
+	// zero residual and converge before the signal lands).
+	mtx := filepath.Join(dir, "lap.mtx")
+	if err := mmio.WriteFile(mtx, matgen.Laplace2D(400, 400), true); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-precond", "none", "-tol", "1e-300", "-maxiter", "1000000000", mtx)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the solve a moment to get into the iteration loop, then interrupt.
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) || exitErr.ExitCode() != 3 {
+			t.Fatalf("exit err=%v (stderr: %s), want exit code 3", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("SIGINT did not stop the solve")
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Fatalf("stderr does not report cancelled status:\n%s", stderr.String())
 	}
 }

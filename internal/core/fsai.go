@@ -283,6 +283,29 @@ func (p *Preconditioner) initApply() {
 	}
 }
 
+// CloneForApply returns a Preconditioner that shares p's (immutable)
+// factors, patterns and stats but owns its own Apply scratch and kernel
+// engine. Apply is not safe for concurrent use of one Preconditioner, so a
+// cache serving one computed factor to many simultaneous solves hands each
+// solve its own clone: the expensive state (G, GT, partition plans) stays
+// shared, only the per-solve scratch is duplicated. workers <= 0 keeps p's
+// worker setting.
+func (p *Preconditioner) CloneForApply(workers int) *Preconditioner {
+	if workers <= 0 {
+		workers = p.Workers
+	}
+	c := &Preconditioner{
+		G:            p.G,
+		GT:           p.GT,
+		BasePattern:  p.BasePattern,
+		FinalPattern: p.FinalPattern,
+		Stats:        p.Stats,
+		Workers:      workers,
+	}
+	c.initApply()
+	return c
+}
+
 // NNZ returns the stored-entry count of the lower factor G.
 func (p *Preconditioner) NNZ() int { return p.G.NNZ() }
 

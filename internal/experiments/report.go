@@ -36,7 +36,10 @@ import (
 //	2: adds the per-entry "cache" miss-attribution section (optional).
 //	3: adds the per-entry typed "status" and the "resilience" recovery
 //	   section (both optional).
-const RunReportSchemaVersion = 3
+//	4: adds the per-entry "service" section (optional): the solve daemon's
+//	   job id, matrix fingerprint, preconditioner-cache outcome and queue
+//	   wait for reports produced by fsaid jobs.
+const RunReportSchemaVersion = 4
 
 // RunReportMinSchemaVersion is the oldest schema ReadRunReport upgrades.
 const RunReportMinSchemaVersion = 1
@@ -119,6 +122,27 @@ type RunEntry struct {
 	// optional): what the solver had to do — shift retries, preconditioner
 	// fallbacks, warm restarts — to produce this entry's result.
 	Resilience *RunResilience `json:"resilience,omitempty"`
+
+	// Service is the solve-daemon context of an fsaid job (schema v4,
+	// optional): absent for CLI runs.
+	Service *RunService `json:"service,omitempty"`
+}
+
+// RunService is the report's solve-daemon section: which job produced the
+// entry, on which registered operator, and whether the preconditioner came
+// from the cache. A "hit" entry pairs with SetupWallNS == 0 — the warm
+// solve paid no setup; that invariant is what the service-smoke test
+// asserts.
+type RunService struct {
+	JobID string `json:"job_id"`
+	// Fingerprint is the registry handle of the operator (sparse.CSR
+	// content fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Cache is the preconditioner-cache outcome: "hit", "miss", "bypass"
+	// (resilient job) or "uncached" (none/jacobi).
+	Cache string `json:"cache"`
+	// QueueWaitNS is how long the job waited for a concurrency slot.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
 }
 
 // RunAttempt is one recorded setup or solve attempt of a resilient solve

@@ -264,7 +264,7 @@ func TestRunReportUpgradesV1(t *testing.T) {
 	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 0}`)); err == nil {
 		t.Error("v0 must be rejected")
 	}
-	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 4}`)); err == nil {
+	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 5}`)); err == nil {
 		t.Error("future schema must be rejected")
 	}
 }

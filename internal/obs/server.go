@@ -5,6 +5,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -44,6 +45,13 @@ type Server struct {
 
 	health healthState
 
+	// quit ends long-lived handlers (the /debug/solve SSE streams) on
+	// graceful shutdown: http.Server.Shutdown only waits for handlers, it
+	// does not interrupt them, so without this signal an attached stream
+	// watcher would stall the drain until its client disconnected.
+	quit     chan struct{}
+	quitOnce sync.Once
+
 	mu sync.Mutex
 	ln net.Listener
 	hs *http.Server
@@ -54,7 +62,7 @@ func NewServer(opt Options) *Server {
 	if opt.Heartbeat <= 0 {
 		opt.Heartbeat = time.Second
 	}
-	s := &Server{opt: opt, mux: http.NewServeMux()}
+	s := &Server{opt: opt, mux: http.NewServeMux(), quit: make(chan struct{})}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -87,6 +95,25 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	s.mu.Unlock()
 	go func() { _ = hs.Serve(ln) }()
 	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops the server: new connections are refused,
+// in-flight request handlers drain (SSE streams are told to end via the
+// internal quit signal), and the call returns once everything finished or
+// ctx expired — the contract of net/http.Server.Shutdown. It is safe to
+// call on a server that was never Started (an embedded Handler): only the
+// stream-ending signal fires, so a parent server draining its own listener
+// still unblocks any attached watchers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.mu.Lock()
+	hs := s.hs
+	s.hs, s.ln = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
 }
 
 // Close stops a server previously started with Start.
@@ -166,6 +193,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-ctx.Done():
+			return
+		case <-s.quit:
+			// Graceful shutdown: end the stream so the handler count drains.
 			return
 		case st, ok := <-ch:
 			if !ok {

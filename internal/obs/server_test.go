@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -350,5 +351,84 @@ func TestServerConcurrentScrapeDuringSolve(t *testing.T) {
 
 	if st := w.State(); !st.Done {
 		t.Errorf("final state not done: %+v", st)
+	}
+}
+
+// TestServerShutdownDrainsSSE is the graceful-shutdown contract: Shutdown
+// must end an attached /debug/solve SSE stream (which would otherwise live
+// until its client disconnected) and return once the handlers drained.
+func TestServerShutdownDrainsSSE(t *testing.T) {
+	w := NewSolveWatcher()
+	s := NewServer(Options{Watcher: w, Heartbeat: 10 * time.Millisecond})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/debug/solve?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Wait for the first heartbeat so the handler is provably inside its
+	// stream loop before shutdown begins.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first heartbeat: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("Shutdown did not return; SSE stream stalled the drain")
+	}
+
+	// The stream must have been ended by the server.
+	if _, err := io.Copy(io.Discard, br); err != nil && !strings.Contains(err.Error(), "EOF") {
+		// Any termination (clean EOF or reset) is fine; a hang is not, and
+		// io.Copy returning at all proves the stream ended.
+		t.Logf("stream ended with: %v", err)
+	}
+
+	// Shutdown is idempotent and safe on the already-stopped server.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestServerShutdownNeverStarted covers the embedded-Handler case: Shutdown
+// on a server that only ever served through Handler() must not panic and
+// must still fire the stream-ending signal.
+func TestServerShutdownNeverStarted(t *testing.T) {
+	s := NewServer(Options{Watcher: NewSolveWatcher(), Heartbeat: 10 * time.Millisecond})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/debug/solve?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first heartbeat: %v", err)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	streamDone := make(chan struct{})
+	go func() { io.Copy(io.Discard, br); close(streamDone) }()
+	select {
+	case <-streamDone:
+	case <-time.After(4 * time.Second):
+		t.Fatal("quit signal did not end the embedded SSE stream")
 	}
 }

@@ -1,0 +1,196 @@
+// Package service is the long-running solve daemon behind cmd/fsaid: a
+// matrix registry keyed by content fingerprint, an LRU cache of computed
+// FSAI/FSAIE factors so repeated solves on the same operator skip the
+// expensive setup phase entirely, and a bounded, admission-controlled job
+// queue in front of the solver. The observability server (internal/obs) is
+// mounted on the same listener, so /metrics, /healthz, /debug/solve and
+// /runs describe the daemon live.
+//
+// The paper's setup-cost argument is the whole motivation: FSAI(E) setup is
+// the dominant phase of a one-shot solve, and (as the adaptive-FSAI
+// literature argues at scale) only pays for itself when amortized across
+// many right-hand sides and repeated solves on the same operator. The
+// service turns the reproduction into exactly that amortizing system.
+package service
+
+// MatrixInfo describes one registered matrix.
+type MatrixInfo struct {
+	// Fingerprint is the hex SHA-256 content fingerprint (sparse.CSR
+	// Fingerprint) — the canonical handle for solve requests.
+	Fingerprint string `json:"fingerprint"`
+	// Name is an optional client-chosen alias, unique across the registry.
+	Name string `json:"name,omitempty"`
+	Rows int    `json:"rows"`
+	NNZ  int    `json:"nnz"`
+	// Created reports whether this registration stored a new matrix (false:
+	// the content was already registered and the call deduplicated).
+	Created bool `json:"created"`
+}
+
+// RegisterRequest is the JSON body of POST /api/v1/matrices when the client
+// registers a generator spec instead of uploading a MatrixMarket file.
+type RegisterRequest struct {
+	// Matgen names a matrix of the internal/matgen evaluation suite.
+	Matgen string `json:"matgen"`
+	// Name optionally aliases the matrix in the registry.
+	Name string `json:"name,omitempty"`
+}
+
+// SolveRequest is the JSON body of POST /api/v1/solve.
+type SolveRequest struct {
+	// Matrix references a registered matrix by fingerprint or name.
+	Matrix string `json:"matrix"`
+
+	// Precond selects the preconditioner (default "fsaie"):
+	// none|jacobi|fsai|fsaie-sp|fsaie|adaptive. FSAI-family factors are
+	// cached by (matrix fingerprint, setup options); none/jacobi are cheap
+	// enough to rebuild per job.
+	Precond string `json:"precond,omitempty"`
+	// Filter / LineBytes / PatternPower / Tau mirror the fsai.Options setup
+	// knobs (defaults 0.01 / 64 / 1 / 0); they are part of the cache key.
+	// A negative Filter selects 0 — no extension filtering (JSON cannot
+	// distinguish an absent field from an explicit 0, so 0 means default).
+	Filter       float64 `json:"filter,omitempty"`
+	LineBytes    int     `json:"line_bytes,omitempty"`
+	PatternPower int     `json:"pattern_power,omitempty"`
+	Tau          float64 `json:"tau,omitempty"`
+
+	// Tol / MaxIter configure the PCG solve (defaults 1e-8 / 10000).
+	Tol     float64 `json:"tol,omitempty"`
+	MaxIter int     `json:"max_iter,omitempty"`
+
+	// Resilient routes the job through the adaptive recovery chain
+	// (internal/resilience). Resilient jobs bypass the preconditioner cache:
+	// the chain owns its own setup/retry/fallback sequence.
+	Resilient bool `json:"resilient,omitempty"`
+
+	// TimeoutMS bounds the job wall clock (0: the server default). The job
+	// runs under a context deadline and ends with status "cancelled" on
+	// expiry, like fsaisolve -timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// RHS is the right-hand side (must have exactly Rows values). Empty
+	// means the all-ones vector.
+	RHS []float64 `json:"rhs,omitempty"`
+	// ReturnSolution includes the solution vector in the response.
+	ReturnSolution bool `json:"return_solution,omitempty"`
+
+	// HoldMS keeps the job's concurrency slot occupied for this long before
+	// solving. It exists for admission-control drills (tests and the
+	// service-smoke script saturate the queue deterministically with it);
+	// production clients leave it zero.
+	HoldMS int64 `json:"hold_ms,omitempty"`
+}
+
+// Cache-outcome values reported in SolveResponse.Cache and the run report's
+// service section.
+const (
+	CacheHit      = "hit"      // warm: the factor came from the cache, zero setup
+	CacheMiss     = "miss"     // cold: this job computed (and cached) the factor
+	CacheBypass   = "bypass"   // resilient job: the recovery chain owns setup
+	CacheUncached = "uncached" // none/jacobi: too cheap to cache
+)
+
+// SolveResponse is the JSON result of POST /api/v1/solve.
+type SolveResponse struct {
+	JobID string `json:"job_id"`
+	// Matrix is the fingerprint the job resolved to.
+	Matrix string `json:"matrix"`
+	// Precond is the preconditioner that produced the result (for resilient
+	// jobs: the final recovery rung).
+	Precond string `json:"precond"`
+	// Cache is the preconditioner-cache outcome (CacheHit, CacheMiss,
+	// CacheBypass or CacheUncached).
+	Cache string `json:"cache"`
+
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	Status     string  `json:"status"`
+	RelRes     float64 `json:"relres"`
+
+	// QueueWaitNS is time spent waiting for a concurrency slot; SetupNS the
+	// preconditioner setup cost this job actually paid (0 on a cache hit);
+	// SolveNS the PCG wall time; TotalNS admission-to-response.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	SetupNS     int64 `json:"setup_ns"`
+	SolveNS     int64 `json:"solve_ns"`
+	TotalNS     int64 `json:"total_ns"`
+
+	// Report is the run-report file name under /runs when the server keeps
+	// run history.
+	Report string `json:"report,omitempty"`
+
+	// X is the solution vector when ReturnSolution was set.
+	X []float64 `json:"x,omitempty"`
+}
+
+// JobState values of JobInfo.State.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobRejected = "rejected"
+)
+
+// JobInfo is one entry of the job log served on GET /api/v1/jobs.
+type JobInfo struct {
+	ID      string `json:"id"`
+	Matrix  string `json:"matrix"`
+	Precond string `json:"precond"`
+	State   string `json:"state"`
+	Cache   string `json:"cache,omitempty"`
+	// Status is the typed solver termination for finished jobs; Err the
+	// failure text for failed/rejected ones.
+	Status string `json:"status,omitempty"`
+	Err    string `json:"error,omitempty"`
+
+	Iterations int     `json:"iterations,omitempty"`
+	Converged  bool    `json:"converged"`
+	RelRes     float64 `json:"relres,omitempty"`
+
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	SetupNS     int64 `json:"setup_ns,omitempty"`
+	SolveNS     int64 `json:"solve_ns,omitempty"`
+	TotalNS     int64 `json:"total_ns,omitempty"`
+
+	EnqueuedAt string `json:"enqueued_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+}
+
+// CacheStats is the preconditioner-cache section of GET /api/v1/stats.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// QueueStats is the admission-control section of GET /api/v1/stats.
+type QueueStats struct {
+	// Depth is the number of jobs currently waiting for a slot; Inflight
+	// the number currently holding one.
+	Depth       int   `json:"depth"`
+	Capacity    int   `json:"capacity"`
+	Inflight    int   `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	Accepted    int64 `json:"accepted"`
+	Rejected    int64 `json:"rejected"`
+	Completed   int64 `json:"completed"`
+}
+
+// Stats is the GET /api/v1/stats document.
+type Stats struct {
+	Matrices int        `json:"matrices"`
+	Cache    CacheStats `json:"cache"`
+	Queue    QueueStats `json:"queue"`
+}
+
+// ErrorBody is the JSON error envelope of non-2xx API responses.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// RetryAfterS accompanies HTTP 429: the server's backoff suggestion in
+	// seconds (also sent as the Retry-After header).
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	fsai "repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// CachedPrecond is one cache entry: a computed FSAI-family factor and what
+// its setup cost. The Preconditioner is the canonical copy — Apply state is
+// per-solve, so every consumer clones it with CloneForApply and the
+// expensive parts (G, Gᵀ, partition plans) stay shared.
+type CachedPrecond struct {
+	Key     string
+	P       *fsai.Preconditioner
+	SetupNS int64
+}
+
+// buildCall tracks one in-flight setup so concurrent requests for the same
+// key coalesce onto a single computation instead of racing N setups.
+type buildCall struct {
+	done chan struct{}
+	e    *CachedPrecond
+	err  error
+}
+
+// PrecondCache is the LRU preconditioner cache keyed by
+// (matrix fingerprint, setup options): the piece that makes warm solves
+// skip the paper's dominant cost phase entirely. All methods are safe for
+// concurrent use; misses for the same key are deduplicated (single-flight).
+type PrecondCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *CachedPrecond
+	items    map[string]*list.Element
+	building map[string]*buildCall
+
+	hits, misses, evictions atomic.Int64
+	reg                     *telemetry.Registry
+}
+
+// NewPrecondCache returns a cache holding at most capacity factors
+// (capacity < 1 is treated as 1). reg, when non-nil, receives the
+// service.cache.* counters and gauges.
+func NewPrecondCache(capacity int, reg *telemetry.Registry) *PrecondCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	reg.SetHelp("service_cache_hits", "preconditioner cache hits (warm solves, zero setup)")
+	reg.SetHelp("service_cache_misses", "preconditioner cache misses (cold solves paying setup)")
+	reg.SetHelp("service_cache_evictions", "preconditioner cache LRU evictions")
+	reg.SetHelp("service_cache_entries", "preconditioner factors currently cached")
+	return &PrecondCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		building: map[string]*buildCall{},
+		reg:      reg,
+	}
+}
+
+// PrecondKey builds the canonical cache key for a matrix fingerprint and
+// the setup-relevant solve options. Worker count is deliberately excluded:
+// the factor's values do not depend on setup parallelism (each row's local
+// system is solved independently), so one cached factor serves any worker
+// configuration.
+func PrecondKey(fingerprint string, req *SolveRequest) string {
+	return fmt.Sprintf("%s|%s|f=%g|line=%d|pow=%d|tau=%g",
+		fingerprint, req.Precond, req.Filter, req.LineBytes, req.PatternPower, req.Tau)
+}
+
+// GetOrBuild returns the cached factor for key, computing it with build on
+// a miss. Concurrent misses for the same key wait for the first builder and
+// count as hits (they paid no setup). ctx bounds only the waiting — an
+// in-flight build runs to completion so its result can serve later jobs
+// even when the triggering client gave up.
+func (c *PrecondCache) GetOrBuild(ctx context.Context, key string, build func() (*CachedPrecond, error)) (e *CachedPrecond, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*CachedPrecond)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		c.reg.Counter("service.cache.hits").Inc()
+		return e, true, nil
+	}
+	if call, ok := c.building[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		c.hits.Add(1)
+		c.reg.Counter("service.cache.hits").Inc()
+		return call.e, true, nil
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.mu.Unlock()
+
+	call.e, call.err = build()
+	if call.e != nil {
+		call.e.Key = key
+	}
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insertLocked(key, call.e)
+	}
+	c.mu.Unlock()
+	close(call.done)
+
+	c.misses.Add(1)
+	c.reg.Counter("service.cache.misses").Inc()
+	return call.e, false, call.err
+}
+
+// insertLocked adds an entry at the LRU front and evicts beyond capacity.
+// Caller holds c.mu.
+func (c *PrecondCache) insertLocked(key string, e *CachedPrecond) {
+	if el, ok := c.items[key]; ok {
+		// A concurrent builder lost a race with an eviction+rebuild; keep
+		// the resident entry.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		old := oldest.Value.(*CachedPrecond)
+		c.ll.Remove(oldest)
+		delete(c.items, old.Key)
+		c.evictions.Add(1)
+		c.reg.Counter("service.cache.evictions").Inc()
+	}
+	c.reg.Gauge("service.cache.entries").Set(float64(c.ll.Len()))
+}
+
+// EvictMatrix drops every cached factor whose key belongs to the given
+// matrix fingerprint, returning how many were removed. Used when a matrix
+// is unregistered.
+func (c *PrecondCache) EvictMatrix(fingerprint string) int {
+	prefix := fingerprint + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	if n > 0 {
+		c.evictions.Add(int64(n))
+		c.reg.Counter("service.cache.evictions").Add(int64(n))
+		c.reg.Gauge("service.cache.entries").Set(float64(c.ll.Len()))
+	}
+	return n
+}
+
+// Len returns the number of cached factors.
+func (c *PrecondCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *PrecondCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:   entries,
+		Capacity:  c.capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,162 @@
+// Package client is the Go client for the fsaid solve daemon
+// (internal/service): typed wrappers over the /api/v1 endpoints, used by the
+// fsaid client subcommands and the service tests. It speaks plain
+// net/http — no dependencies beyond the service API types.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// APIError is a non-2xx response from the daemon, carrying the decoded
+// error envelope. For 429 responses RetryAfter holds the server's backoff
+// suggestion.
+type APIError struct {
+	StatusCode int
+	Body       service.ErrorBody
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Body.Error != "" {
+		return fmt.Sprintf("fsaid: HTTP %d: %s", e.StatusCode, e.Body.Error)
+	}
+	return fmt.Sprintf("fsaid: HTTP %d", e.StatusCode)
+}
+
+// Client talks to one fsaid daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:7474").
+// A missing scheme defaults to http://.
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// do runs one request and decodes the JSON response into out (when non-nil).
+// Non-2xx statuses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr.Body)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, bytes.NewReader(data), "application/json", out)
+}
+
+// RegisterMatgen registers a matrix of the internal/matgen suite by spec
+// name, optionally aliased.
+func (c *Client) RegisterMatgen(ctx context.Context, spec, name string) (service.MatrixInfo, error) {
+	var info service.MatrixInfo
+	err := c.postJSON(ctx, "/api/v1/matrices", service.RegisterRequest{Matgen: spec, Name: name}, &info)
+	return info, err
+}
+
+// RegisterMatrixMarket uploads a MatrixMarket coordinate file, optionally
+// aliased.
+func (c *Client) RegisterMatrixMarket(ctx context.Context, r io.Reader, name string) (service.MatrixInfo, error) {
+	path := "/api/v1/matrices"
+	if name != "" {
+		path += "?name=" + urlQueryEscape(name)
+	}
+	var info service.MatrixInfo
+	err := c.do(ctx, http.MethodPost, path, r, "text/plain", &info)
+	return info, err
+}
+
+// Matrices lists the registered matrices.
+func (c *Client) Matrices(ctx context.Context) ([]service.MatrixInfo, error) {
+	var out []service.MatrixInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/matrices", nil, "", &out)
+	return out, err
+}
+
+// Matrix fetches one registered matrix's descriptor by fingerprint or name.
+func (c *Client) Matrix(ctx context.Context, ref string) (service.MatrixInfo, error) {
+	var out service.MatrixInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/matrices/"+urlQueryEscape(ref), nil, "", &out)
+	return out, err
+}
+
+// Unregister removes a matrix (and its cached preconditioners).
+func (c *Client) Unregister(ctx context.Context, ref string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/matrices/"+urlQueryEscape(ref), nil, "", nil)
+}
+
+// Solve submits a solve job and waits for its result. Saturation surfaces
+// as *APIError with StatusCode 429 and RetryAfter set.
+func (c *Client) Solve(ctx context.Context, req service.SolveRequest) (*service.SolveResponse, error) {
+	var out service.SolveResponse
+	if err := c.postJSON(ctx, "/api/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the daemon's job history, most recent first.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobInfo, error) {
+	var out []service.JobInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, "", &out)
+	return out, err
+}
+
+// Job fetches one job record.
+func (c *Client) Job(ctx context.Context, id string) (service.JobInfo, error) {
+	var out service.JobInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+urlQueryEscape(id), nil, "", &out)
+	return out, err
+}
+
+// Stats fetches the daemon's registry/cache/queue counters.
+func (c *Client) Stats(ctx context.Context) (service.Stats, error) {
+	var out service.Stats
+	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, "", &out)
+	return out, err
+}
+
+func urlQueryEscape(s string) string { return url.PathEscape(s) }

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"sync"
+)
+
+// jobLog is the bounded in-memory job history behind GET /api/v1/jobs:
+// every admitted (and rejected) job leaves a record, trimmed oldest-first
+// once the history exceeds its capacity. Records are stored by value;
+// readers always get copies.
+type jobLog struct {
+	mu    sync.Mutex
+	cap   int
+	jobs  map[string]JobInfo
+	order []string
+}
+
+func newJobLog(capacity int) *jobLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobLog{cap: capacity, jobs: map[string]JobInfo{}}
+}
+
+// put inserts or replaces a job record, trimming finished old records
+// beyond capacity.
+func (l *jobLog) put(ji JobInfo) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.jobs[ji.ID]; !ok {
+		l.order = append(l.order, ji.ID)
+	}
+	l.jobs[ji.ID] = ji
+	for len(l.order) > l.cap {
+		// Trim the oldest finished record; an active job outliving the whole
+		// history window is kept (it is still observable state).
+		trimmed := false
+		for i, id := range l.order {
+			st := l.jobs[id].State
+			if st == JobQueued || st == JobRunning {
+				continue
+			}
+			delete(l.jobs, id)
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			trimmed = true
+			break
+		}
+		if !trimmed {
+			break
+		}
+	}
+}
+
+// get returns a copy of one job record.
+func (l *jobLog) get(id string) (JobInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ji, ok := l.jobs[id]
+	return ji, ok
+}
+
+// list returns copies of all records, most recent first.
+func (l *jobLog) list() []JobInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]JobInfo, 0, len(l.order))
+	for i := len(l.order) - 1; i >= 0; i-- {
+		out = append(out, l.jobs[l.order[i]])
+	}
+	return out
+}

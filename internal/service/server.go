@@ -1,0 +1,701 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fsai "repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/krylov"
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// maxUploadBytes bounds matrix uploads and solve request bodies.
+const maxUploadBytes = 64 << 20
+
+// Options configures a service Server. The zero value is usable: every
+// capacity gets a production-shaped default.
+type Options struct {
+	// Metrics, when non-nil, receives the service.* series and backs the
+	// mounted /metrics endpoint.
+	Metrics *telemetry.Registry
+	// RunsDir, when set, receives one run report per finished job
+	// (<jobid>.json) and is served under /runs.
+	RunsDir string
+
+	// MatrixCap bounds the registry (default 128 matrices).
+	MatrixCap int
+	// CacheEntries bounds the preconditioner LRU (default 16 factors).
+	CacheEntries int
+	// MaxInflight bounds concurrently running jobs (default 2: the solver
+	// kernels share one internal/parallel pool — the first job gets the
+	// pooled workers, a second overlaps usefully inline, more would only
+	// oversubscribe).
+	MaxInflight int
+	// QueueCap bounds jobs waiting for a slot (default 16; negative: no
+	// waiting at all); beyond it the server answers 429 with Retry-After.
+	QueueCap int
+	// DefaultTimeout is the per-job deadline when the request does not set
+	// one (default 60s).
+	DefaultTimeout time.Duration
+	// JobHistory bounds the in-memory job log (default 128).
+	JobHistory int
+	// Workers is the per-solve kernel parallelism (<=0: all CPUs).
+	Workers int
+	// Heartbeat is the SSE keep-alive of the mounted obs server.
+	Heartbeat time.Duration
+}
+
+func (o *Options) setDefaults() {
+	if o.MatrixCap <= 0 {
+		o.MatrixCap = 128
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 16
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 2
+	}
+	switch {
+	case o.QueueCap == 0:
+		o.QueueCap = 16
+	case o.QueueCap < 0:
+		o.QueueCap = -1 // newAdmission clamps to an empty queue
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 128
+	}
+}
+
+// Server is the solve daemon: matrix registry + preconditioner cache +
+// admission-controlled job execution, with the observability endpoints
+// (internal/obs) mounted on the same handler.
+type Server struct {
+	opt      Options
+	reg      *telemetry.Registry
+	matrices *MatrixRegistry
+	cache    *PrecondCache
+	adm      *admission
+	jobs     *jobLog
+	watcher  *obs.SolveWatcher
+	obsSrv   *obs.Server
+	mux      *http.ServeMux
+	seq      atomic.Int64
+
+	mu sync.Mutex
+	ln net.Listener
+	hs *http.Server
+}
+
+// New builds a Server with all endpoints registered.
+func New(opt Options) *Server {
+	opt.setDefaults()
+	reg := opt.Metrics
+	s := &Server{
+		opt:      opt,
+		reg:      reg,
+		matrices: NewMatrixRegistry(opt.MatrixCap),
+		cache:    NewPrecondCache(opt.CacheEntries, reg),
+		adm:      newAdmission(opt.MaxInflight, opt.QueueCap, reg),
+		jobs:     newJobLog(opt.JobHistory),
+		watcher:  obs.NewSolveWatcher(),
+		mux:      http.NewServeMux(),
+	}
+	s.obsSrv = obs.NewServer(obs.Options{
+		Registry:  reg,
+		Watcher:   s.watcher,
+		RunsDir:   opt.RunsDir,
+		Heartbeat: opt.Heartbeat,
+	})
+	reg.SetHelp("service_matrices", "matrices currently registered")
+	reg.SetHelp("service_jobs", "finished solve jobs by status")
+	reg.SetHelp("service_job_total_ns", "job wall time admission-to-response")
+	reg.SetHelp("service_job_queue_wait_ns", "job time spent waiting for a slot")
+
+	s.mux.Handle("/", s.obsSrv.Handler())
+	s.mux.HandleFunc("/api/v1/matrices", s.handleMatrices)
+	s.mux.HandleFunc("/api/v1/matrices/", s.handleMatrix)
+	s.mux.HandleFunc("/api/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the full daemon handler (API + observability endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Obs exposes the mounted observability server (health overrides, tests).
+func (s *Server) Obs() *obs.Server { return s.obsSrv }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.mux}
+	s.mu.Lock()
+	s.ln, s.hs = ln, hs
+	s.mu.Unlock()
+	go func() { _ = hs.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops the daemon: the listener closes, streaming
+// observability handlers are told to end, and in-flight solve jobs drain
+// (or ctx expires). Queued jobs that have not been admitted yet fail with
+// their connection.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// End the SSE streams first — they would otherwise hold the drain open
+	// until their clients disconnected.
+	obsErr := s.obsSrv.Shutdown(ctx)
+	s.mu.Lock()
+	hs := s.hs
+	s.hs, s.ln = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
+		return obsErr
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	return obsErr
+}
+
+// Close abruptly stops a Started server.
+func (s *Server) Close() error {
+	_ = s.obsSrv.Shutdown(context.Background())
+	s.mu.Lock()
+	hs := s.hs
+	s.hs, s.ln = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}
+
+// normalize fills the request defaults in place and validates the knobs it
+// can check without the matrix.
+func normalizeSolveRequest(req *SolveRequest) error {
+	if req.Matrix == "" {
+		return errors.New("missing \"matrix\"")
+	}
+	if req.Precond == "" {
+		req.Precond = "fsaie"
+	}
+	switch req.Precond {
+	case "none", "jacobi", "fsai", "fsaie-sp", "fsaie", "adaptive":
+	default:
+		return fmt.Errorf("unknown preconditioner %q", req.Precond)
+	}
+	if req.Resilient && resilience.Chain(req.Precond) == nil {
+		return fmt.Errorf("resilient solves need a recovery rung, not %q", req.Precond)
+	}
+	if req.Filter == 0 {
+		req.Filter = 0.01
+	} else if req.Filter < 0 {
+		req.Filter = 0 // explicit "no filtering"
+	}
+	if req.LineBytes <= 0 {
+		req.LineBytes = 64
+	}
+	if req.PatternPower <= 0 {
+		req.PatternPower = 1
+	}
+	if req.Tol <= 0 {
+		req.Tol = 1e-8
+	}
+	if req.MaxIter <= 0 {
+		req.MaxIter = 10000
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// validateOperator applies the same SPD-shaped gate as cmd/fsaisolve.
+func validateOperator(a *sparse.CSR) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("matrix is %dx%d, need square", a.Rows, a.Cols)
+	}
+	if a.Rows == 0 {
+		return errors.New("matrix is empty")
+	}
+	if !a.IsSymmetric(1e-10 * a.MaxNorm()) {
+		return errors.New("matrix is not symmetric; PCG requires SPD input")
+	}
+	return nil
+}
+
+func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.matrices.List())
+	case http.MethodPost:
+		s.registerMatrix(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) registerMatrix(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	var a *sparse.CSR
+	name := r.URL.Query().Get("name")
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		var req RegisterRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+			return
+		}
+		spec, ok := matgen.ByName(req.Matgen)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown matgen spec %q", req.Matgen)
+			return
+		}
+		a = spec.Generate()
+		if req.Name != "" {
+			name = req.Name
+		} else if name == "" {
+			name = req.Matgen
+		}
+	} else {
+		var err error
+		a, err = mmio.Read(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad MatrixMarket upload: %v", err)
+			return
+		}
+	}
+	if err := validateOperator(a); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, err := s.matrices.Register(a, name)
+	switch {
+	case errors.Is(err, ErrRegistryFull):
+		writeError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.reg.Gauge("service.matrices").Set(float64(s.matrices.Len()))
+	code := http.StatusOK
+	if info.Created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	ref := strings.TrimPrefix(r.URL.Path, "/api/v1/matrices/")
+	if ref == "" {
+		writeError(w, http.StatusNotFound, "missing matrix reference")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		rm, ok := s.matrices.Get(ref)
+		if !ok {
+			writeError(w, http.StatusNotFound, "matrix %q not registered", ref)
+			return
+		}
+		writeJSON(w, http.StatusOK, rm.Info)
+	case http.MethodDelete:
+		fp, ok := s.matrices.Remove(ref)
+		if !ok {
+			writeError(w, http.StatusNotFound, "matrix %q not registered", ref)
+			return
+		}
+		s.cache.EvictMatrix(fp)
+		s.reg.Gauge("service.matrices").Set(float64(s.matrices.Len()))
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	ji, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, ji)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		Matrices: s.matrices.Len(),
+		Cache:    s.cache.Stats(),
+		Queue:    s.adm.stats(),
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad solve request: %v", err)
+		return
+	}
+	if err := normalizeSolveRequest(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rm, ok := s.matrices.Get(req.Matrix)
+	if !ok {
+		writeError(w, http.StatusNotFound, "matrix %q not registered (POST /api/v1/matrices first)", req.Matrix)
+		return
+	}
+	if len(req.RHS) != 0 && len(req.RHS) != rm.A.Rows {
+		writeError(w, http.StatusBadRequest, "rhs has %d values, matrix has %d rows", len(req.RHS), rm.A.Rows)
+		return
+	}
+
+	id := fmt.Sprintf("j-%06d", s.seq.Add(1))
+	enqueued := time.Now()
+	ji := JobInfo{
+		ID:         id,
+		Matrix:     rm.Info.Fingerprint,
+		Precond:    req.Precond,
+		State:      JobQueued,
+		EnqueuedAt: enqueued.UTC().Format(time.RFC3339Nano),
+	}
+	s.jobs.put(ji)
+
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		ji.State = JobRejected
+		ji.Err = err.Error()
+		ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+		s.jobs.put(ji)
+		var sat *SaturatedError
+		if errors.As(err, &sat) {
+			secs := int(math.Ceil(sat.RetryAfter.Seconds()))
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+			writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error(), RetryAfterS: secs})
+			return
+		}
+		// The client went away while queued; nothing useful to write.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer release()
+
+	ji.QueueWaitNS = time.Since(enqueued).Nanoseconds()
+	ji.State = JobRunning
+	s.jobs.put(ji)
+	s.reg.Histogram("service.job.queue_wait_ns", telemetry.ExpBuckets(1e4, 4, 12)).
+		Observe(float64(ji.QueueWaitNS))
+
+	timeout := s.opt.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if req.HoldMS > 0 {
+		// Admission-control drill: occupy the slot without burning CPU.
+		hold := time.NewTimer(time.Duration(req.HoldMS) * time.Millisecond)
+		select {
+		case <-hold.C:
+		case <-ctx.Done():
+			hold.Stop()
+		}
+	}
+
+	resp, jerr := s.runJob(ctx, id, rm, &req, &ji)
+	total := time.Since(enqueued)
+	ji.TotalNS = total.Nanoseconds()
+	ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	s.adm.observe(total.Nanoseconds())
+	s.reg.Histogram("service.job.total_ns", telemetry.ExpBuckets(1e6, 2, 24)).
+		Observe(float64(total.Nanoseconds()))
+	if jerr != nil {
+		ji.State = JobFailed
+		ji.Err = jerr.Error()
+		s.jobs.put(ji)
+		s.reg.Counter(`service.jobs{status="setup-error"}`).Inc()
+		writeError(w, http.StatusInternalServerError, "%v", jerr)
+		return
+	}
+	resp.TotalNS = total.Nanoseconds()
+	resp.QueueWaitNS = ji.QueueWaitNS
+	ji.State = JobDone
+	ji.Cache = resp.Cache
+	ji.Status = resp.Status
+	ji.Iterations = resp.Iterations
+	ji.Converged = resp.Converged
+	ji.RelRes = resp.RelRes
+	ji.SetupNS = resp.SetupNS
+	ji.SolveNS = resp.SolveNS
+	s.jobs.put(ji)
+	s.reg.Counter(fmt.Sprintf("service.jobs{status=%q}", resp.Status)).Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runJob executes one admitted solve job: preconditioner via cache (or the
+// resilience chain), PCG, run report. The returned error means the job
+// could not produce a result at all (setup failure); a non-converged solve
+// is a normal response with Converged=false.
+func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, req *SolveRequest, ji *JobInfo) (*SolveResponse, error) {
+	a := rm.A
+	b := req.RHS
+	if len(b) == 0 {
+		b = make([]float64, a.Rows)
+		for i := range b {
+			b[i] = 1
+		}
+	}
+	x := make([]float64, a.Rows)
+
+	fo := fsai.Options{
+		Variant:      fsai.VariantFull,
+		Filter:       req.Filter,
+		LineBytes:    req.LineBytes,
+		PatternPower: req.PatternPower,
+		ThresholdTau: req.Tau,
+		MaxRowNNZ:    512,
+		Workers:      s.opt.Workers,
+	}
+	ko := krylov.Options{
+		Tol:           req.Tol,
+		MaxIter:       req.MaxIter,
+		Workers:       s.opt.Workers,
+		CollectTiming: true,
+		Metrics:       s.reg,
+		Ctx:           ctx,
+	}
+	label := rm.Info.Name
+	if label == "" {
+		label = shortFP(rm.Info.Fingerprint)
+	}
+	s.watcher.Begin(fmt.Sprintf("%s/%s", label, req.Precond), req.Tol, req.MaxIter)
+	ko.Progress = s.watcher.Progress
+	ko.ProgressDetail = s.watcher.ProgressDetail
+
+	resp := &SolveResponse{JobID: id, Matrix: rm.Info.Fingerprint, Precond: req.Precond}
+	var (
+		res     krylov.Result
+		g       *fsai.Preconditioner
+		rout    *resilience.Outcome
+		setupNS int64
+		solveNS int64
+	)
+
+	switch {
+	case req.Resilient:
+		resp.Cache = CacheBypass
+		out, rerr := resilience.Solve(ctx, a, x, b, resilience.Options{
+			Precond: req.Precond,
+			Setup:   fo,
+			Solve:   ko,
+			Metrics: s.reg,
+		})
+		if out == nil {
+			s.watcher.End(krylov.Result{})
+			return nil, fmt.Errorf("resilient solve: %v", rerr)
+		}
+		if rerr != nil && !errors.Is(rerr, resilience.ErrNotConverged) &&
+			!errors.Is(rerr, context.Canceled) && !errors.Is(rerr, context.DeadlineExceeded) {
+			s.watcher.End(out.Result)
+			return nil, fmt.Errorf("resilient solve: %v", rerr)
+		}
+		res, g, rout = out.Result, out.FSAI, out
+		resp.Precond = out.Precond
+		for _, at := range out.Log.Attempts {
+			if at.Stage == "setup" {
+				setupNS += at.NS
+			} else {
+				solveNS += at.NS
+			}
+		}
+		if out.Recovered && res.Converged {
+			s.obsSrv.SetHealth(obs.HealthDegraded, fmt.Sprintf(
+				"job %s recovered on %q after %d retries and %d fallbacks",
+				id, out.Precond, out.Log.Retries, out.Log.Fallbacks))
+		}
+
+	case req.Precond == "none" || req.Precond == "jacobi":
+		resp.Cache = CacheUncached
+		t0 := time.Now()
+		var m krylov.Preconditioner = krylov.Identity{}
+		if req.Precond == "jacobi" {
+			m = krylov.NewJacobi(a)
+		}
+		setupNS = time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		res = krylov.Solve(a, x, b, m, ko)
+		solveNS = time.Since(t0).Nanoseconds()
+
+	default: // cacheable FSAI family
+		key := PrecondKey(rm.Info.Fingerprint, req)
+		entry, hit, err := s.cache.GetOrBuild(ctx, key, func() (*CachedPrecond, error) {
+			t0 := time.Now()
+			p, err := buildFSAIFamily(req.Precond, a, fo)
+			if err != nil {
+				return nil, err
+			}
+			return &CachedPrecond{P: p, SetupNS: time.Since(t0).Nanoseconds()}, nil
+		})
+		if err != nil {
+			s.watcher.End(krylov.Result{})
+			return nil, fmt.Errorf("preconditioner: %v", err)
+		}
+		if hit {
+			resp.Cache = CacheHit
+			setupNS = 0 // the whole point: warm solves pay no setup
+		} else {
+			resp.Cache = CacheMiss
+			setupNS = entry.SetupNS
+		}
+		g = entry.P
+		m := entry.P.CloneForApply(s.opt.Workers)
+		t0 := time.Now()
+		res = krylov.Solve(a, x, b, m, ko)
+		solveNS = time.Since(t0).Nanoseconds()
+	}
+	s.watcher.End(res)
+
+	resp.Iterations = res.Iterations
+	resp.Converged = res.Converged
+	resp.Status = res.Status.String()
+	resp.RelRes = res.RelResidual
+	resp.SetupNS = setupNS
+	resp.SolveNS = solveNS
+	if req.ReturnSolution {
+		resp.X = x
+	}
+	if s.opt.RunsDir != "" {
+		resp.Report = s.writeJobReport(id, rm, req, resp, g, rout, res)
+	}
+	return resp, nil
+}
+
+// buildFSAIFamily constructs the cacheable preconditioners.
+func buildFSAIFamily(name string, a *sparse.CSR, fo fsai.Options) (*fsai.Preconditioner, error) {
+	switch name {
+	case "fsai":
+		fo.Variant = fsai.VariantFSAI
+	case "fsaie-sp":
+		fo.Variant = fsai.VariantSp
+	case "fsaie":
+		fo.Variant = fsai.VariantFull
+	case "adaptive":
+		return fsai.ComputeAdaptive(a, fsai.AdaptiveOptions{
+			MaxPerRow:   12,
+			Tol:         0.02,
+			CacheExtend: fo.LineBytes,
+			AlignElems:  fo.AlignElems,
+			Filter:      fo.Filter,
+			Workers:     fo.Workers,
+		})
+	default:
+		return nil, fmt.Errorf("%q is not an FSAI-family preconditioner", name)
+	}
+	return fsai.Compute(a, fo)
+}
+
+// writeJobReport emits the job's run report into RunsDir, returning the
+// file name ("" on write failure — reports are best-effort; the job result
+// already went to the client).
+func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveRequest, resp *SolveResponse, g *fsai.Preconditioner, rout *resilience.Outcome, res krylov.Result) string {
+	label := rm.Info.Name
+	if label == "" {
+		label = shortFP(rm.Info.Fingerprint)
+	}
+	entry := experiments.RunEntry{
+		Matrix:      label,
+		Rows:        rm.Info.Rows,
+		NNZ:         rm.Info.NNZ,
+		Variant:     resp.Precond,
+		Filter:      req.Filter,
+		Iterations:  resp.Iterations,
+		Converged:   resp.Converged,
+		Status:      resp.Status,
+		SetupWallNS: resp.SetupNS,
+		SolveWallNS: resp.SolveNS,
+		Service: &experiments.RunService{
+			JobID:       id,
+			Fingerprint: rm.Info.Fingerprint,
+			Cache:       resp.Cache,
+			QueueWaitNS: resp.QueueWaitNS,
+		},
+	}
+	if t := res.Timing; t != (krylov.Timing{}) {
+		entry.Timing = &experiments.RunTiming{
+			SpMVNS:    t.SpMV.Nanoseconds(),
+			PrecondNS: t.Precond.Nanoseconds(),
+			BLAS1NS:   t.BLAS1.Nanoseconds(),
+			TotalNS:   t.Total.Nanoseconds(),
+		}
+	}
+	if g != nil {
+		entry.NNZG = g.NNZ()
+		entry.ExtPct = g.ExtensionPct()
+		entry.SetupPhases = g.Stats.Phases
+	}
+	entry.Resilience = experiments.RunResilienceOf(req.Precond, rout)
+	rep := &experiments.RunReport{
+		Tool:      "fsaid",
+		LineBytes: req.LineBytes,
+		Entries:   []experiments.RunEntry{entry},
+	}
+	name := id + ".json"
+	if err := experiments.WriteRunReportFile(filepath.Join(s.opt.RunsDir, name), rep); err != nil {
+		return ""
+	}
+	return name
+}
+
+func shortFP(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

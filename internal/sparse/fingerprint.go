@@ -1,0 +1,49 @@
+package sparse
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a content fingerprint of the matrix: the hex SHA-256
+// of its dimensions, row pointers, column indices and values. Two matrices
+// share a fingerprint iff they are entry-for-entry identical (same shape,
+// same sparsity structure, bit-identical values), which is exactly the
+// equivalence the solve service's matrix registry and preconditioner cache
+// key on: a cached G factor is reusable precisely when the operator bytes
+// are the same.
+//
+// The fingerprint is independent of advisory state (partition plans) and of
+// slice capacities; it depends only on the logical CSR content.
+func (m *CSR) Fingerprint() string {
+	h := sha256.New()
+	var buf [8192]byte // multiple of 8; words never straddle a flush
+	k := 0
+	putU64 := func(v uint64) {
+		if k == len(buf) {
+			h.Write(buf[:k])
+			k = 0
+		}
+		binary.LittleEndian.PutUint64(buf[k:], v)
+		k += 8
+	}
+	// Length framing first, so (RowPtr, ColIdx, Val) section boundaries are
+	// unambiguous and structurally different matrices cannot collide.
+	putU64(uint64(m.Rows))
+	putU64(uint64(m.Cols))
+	putU64(uint64(len(m.RowPtr)))
+	putU64(uint64(len(m.ColIdx)))
+	for _, v := range m.RowPtr {
+		putU64(uint64(v))
+	}
+	for _, v := range m.ColIdx {
+		putU64(uint64(v))
+	}
+	for _, v := range m.Val {
+		putU64(math.Float64bits(v))
+	}
+	h.Write(buf[:k])
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,82 @@
+package sparse
+
+import (
+	"testing"
+)
+
+func fpMatrix(t *testing.T, ts []Triplet) *CSR {
+	t.Helper()
+	m, err := NewCSRFromTriplets(3, 3, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFingerprintDeterministicAndDistinct(t *testing.T) {
+	base := []Triplet{{0, 0, 4}, {1, 1, 5}, {2, 2, 6}, {1, 0, -1}, {0, 1, -1}}
+	a := fpMatrix(t, base)
+	b := fpMatrix(t, base)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical matrices disagree on fingerprint")
+	}
+	if got := a.Fingerprint(); got != a.Fingerprint() {
+		t.Fatalf("fingerprint not stable: %s", got)
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Fatalf("want 64 hex chars, got %d", len(a.Fingerprint()))
+	}
+
+	// A value change, a structure change and a shape change must all move
+	// the fingerprint.
+	valChanged := fpMatrix(t, []Triplet{{0, 0, 4.0000001}, {1, 1, 5}, {2, 2, 6}, {1, 0, -1}, {0, 1, -1}})
+	structChanged := fpMatrix(t, []Triplet{{0, 0, 4}, {1, 1, 5}, {2, 2, 6}, {2, 0, -1}, {0, 1, -1}})
+	shapeChanged, err := NewCSRFromTriplets(4, 4, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string]*CSR{
+		"value":     valChanged,
+		"structure": structChanged,
+		"shape":     shapeChanged,
+	} {
+		if other.Fingerprint() == a.Fingerprint() {
+			t.Errorf("%s change did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresAdvisoryState(t *testing.T) {
+	a := fpMatrix(t, []Triplet{{0, 0, 2}, {1, 1, 2}, {2, 2, 2}, {1, 0, -1}, {0, 1, -1}})
+	before := a.Fingerprint()
+	a.PartitionPlan(2) // caches a plan; must not affect identity
+	if after := a.Fingerprint(); after != before {
+		t.Fatalf("partition plan changed fingerprint: %s -> %s", before, after)
+	}
+	if c := a.Clone(); c.Fingerprint() != before {
+		t.Fatal("clone fingerprint differs")
+	}
+}
+
+func TestFingerprintEmptyAndLarge(t *testing.T) {
+	empty := &CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	if len(empty.Fingerprint()) != 64 {
+		t.Fatal("empty matrix fingerprint malformed")
+	}
+	// Exercise the buffer-flush path with > 8192 bytes of content.
+	n := 3000
+	ts := make([]Triplet, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{i, i, float64(i) + 0.5})
+	}
+	big, err := NewCSRFromTriplets(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Fingerprint() == empty.Fingerprint() {
+		t.Fatal("large and empty collide")
+	}
+	if big.Fingerprint() != big.Clone().Fingerprint() {
+		t.Fatal("large fingerprint not stable across clone")
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PublishRuntimeMetrics samples the Go runtime once into r: goroutine
+// count, heap usage and GC activity, under the "go.*" family. Safe on a
+// nil registry (no-op). Long-running processes call StartRuntimeMetrics
+// instead; one-shot tools can call this right before snapshotting.
+func PublishRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go.goroutines").Set(float64(runtime.NumGoroutine()))
+	r.Gauge("go.heap.alloc_bytes").Set(float64(ms.HeapAlloc))
+	r.Gauge("go.heap.sys_bytes").Set(float64(ms.HeapSys))
+	r.Gauge("go.heap.objects").Set(float64(ms.HeapObjects))
+	r.Gauge("go.gc.num").Set(float64(ms.NumGC))
+	r.Gauge("go.gc.pause_total_ns").Set(float64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		r.Gauge("go.gc.last_pause_ns").Set(float64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}
+
+// StartRuntimeMetrics publishes the runtime gauges into r now and then
+// every interval (default 5s) until the returned stop function is called.
+// The sampler goroutine holds no locks between ticks, so stopping is
+// immediate. Safe on a nil registry: returns a no-op stop.
+func StartRuntimeMetrics(r *Registry, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	PublishRuntimeMetrics(r)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				PublishRuntimeMetrics(r)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Smoke test for the fsaid solve daemon: start it on a free port, register a
+# generated matrix, run a cold solve then a warm solve, and assert the
+# preconditioner cache did its job — the warm solve reports a cache hit with
+# zero setup time and beats the cold solve end-to-end. Also drills the
+# admission-control path (429 + Retry-After on saturation) and the mounted
+# observability endpoints. Run via `make service-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# json_num FILE KEY -> first numeric value of "KEY": N
+json_num() {
+    sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9]*\).*/\1/p' "$1" | head -1
+}
+
+echo "== building fsaid =="
+go build -o "$workdir/fsaid" ./cmd/fsaid
+
+echo "== starting fsaid serve =="
+# One slot, no waiting queue: the saturation drill below is deterministic.
+"$workdir/fsaid" serve -listen 127.0.0.1:0 -runs-dir "$workdir/runs" \
+    -max-inflight 1 -queue=-1 2>"$workdir/stderr.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^fsaid listening on http://##p' "$workdir/stderr.log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "fsaid exited early:"; cat "$workdir/stderr.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "no listen address announced"; cat "$workdir/stderr.log"; exit 1; }
+echo "daemon at $addr"
+
+fail=0
+
+echo "== register matrix (fsaid register -matgen) =="
+"$workdir/fsaid" register -addr "$addr" -matgen lap64x64 -name lap
+
+echo "== cold solve =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"matrix":"lap","precond":"fsaie"}' \
+    "http://$addr/api/v1/solve" >"$workdir/cold.json"
+grep -q '"cache": *"miss"' "$workdir/cold.json" || { echo "FAIL: cold solve not a miss:"; cat "$workdir/cold.json"; fail=1; }
+grep -q '"converged": *true' "$workdir/cold.json" || { echo "FAIL: cold solve did not converge"; fail=1; }
+cold_setup=$(json_num "$workdir/cold.json" setup_ns)
+cold_total=$(json_num "$workdir/cold.json" total_ns)
+[ "${cold_setup:-0}" -gt 0 ] || { echo "FAIL: cold solve reports no setup cost"; fail=1; }
+
+echo "== warm solve =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"matrix":"lap","precond":"fsaie"}' \
+    "http://$addr/api/v1/solve" >"$workdir/warm.json"
+grep -q '"cache": *"hit"' "$workdir/warm.json" || { echo "FAIL: warm solve not a hit:"; cat "$workdir/warm.json"; fail=1; }
+warm_setup=$(json_num "$workdir/warm.json" setup_ns)
+warm_total=$(json_num "$workdir/warm.json" total_ns)
+[ "${warm_setup:-1}" -eq 0 ] || { echo "FAIL: warm solve paid setup: ${warm_setup}ns"; fail=1; }
+if [ -n "$cold_total" ] && [ -n "$warm_total" ] && [ "$warm_total" -ge "$cold_total" ]; then
+    echo "FAIL: warm solve (${warm_total}ns) not faster than cold (${cold_total}ns)"
+    fail=1
+fi
+echo "cold: total=${cold_total}ns setup=${cold_setup}ns; warm: total=${warm_total}ns setup=${warm_setup}ns"
+
+echo "== cache counters on /metrics =="
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+grep -q '^service_cache_hits 1$' "$workdir/metrics.txt" || { echo "FAIL: cache-hit counter not incremented"; grep service_cache "$workdir/metrics.txt" || true; fail=1; }
+grep -q '^service_cache_misses 1$' "$workdir/metrics.txt" || { echo "FAIL: cache-miss counter wrong"; fail=1; }
+grep -q '^go_goroutines ' "$workdir/metrics.txt" || { echo "FAIL: runtime metrics missing from /metrics"; fail=1; }
+
+echo "== /healthz =="
+curl -fsS "http://$addr/healthz" >"$workdir/health.json"
+grep -q '"status": *"ok"' "$workdir/health.json" || { echo "FAIL: /healthz not ok:"; cat "$workdir/health.json"; fail=1; }
+
+echo "== admission control: saturate and expect 429 =="
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"matrix":"lap","precond":"jacobi","hold_ms":3000,"max_iter":5}' \
+    "http://$addr/api/v1/solve" >"$workdir/hold.json" &
+holdpid=$!
+# Wait until the holding job owns the single slot.
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/api/v1/stats" >"$workdir/stats.json"
+    [ "$(json_num "$workdir/stats.json" inflight)" = "1" ] && break
+    sleep 0.05
+done
+code=$(curl -sS -o "$workdir/reject.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d '{"matrix":"lap","precond":"jacobi"}' \
+    "http://$addr/api/v1/solve")
+[ "$code" = "429" ] || { echo "FAIL: saturated daemon answered $code, want 429"; cat "$workdir/reject.json"; fail=1; }
+retry_after=$(json_num "$workdir/reject.json" retry_after_s)
+[ "${retry_after:-0}" -ge 1 ] || { echo "FAIL: 429 without retry_after_s:"; cat "$workdir/reject.json"; fail=1; }
+wait "$holdpid" || { echo "FAIL: holding job failed"; cat "$workdir/hold.json"; fail=1; }
+
+echo "== run reports =="
+curl -fsS "http://$addr/runs" >"$workdir/runs.json"
+grep -q 'j-000001.json' "$workdir/runs.json" || { echo "FAIL: /runs does not list job reports:"; cat "$workdir/runs.json"; fail=1; }
+curl -fsS "http://$addr/runs/j-000002.json" >"$workdir/warmreport.json"
+grep -q '"cache": *"hit"' "$workdir/warmreport.json" || { echo "FAIL: warm run report missing cache=hit"; cat "$workdir/warmreport.json"; fail=1; }
+
+echo "== fsaid stats / jobs =="
+"$workdir/fsaid" stats -addr "$addr"
+"$workdir/fsaid" jobs -addr "$addr"
+
+echo "== graceful shutdown on SIGTERM =="
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "FAIL: fsaid did not exit on SIGTERM"
+    fail=1
+else
+    wait "$pid" 2>/dev/null || true
+    pid=""
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "service smoke test FAILED"
+    exit 1
+fi
+echo "service smoke test OK"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-smoke clean obs-smoke service-smoke compare-baseline chaos
+.PHONY: all build test race vet fmt lint check bench bench-smoke clean obs-smoke service-smoke compare-baseline chaos
 
 all: check
 
@@ -16,7 +16,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Formatting gate: fails listing the unformatted files (fix with gofmt -w).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
+
+# staticcheck when installed, a loud skip when not — no new dependencies.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+
+check: fmt build lint test race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

@@ -16,6 +16,14 @@
 //	  -matrices N       registry capacity (default 128)
 //	  -workers N        kernel parallelism per solve (default: all CPUs)
 //	  -timeout D        default per-job deadline (default 60s)
+//	  -log-level L      structured-log level: debug|info|warn|error (default info)
+//	  -log-format F     structured-log format: text|json (default text)
+//	  -trace-history N  finished request traces kept for /traces (default 256)
+//	  -slo-warm D       warm (cache-hit) solve p95 objective (default 2s)
+//	  -slo-cold D       cold solve p95 objective (default 30s)
+//	  -slo-queue D      queue-wait p95 objective (default 5s)
+//	  -slo-window D     SLO sliding window (default 10m)
+//	  -slo-min-events N window events before the budget can exhaust (default 10)
 //
 //	fsaid register [flags]         register a matrix with a running daemon
 //	  -addr URL         daemon address (default http://127.0.0.1:7474)
@@ -47,14 +55,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -103,17 +115,30 @@ func fatal(format string, args ...any) {
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("fsaid serve", flag.ExitOnError)
 	var (
-		listen      = fs.String("listen", ":7474", "listen address (\":0\" picks a free port)")
-		runsDir     = fs.String("runs-dir", "", "keep per-job run reports here (served under /runs)")
-		maxInflight = fs.Int("max-inflight", 0, "concurrent solve jobs (default 2)")
-		queueCap    = fs.Int("queue", 0, "jobs allowed to wait for a slot (default 16)")
-		cacheN      = fs.Int("cache", 0, "cached preconditioner factors (default 16)")
-		matrixCap   = fs.Int("matrices", 0, "matrix registry capacity (default 128)")
-		workers     = fs.Int("workers", 0, "kernel parallelism per solve (0: all CPUs)")
-		timeout     = fs.Duration("timeout", 0, "default per-job deadline (default 60s)")
+		listen       = fs.String("listen", ":7474", "listen address (\":0\" picks a free port)")
+		runsDir      = fs.String("runs-dir", "", "keep per-job run reports here (served under /runs)")
+		maxInflight  = fs.Int("max-inflight", 0, "concurrent solve jobs (default 2)")
+		queueCap     = fs.Int("queue", 0, "jobs allowed to wait for a slot (default 16)")
+		cacheN       = fs.Int("cache", 0, "cached preconditioner factors (default 16)")
+		matrixCap    = fs.Int("matrices", 0, "matrix registry capacity (default 128)")
+		workers      = fs.Int("workers", 0, "kernel parallelism per solve (0: all CPUs)")
+		timeout      = fs.Duration("timeout", 0, "default per-job deadline (default 60s)")
+		logLevel     = fs.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		logFormat    = fs.String("log-format", "text", "structured-log format: text|json")
+		traceHistory = fs.Int("trace-history", 0, "finished request traces kept for /traces (default 256)")
+		sloWarm      = fs.Duration("slo-warm", 0, "warm (cache-hit) solve p95 objective (default 2s)")
+		sloCold      = fs.Duration("slo-cold", 0, "cold solve p95 objective (default 30s)")
+		sloQueue     = fs.Duration("slo-queue", 0, "queue-wait p95 objective (default 5s)")
+		sloWindow    = fs.Duration("slo-window", 0, "SLO sliding window (default 10m)")
+		sloMinEvents = fs.Int("slo-min-events", 0, "events in the window before the budget can exhaust (default 10)")
 	)
 	_ = fs.Parse(args)
 
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsaid serve: %v\n", err)
+		os.Exit(2)
+	}
 	if *runsDir != "" {
 		if err := os.MkdirAll(*runsDir, 0o755); err != nil {
 			fatal("runs-dir: %v", err)
@@ -132,12 +157,21 @@ func cmdServe(args []string) {
 		MatrixCap:      *matrixCap,
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
+		TraceHistory:   *traceHistory,
+		SLO: obs.SLOObjectives{
+			WarmSolveP95: *sloWarm,
+			ColdSolveP95: *sloCold,
+			QueueWaitP95: *sloQueue,
+			Window:       *sloWindow,
+			MinEvents:    *sloMinEvents,
+		},
 	})
 	addr, err := srv.Start(*listen)
 	if err != nil {
 		fatal("listen: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "fsaid listening on http://%s\n", addr)
+	logger.Info("fsaid listening", "addr", "http://"+addr.String())
 
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
@@ -146,13 +180,40 @@ func cmdServe(args []string) {
 	// during the drain kills the process instead of being swallowed.
 	stopSignals()
 
-	fmt.Fprintln(os.Stderr, "fsaid: shutting down (draining in-flight jobs)")
+	logger.Info("shutting down, draining in-flight jobs")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "fsaid: shutdown: %v\n", err)
+		logger.Error("shutdown failed", "error", err.Error())
 		_ = srv.Close()
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's slog logger on stderr from the -log-level /
+// -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
 	}
 }
 
@@ -230,7 +291,7 @@ func cmdSolve(args []string) {
 	}
 	ctx, cancel := clientContext()
 	defer cancel()
-	resp, err := client.New(*addr).Solve(ctx, service.SolveRequest{
+	resp, tc, err := client.New(*addr).SolveTraced(ctx, service.SolveRequest{
 		Matrix:       *matrix,
 		Precond:      *precond,
 		Filter:       *filter,
@@ -241,20 +302,39 @@ func cmdSolve(args []string) {
 		MaxIter:      *maxIter,
 		Resilient:    *resilient,
 		TimeoutMS:    timeout.Milliseconds(),
-	})
+	}, trace.Context{})
 	if err != nil {
+		// Surface the identifiers the daemon knows this request by, so a
+		// rejected or timed-out submission is still diagnosable: the body's
+		// server-assigned ids when a response arrived (429, 5xx), otherwise
+		// the client-originated trace id the daemon continues logging under.
+		jobID, traceID := "", tc.TraceID
 		var apiErr *client.APIError
-		if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		if errors.As(err, &apiErr) {
+			jobID, traceID = apiErr.Body.JobID, apiErr.Body.TraceID
+			if traceID == "" {
+				traceID = tc.TraceID
+			}
+		}
+		if jobID != "" {
+			fmt.Fprintf(os.Stderr, "fsaid: job=%s trace=%s\n", jobID, traceID)
+		} else {
+			fmt.Fprintf(os.Stderr, "fsaid: trace=%s\n", traceID)
+		}
+		if apiErr != nil && apiErr.RetryAfter > 0 {
 			fatal("%v (retry after %s)", err, apiErr.RetryAfter)
 		}
 		fatal("solve: %v", err)
 	}
-	fmt.Printf("job=%s precond=%s cache=%s queue_wait=%.1fms setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
-		resp.JobID, resp.Precond, resp.Cache,
+	fmt.Printf("job=%s trace=%s precond=%s cache=%s queue_wait=%.1fms setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
+		resp.JobID, resp.TraceID, resp.Precond, resp.Cache,
 		msec(resp.QueueWaitNS), msec(resp.SetupNS), msec(resp.SolveNS),
 		resp.Iterations, resp.Converged, resp.RelRes)
 	if resp.Report != "" {
 		fmt.Printf("report: /runs/%s\n", resp.Report)
+	}
+	if resp.IterAnomaly {
+		fmt.Fprintln(os.Stderr, "fsaid: warning: warm solve needed far more iterations than this matrix's baseline")
 	}
 	if !resp.Converged {
 		fmt.Fprintf(os.Stderr, "fsaid: solve did not converge (status: %s)\n", resp.Status)

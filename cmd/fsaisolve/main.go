@@ -79,20 +79,21 @@ import (
 	"repro/internal/spectral"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		precName = flag.String("precond", "fsaie", "preconditioner: none|jacobi|bjacobi|ssor|ic0|cheby|fsai|fsaie-sp|fsaie|adaptive")
-		filter   = flag.Float64("filter", 0.01, "FSAIE filter threshold")
-		line     = flag.Int("line", 64, "cache line size in bytes")
-		power    = flag.Int("power", 1, "initial pattern power N of Ã^N")
-		tau      = flag.Float64("tau", 0, "threshold for Ã")
-		tol      = flag.Float64("tol", 1e-8, "PCG relative residual tolerance")
-		maxIter  = flag.Int("maxiter", 10000, "PCG iteration cap")
-		useRCM   = flag.Bool("rcm", false, "reorder with reverse Cuthill-McKee")
-		rhsPath  = flag.String("rhs", "", "right-hand side file (one value per line)")
-		outPath  = flag.String("out", "", "solution output file")
+		precName   = flag.String("precond", "fsaie", "preconditioner: none|jacobi|bjacobi|ssor|ic0|cheby|fsai|fsaie-sp|fsaie|adaptive")
+		filter     = flag.Float64("filter", 0.01, "FSAIE filter threshold")
+		line       = flag.Int("line", 64, "cache line size in bytes")
+		power      = flag.Int("power", 1, "initial pattern power N of Ã^N")
+		tau        = flag.Float64("tau", 0, "threshold for Ã")
+		tol        = flag.Float64("tol", 1e-8, "PCG relative residual tolerance")
+		maxIter    = flag.Int("maxiter", 10000, "PCG iteration cap")
+		useRCM     = flag.Bool("rcm", false, "reorder with reverse Cuthill-McKee")
+		rhsPath    = flag.String("rhs", "", "right-hand side file (one value per line)")
+		outPath    = flag.String("out", "", "solution output file")
 		withCond   = flag.Bool("cond", false, "estimate condition numbers (Lanczos)")
 		history    = flag.Bool("history", false, "print convergence plot")
 		traceFlag  = flag.Bool("trace", false, "print setup phase spans and solve breakdown to stderr")
@@ -370,7 +371,11 @@ func main() {
 			entry.Cache = cacheSection
 		}
 		rep := &experiments.RunReport{
-			Tool:      "fsaisolve",
+			Tool: "fsaisolve",
+			// One-shot runs are their own trace: the stamped id correlates
+			// this report with any log capture of the same invocation and
+			// keeps the schema-v5 field uniform across fsaisolve and fsaid.
+			TraceID:   trace.NewTraceID(),
 			LineBytes: *line,
 			Entries:   []experiments.RunEntry{entry},
 		}

@@ -174,10 +174,10 @@ func (a *PrecondAttrib) Publish(reg *telemetry.Registry) {
 	reg.SetHelp("cachesim_entries", "stored pattern entries by solver phase and entry class")
 	reg.SetHelp("cachesim_row_block_misses", "distribution of x-access misses over row blocks, by solver phase")
 	for _, s := range []*SweepAttrib{&a.G, &a.GT} {
-		reg.Counter(`cachesim.x_misses{phase="`+s.Phase+`",entries="base"}`).Add(int64(s.BaseMisses))
-		reg.Counter(`cachesim.x_misses{phase="`+s.Phase+`",entries="fill"}`).Add(int64(s.FillMisses))
-		reg.Counter(`cachesim.entries{phase="`+s.Phase+`",entries="base"}`).Add(int64(s.BaseEntries))
-		reg.Counter(`cachesim.entries{phase="`+s.Phase+`",entries="fill"}`).Add(int64(s.FillEntries))
+		reg.Counter(`cachesim.x_misses{phase="` + s.Phase + `",entries="base"}`).Add(int64(s.BaseMisses))
+		reg.Counter(`cachesim.x_misses{phase="` + s.Phase + `",entries="fill"}`).Add(int64(s.FillMisses))
+		reg.Counter(`cachesim.entries{phase="` + s.Phase + `",entries="base"}`).Add(int64(s.BaseEntries))
+		reg.Counter(`cachesim.entries{phase="` + s.Phase + `",entries="fill"}`).Add(int64(s.FillEntries))
 		h := reg.Histogram(`cachesim.row_block_misses{phase="`+s.Phase+`"}`, telemetry.ExpBuckets(1, 4, 10))
 		for _, m := range s.RowBlockMisses {
 			h.Observe(float64(m))

@@ -1,6 +1,7 @@
 package fsai
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -41,7 +42,15 @@ func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 	p := &Preconditioner{Workers: opts.Workers}
 	rec := phaseRecorder{tr: opts.Tracer, stats: &p.Stats}
 	root := opts.Tracer.StartSpan("fsai-setup:" + opts.Variant.String())
-	defer root.End()
+	root.SetAttr("variant", opts.Variant.String())
+	root.SetAttr("rows", fmt.Sprint(a.Rows))
+	root.SetAttr("nnz", fmt.Sprint(a.NNZ()))
+	defer func() {
+		if p.G != nil {
+			root.SetAttr("nnz_g", fmt.Sprint(p.G.NNZ()))
+		}
+		root.End()
+	}()
 
 	endBase := rec.phase(PhaseBasePattern)
 	base := InitialPattern(a, opts.ThresholdTau, opts.PatternPower)

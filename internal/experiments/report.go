@@ -39,7 +39,12 @@ import (
 //	4: adds the per-entry "service" section (optional): the solve daemon's
 //	   job id, matrix fingerprint, preconditioner-cache outcome and queue
 //	   wait for reports produced by fsaid jobs.
-const RunReportSchemaVersion = 4
+//	5: adds request-trace correlation and SLO state (all optional): the
+//	   top-level "trace_id" (fsaisolve runs), the service section's
+//	   "trace_id" (fsaid jobs; resolves against the daemon's /traces), and
+//	   the per-entry "slo" section (objective, burn rate, remaining error
+//	   budget and the warm-solve iteration-anomaly flag at write time).
+const RunReportSchemaVersion = 5
 
 // RunReportMinSchemaVersion is the oldest schema ReadRunReport upgrades.
 const RunReportMinSchemaVersion = 1
@@ -50,6 +55,12 @@ type RunReport struct {
 	Tool      string `json:"tool"`
 	Machine   string `json:"machine,omitempty"`
 	LineBytes int    `json:"line_bytes,omitempty"`
+
+	// TraceID is the run's request-trace identifier (schema v5, optional):
+	// stamped by tools that trace their own execution (fsaisolve) so the
+	// report correlates with log lines carrying the same id. Reports from
+	// fsaid jobs carry the id in the service section instead.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Entries []RunEntry `json:"entries"`
 
@@ -126,6 +137,10 @@ type RunEntry struct {
 	// Service is the solve-daemon context of an fsaid job (schema v4,
 	// optional): absent for CLI runs.
 	Service *RunService `json:"service,omitempty"`
+
+	// SLO is the latency-objective verdict of an fsaid job (schema v5,
+	// optional): absent for CLI runs and for daemons without SLO state.
+	SLO *RunSLO `json:"slo,omitempty"`
 }
 
 // RunService is the report's solve-daemon section: which job produced the
@@ -135,6 +150,10 @@ type RunEntry struct {
 // asserts.
 type RunService struct {
 	JobID string `json:"job_id"`
+	// TraceID is the job's request-trace id (schema v5, optional): the
+	// daemon serves the matching span tree on GET /traces/<trace-id> and
+	// logs the job under the same id.
+	TraceID string `json:"trace_id,omitempty"`
 	// Fingerprint is the registry handle of the operator (sparse.CSR
 	// content fingerprint).
 	Fingerprint string `json:"fingerprint"`
@@ -143,6 +162,28 @@ type RunService struct {
 	Cache string `json:"cache"`
 	// QueueWaitNS is how long the job waited for a concurrency slot.
 	QueueWaitNS int64 `json:"queue_wait_ns"`
+}
+
+// RunSLO is the report's latency-objective section (schema v5): how this
+// entry's solve latency compared to its fingerprint's objective, and where
+// the sliding-window error budget stood right after the observation.
+type RunSLO struct {
+	// Kind is the objective the solve was judged against ("warm_solve" for
+	// cache hits, "cold_solve" otherwise).
+	Kind string `json:"kind"`
+	// ObjectiveNS is the latency objective; LatencyNS what the solve took
+	// (setup + solve, excluding queue wait); Met whether it was in budget.
+	ObjectiveNS int64 `json:"objective_ns"`
+	LatencyNS   int64 `json:"latency_ns"`
+	Met         bool  `json:"met"`
+	// BurnRate / BudgetRemaining snapshot the fingerprint's sliding-window
+	// budget state including this solve (burn rate 1.0 = breaching at
+	// exactly the allowed rate; remaining 0 = exhausted).
+	BurnRate        float64 `json:"burn_rate"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// IterAnomaly marks a warm solve whose CG iteration count drifted far
+	// above the cached factor's baseline.
+	IterAnomaly bool `json:"iter_anomaly,omitempty"`
 }
 
 // RunAttempt is one recorded setup or solve attempt of a resilient solve

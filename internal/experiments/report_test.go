@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -264,7 +265,8 @@ func TestRunReportUpgradesV1(t *testing.T) {
 	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 0}`)); err == nil {
 		t.Error("v0 must be rejected")
 	}
-	if _, err := ReadRunReport(strings.NewReader(`{"schema_version": 5}`)); err == nil {
+	future := fmt.Sprintf(`{"schema_version": %d}`, RunReportSchemaVersion+1)
+	if _, err := ReadRunReport(strings.NewReader(future)); err == nil {
 		t.Error("future schema must be rejected")
 	}
 }

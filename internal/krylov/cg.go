@@ -2,6 +2,7 @@ package krylov
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Preconditioner applies an approximate inverse: z = M r with M ≈ A⁻¹.
@@ -227,6 +229,10 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 	var hSpMV, hPrecond, hBlas1 *telemetry.Histogram
 	var iterCtr *telemetry.Counter
 	if collect && opt.Metrics != nil {
+		opt.Metrics.SetHelp("krylov_iter_spmv_ns", "per-iteration SpMV wall time")
+		opt.Metrics.SetHelp("krylov_iter_precond_ns", "per-iteration preconditioner-apply wall time")
+		opt.Metrics.SetHelp("krylov_iter_blas1_ns", "per-iteration BLAS-1 (dot/AXPY/norm) wall time")
+		opt.Metrics.SetHelp("krylov_iterations", "completed CG/PCG iterations")
 		buckets := telemetry.ExpBuckets(100, 10, 8) // 100 ns … 1 s per section
 		hSpMV = opt.Metrics.Histogram("krylov.iter.spmv_ns", buckets)
 		hPrecond = opt.Metrics.Histogram("krylov.iter.precond_ns", buckets)
@@ -238,6 +244,8 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 	// solve issued. Both land in the run report / Prometheus surface.
 	var dispatches0 int64
 	if opt.Metrics != nil {
+		opt.Metrics.SetHelp("kernels_pool_dispatches", "parallel-pool task dispatches issued by solves")
+		opt.Metrics.SetHelp("kernels_spmv_imbalance_pct", "residual nnz load imbalance of the SpMV partition plan")
 		dispatches0 = kernels.PoolDispatches()
 		imb := 0.0
 		if opt.Workers > 1 {
@@ -250,6 +258,10 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 	if collect {
 		start = time.Now()
 	}
+	// When the caller's context carries a request trace (the solve service),
+	// the whole CG loop becomes one "cg-solve" span of that request's tree,
+	// tagged with the typed outcome. No-op otherwise (nil span).
+	cgSpan := trace.StartSpan(opt.Ctx, "cg-solve")
 	res := Result{RelResidual: 1}
 	finish := func(status Status) Result {
 		res.Status = status
@@ -260,6 +272,9 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		if opt.Metrics != nil {
 			opt.Metrics.Counter("kernels.pool.dispatches").Add(kernels.PoolDispatches() - dispatches0)
 		}
+		cgSpan.SetAttr("status", status.String())
+		cgSpan.SetAttr("iterations", fmt.Sprint(res.Iterations))
+		cgSpan.End()
 		return res
 	}
 	// terminal handles the paths that end a solve between the per-iteration

@@ -1,0 +1,97 @@
+// Package leakcheck is a dependency-free goroutine-leak gate for test
+// packages: wire it in as
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// and the package's tests fail when goroutines are still running after the
+// last test finished. The observability layers of this repo (trace recorder
+// subscriptions, SSE streams, the solve daemon, runtime-metrics samplers)
+// all own background goroutines with explicit shutdown paths; this gate is
+// what keeps "forgot to cancel the subscription" from shipping.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// retention is how long Main keeps re-checking before declaring a leak:
+// goroutines that are *shutting down* (a closed SSE stream mid-return, an
+// http connection draining) need a grace period, a genuinely parked
+// goroutine never goes away.
+const retention = 2 * time.Second
+
+// benign returns whether a goroutine stack is expected to outlive the tests.
+func benign(stack string) bool {
+	for _, pat := range []string{
+		// The test harness itself.
+		"testing.Main(",
+		"testing.(*M).",
+		"testing.tRunner(",
+		"runtime.goexit",
+		"leakcheck.Main",
+		// Runtime-owned service goroutines.
+		"created by runtime",
+		"runtime.MHeap_Scavenger",
+		"signal.signal_recv",
+		"signal.loop",
+		// The shared kernel worker pool parks its workers for the process
+		// lifetime by design (internal/parallel); they are not a leak.
+		"repro/internal/parallel.",
+		// net/http keep-alive machinery: idle client connections linger
+		// beyond the request that opened them and are reaped by the
+		// transport, not by the test.
+		"net/http.(*persistConn).readLoop",
+		"net/http.(*persistConn).writeLoop",
+		"net/http.(*Transport).",
+		"net/http.setRequestCancel",
+	} {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaked returns the non-benign goroutine stacks currently running.
+func leaked() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, stack := range strings.Split(string(buf[:n]), "\n\n") {
+		stack = strings.TrimSpace(stack)
+		if stack == "" || benign(stack) {
+			continue
+		}
+		out = append(out, stack)
+	}
+	return out
+}
+
+// Main runs the package's tests and then fails the binary if non-benign
+// goroutines survive the retention grace period. It never returns.
+func Main(m *testing.M) {
+	code := m.Run()
+	deadline := time.Now().Add(retention)
+	var remaining []string
+	for {
+		remaining = leaked()
+		if len(remaining) == 0 {
+			os.Exit(code)
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running %s after the tests finished:\n\n%s\n",
+		len(remaining), retention, strings.Join(remaining, "\n\n"))
+	if code == 0 {
+		code = 1
+	}
+	os.Exit(code)
+}

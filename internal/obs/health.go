@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync"
 
 	"repro/internal/krylov"
@@ -69,6 +70,14 @@ func (s *Server) HealthState() Health {
 		if st.Status == krylov.StatusCancelled.String() {
 			h.Status = HealthDegraded
 			h.Reason = "last solve was cancelled"
+		}
+	}
+	// An exhausted SLO error budget degrades health (latency incident) but
+	// never masks a failing solver — correctness trouble outranks slowness.
+	if h.Status == HealthOK {
+		if exhausted := s.opt.SLO.Exhausted(); len(exhausted) > 0 {
+			h.Status = HealthDegraded
+			h.Reason = "SLO error budget exhausted: " + strings.Join(exhausted, ", ")
 		}
 	}
 	return h

@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: the SSE streams, watcher
+// subscriptions and trace recorders under test all own background
+// goroutines with explicit shutdown paths.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

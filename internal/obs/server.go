@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Options configures a Server. All fields are optional: a zero Options yields
@@ -34,6 +35,11 @@ type Options struct {
 	// Heartbeat is the SSE keep-alive interval when no solve updates arrive
 	// (default 1s).
 	Heartbeat time.Duration
+	// Traces backs GET /traces (finished request span trees: JSON listing,
+	// /traces/<trace-id> for one tree, ?stream=1 for SSE of new traces).
+	Traces *trace.Recorder
+	// SLO backs GET /slo and lets budget exhaustion degrade /healthz.
+	SLO *SLOMonitor
 }
 
 // Server serves the observability endpoints. Construct with NewServer, then
@@ -69,6 +75,9 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("/debug/solve", s.handleSolve)
 	s.mux.HandleFunc("/runs", s.handleRuns)
 	s.mux.HandleFunc("/runs/", s.handleRunFile)
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/traces/", s.handleTraceByID)
+	s.mux.HandleFunc("/slo", s.handleSLO)
 	// Wire the stdlib profiler explicitly — the package-level init only
 	// registers on http.DefaultServeMux, which we deliberately avoid.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -141,6 +150,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /debug/solve      live solve state (JSON; add ?stream=1 for SSE)
   /debug/pprof/     Go runtime profiles
   /runs             run-report history (JSON listing; /runs/<name> to fetch)
+  /traces           finished request traces (JSON; /traces/<trace-id> for the
+                    span tree; add ?stream=1 for SSE of new traces)
+  /slo              per-fingerprint latency objectives, burn rate, error budget
 `)
 }
 
@@ -276,4 +288,80 @@ func (s *Server) handleRunFile(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/json")
 	http.ServeContent(w, r, name, time.Time{}, f)
+}
+
+// handleTraces serves the trace listing (most recent first) or, with
+// ?stream=1 / an SSE Accept header, a live stream of traces as they finish.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream") != "" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !stream {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.opt.Traces.List())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, cancel := s.opt.Traces.Subscribe()
+	defer cancel()
+
+	heartbeat := time.NewTicker(s.opt.Heartbeat)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.quit:
+			return
+		case t, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(t)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: trace\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// handleTraceByID serves one full span tree by trace id.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	t, ok := s.opt.Traces.Get(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(t)
+}
+
+// handleSLO serves the SLO monitor's full report.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.opt.SLO.Report())
 }

@@ -94,6 +94,11 @@ const (
 // SolveResponse is the JSON result of POST /api/v1/solve.
 type SolveResponse struct {
 	JobID string `json:"job_id"`
+	// TraceID identifies the job's end-to-end request trace: the span tree
+	// is retrievable as GET /traces/<trace-id>, the same id appears in the
+	// daemon's structured logs and the job's run report, and it equals the
+	// trace id of the client's traceparent header when one was sent.
+	TraceID string `json:"trace_id,omitempty"`
 	// Matrix is the fingerprint the job resolved to.
 	Matrix string `json:"matrix"`
 	// Precond is the preconditioner that produced the result (for resilient
@@ -107,6 +112,12 @@ type SolveResponse struct {
 	Converged  bool    `json:"converged"`
 	Status     string  `json:"status"`
 	RelRes     float64 `json:"relres"`
+
+	// IterAnomaly marks a warm (cache-hit) solve whose iteration count
+	// drifted well above the fingerprint's cached baseline — the cached
+	// factor converges, but no longer like it used to (e.g. a harder RHS
+	// regime). The SLO monitor counts these per fingerprint.
+	IterAnomaly bool `json:"iter_anomaly,omitempty"`
 
 	// QueueWaitNS is time spent waiting for a concurrency slot; SetupNS the
 	// preconditioner setup cost this job actually paid (0 on a cache hit);
@@ -135,7 +146,9 @@ const (
 
 // JobInfo is one entry of the job log served on GET /api/v1/jobs.
 type JobInfo struct {
-	ID      string `json:"id"`
+	ID string `json:"id"`
+	// TraceID links the job to its request trace (GET /traces/<trace-id>).
+	TraceID string `json:"trace_id,omitempty"`
 	Matrix  string `json:"matrix"`
 	Precond string `json:"precond"`
 	State   string `json:"state"`
@@ -193,4 +206,9 @@ type ErrorBody struct {
 	// RetryAfterS accompanies HTTP 429: the server's backoff suggestion in
 	// seconds (also sent as the Retry-After header).
 	RetryAfterS int `json:"retry_after_s,omitempty"`
+	// JobID / TraceID identify the failed or rejected solve job when the
+	// error happened after job assignment, so a client that got a 429 or a
+	// timeout can still quote the ids the daemon logged under.
+	JobID   string `json:"job_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }

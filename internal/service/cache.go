@@ -20,6 +20,46 @@ type CachedPrecond struct {
 	Key     string
 	P       *fsai.Preconditioner
 	SetupNS int64
+
+	// baselineIters is the CG iteration count of the first converged solve
+	// that used this factor (set-once). Warm solves compare against it to
+	// flag iteration-count anomalies: the factor still converges, but a
+	// drifting count means it no longer preconditions like it used to.
+	// 0 means "no baseline yet".
+	baselineIters atomic.Int64
+}
+
+// SetBaselineIters records the entry's iteration baseline if none is set
+// yet; later calls are no-ops (the first converged solve defines "normal").
+func (e *CachedPrecond) SetBaselineIters(iters int) {
+	if e == nil || iters <= 0 {
+		return
+	}
+	e.baselineIters.CompareAndSwap(0, int64(iters))
+}
+
+// BaselineIters returns the recorded baseline (0: none yet).
+func (e *CachedPrecond) BaselineIters() int {
+	if e == nil {
+		return 0
+	}
+	return int(e.baselineIters.Load())
+}
+
+// IterAnomalyFactor is how far above the baseline a warm solve's iteration
+// count must drift to be flagged (with IterAnomalySlack absolute headroom so
+// tiny baselines don't flag on ±1-iteration noise).
+const (
+	IterAnomalyFactor = 1.5
+	IterAnomalySlack  = 10
+)
+
+// IterationAnomaly reports whether iters is anomalous against baseline.
+func IterationAnomaly(baseline, iters int) bool {
+	if baseline <= 0 {
+		return false
+	}
+	return float64(iters) > float64(baseline)*IterAnomalyFactor+IterAnomalySlack
 }
 
 // buildCall tracks one in-flight setup so concurrent requests for the same

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // APIError is a non-2xx response from the daemon, carrying the decoded
@@ -66,19 +67,26 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		apiErr := &APIError{StatusCode: resp.StatusCode}
-		_ = json.NewDecoder(resp.Body).Decode(&apiErr.Body)
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, err := strconv.Atoi(s); err == nil {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		return apiErr
+		return decodeAPIError(resp)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError drains a non-2xx response into a typed *APIError. The error
+// envelope may carry the daemon-assigned job and trace ids (429/timeout
+// paths), so callers can quote the identifiers the daemon logged under.
+func decodeAPIError(resp *http.Response) *APIError {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	_ = json.NewDecoder(resp.Body).Decode(&apiErr.Body)
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
@@ -129,13 +137,48 @@ func (c *Client) Unregister(ctx context.Context, ref string) error {
 }
 
 // Solve submits a solve job and waits for its result. Saturation surfaces
-// as *APIError with StatusCode 429 and RetryAfter set.
+// as *APIError with StatusCode 429 and RetryAfter set. The request runs
+// under a fresh client-originated trace (use SolveTraced to control or keep
+// the trace context, e.g. to report its id after a timeout).
 func (c *Client) Solve(ctx context.Context, req service.SolveRequest) (*service.SolveResponse, error) {
-	var out service.SolveResponse
-	if err := c.postJSON(ctx, "/api/v1/solve", req, &out); err != nil {
-		return nil, err
+	out, _, err := c.SolveTraced(ctx, req, trace.Context{})
+	return out, err
+}
+
+// SolveTraced submits a solve job under the given trace context (the zero
+// value originates a fresh trace). The context travels as the W3C
+// traceparent header, so the daemon's span tree, structured logs and run
+// report all carry the caller's trace id. The trace context actually used is
+// returned on every path — including transport errors such as timeouts,
+// where no response exists but the daemon keeps logging the (still running)
+// job under that id.
+func (c *Client) SolveTraced(ctx context.Context, req service.SolveRequest, tc trace.Context) (*service.SolveResponse, trace.Context, error) {
+	if !tc.Valid() {
+		tc = trace.New()
 	}
-	return &out, nil
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, tc, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/solve", bytes.NewReader(data))
+	if err != nil {
+		return nil, tc, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("traceparent", tc.Traceparent())
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, tc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, tc, decodeAPIError(resp)
+	}
+	var out service.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, tc, err
+	}
+	return &out, tc, nil
 }
 
 // Jobs lists the daemon's job history, most recent first.

@@ -1,0 +1,12 @@
+package service_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: the daemon, its SSE
+// streams, admission queue and trace recorder all own background
+// goroutines with explicit shutdown paths.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // maxUploadBytes bounds matrix uploads and solve request bodies.
@@ -59,6 +62,18 @@ type Options struct {
 	Workers int
 	// Heartbeat is the SSE keep-alive of the mounted obs server.
 	Heartbeat time.Duration
+
+	// Logger receives the daemon's structured job-lifecycle records (every
+	// line carries job_id and trace_id). Nil: records are discarded, which
+	// keeps the package quiet as a library; cmd/fsaid passes a real logger.
+	Logger *slog.Logger
+	// TraceHistory bounds the in-memory ring of finished request traces
+	// served on /traces (default 256). The JSONL export (traces.jsonl under
+	// RunsDir, when set) is unbounded.
+	TraceHistory int
+	// SLO configures the mounted SLO monitor's latency objectives; zero
+	// fields get defaults (see obs.SLOObjectives).
+	SLO obs.SLOObjectives
 }
 
 func (o *Options) setDefaults() {
@@ -83,6 +98,12 @@ func (o *Options) setDefaults() {
 	if o.JobHistory <= 0 {
 		o.JobHistory = 128
 	}
+	if o.TraceHistory <= 0 {
+		o.TraceHistory = 256
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // Server is the solve daemon: matrix registry + preconditioner cache +
@@ -91,12 +112,15 @@ func (o *Options) setDefaults() {
 type Server struct {
 	opt      Options
 	reg      *telemetry.Registry
+	log      *slog.Logger
 	matrices *MatrixRegistry
 	cache    *PrecondCache
 	adm      *admission
 	jobs     *jobLog
 	watcher  *obs.SolveWatcher
 	obsSrv   *obs.Server
+	traces   *trace.Recorder
+	slo      *obs.SLOMonitor
 	mux      *http.ServeMux
 	seq      atomic.Int64
 
@@ -109,14 +133,21 @@ type Server struct {
 func New(opt Options) *Server {
 	opt.setDefaults()
 	reg := opt.Metrics
+	traceJSONL := ""
+	if opt.RunsDir != "" {
+		traceJSONL = filepath.Join(opt.RunsDir, "traces.jsonl")
+	}
 	s := &Server{
 		opt:      opt,
 		reg:      reg,
+		log:      opt.Logger,
 		matrices: NewMatrixRegistry(opt.MatrixCap),
 		cache:    NewPrecondCache(opt.CacheEntries, reg),
 		adm:      newAdmission(opt.MaxInflight, opt.QueueCap, reg),
 		jobs:     newJobLog(opt.JobHistory),
 		watcher:  obs.NewSolveWatcher(),
+		traces:   trace.NewRecorder(opt.TraceHistory, traceJSONL, reg),
+		slo:      obs.NewSLOMonitor(opt.SLO, reg),
 		mux:      http.NewServeMux(),
 	}
 	s.obsSrv = obs.NewServer(obs.Options{
@@ -124,6 +155,8 @@ func New(opt Options) *Server {
 		Watcher:   s.watcher,
 		RunsDir:   opt.RunsDir,
 		Heartbeat: opt.Heartbeat,
+		Traces:    s.traces,
+		SLO:       s.slo,
 	})
 	reg.SetHelp("service_matrices", "matrices currently registered")
 	reg.SetHelp("service_jobs", "finished solve jobs by status")
@@ -145,6 +178,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Obs exposes the mounted observability server (health overrides, tests).
 func (s *Server) Obs() *obs.Server { return s.obsSrv }
+
+// Traces exposes the request-trace recorder (tests, embedding).
+func (s *Server) Traces() *trace.Recorder { return s.traces }
+
+// SLO exposes the mounted SLO monitor (tests, embedding).
+func (s *Server) SLO() *obs.SLOMonitor { return s.slo }
 
 // Start listens on addr (":0" picks a free port) and serves in the
 // background, returning the bound address.
@@ -397,31 +436,68 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := fmt.Sprintf("j-%06d", s.seq.Add(1))
+
+	// Establish the job's trace context: continue the client's trace when it
+	// sent a well-formed traceparent (our root span becomes a child of its
+	// span), otherwise originate a fresh trace. A malformed header is counted
+	// and logged but never fails the job — tracing must not break solving.
+	tc, parentSpan := trace.New(), ""
+	if h := r.Header.Get("traceparent"); h != "" {
+		if inbound, perr := trace.ParseTraceparent(h); perr == nil {
+			tc, parentSpan = inbound.Child(), inbound.SpanID
+		} else {
+			s.traces.MalformedHeader()
+			s.log.Warn("ignoring malformed traceparent header",
+				"job_id", id, "error", perr.Error())
+		}
+	}
+	w.Header().Set("traceparent", tc.Traceparent())
+	logw := s.log.With("job_id", id, "trace_id", tc.TraceID)
+
+	// One tracer per job: span trees of concurrent jobs must never mix, and
+	// the stack-based tracer nests correctly only on its own goroutine.
+	tr := telemetry.NewTracer(nil)
+	root := tr.StartSpan("solve-request")
+	root.SetAttr("job_id", id)
+	root.SetAttr("matrix", rm.Info.Fingerprint)
+	root.SetAttr("precond", req.Precond)
+
 	enqueued := time.Now()
 	ji := JobInfo{
 		ID:         id,
+		TraceID:    tc.TraceID,
 		Matrix:     rm.Info.Fingerprint,
 		Precond:    req.Precond,
 		State:      JobQueued,
 		EnqueuedAt: enqueued.UTC().Format(time.RFC3339Nano),
 	}
 	s.jobs.put(ji)
+	logw.Info("job enqueued",
+		"matrix", shortFP(rm.Info.Fingerprint), "precond", req.Precond)
 
+	admSpan := tr.StartSpan("admission-wait")
 	release, err := s.adm.acquire(r.Context())
+	admSpan.End()
 	if err != nil {
 		ji.State = JobRejected
 		ji.Err = err.Error()
 		ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
 		s.jobs.put(ji)
+		root.SetAttr("outcome", JobRejected)
+		root.End()
+		s.recordTrace(tr, tc, parentSpan, &ji, JobRejected)
+		logw.Warn("job rejected", "error", err.Error())
 		var sat *SaturatedError
 		if errors.As(err, &sat) {
 			secs := int(math.Ceil(sat.RetryAfter.Seconds()))
 			w.Header().Set("Retry-After", fmt.Sprint(secs))
-			writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error(), RetryAfterS: secs})
+			writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+				Error: err.Error(), RetryAfterS: secs, JobID: id, TraceID: tc.TraceID})
 			return
 		}
-		// The client went away while queued; nothing useful to write.
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		// The client went away while queued; the body is written for the log.
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{
+			Error: err.Error(), JobID: id, TraceID: tc.TraceID})
 		return
 	}
 	defer release()
@@ -438,15 +514,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// Everything below the handler reads the identifiers and the span
+	// tracer from the context — no new parameters through cache/krylov.
+	ctx = trace.NewContext(ctx, tc, tr)
 
 	if req.HoldMS > 0 {
 		// Admission-control drill: occupy the slot without burning CPU.
+		holdSpan := tr.StartSpan("hold")
 		hold := time.NewTimer(time.Duration(req.HoldMS) * time.Millisecond)
 		select {
 		case <-hold.C:
 		case <-ctx.Done():
 			hold.Stop()
 		}
+		holdSpan.End()
 	}
 
 	resp, jerr := s.runJob(ctx, id, rm, &req, &ji)
@@ -461,11 +542,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ji.Err = jerr.Error()
 		s.jobs.put(ji)
 		s.reg.Counter(`service.jobs{status="setup-error"}`).Inc()
-		writeError(w, http.StatusInternalServerError, "%v", jerr)
+		root.SetAttr("outcome", JobFailed)
+		root.End()
+		s.recordTrace(tr, tc, parentSpan, &ji, JobFailed)
+		logw.Error("job failed", "error", jerr.Error())
+		writeJSON(w, http.StatusInternalServerError, ErrorBody{
+			Error: jerr.Error(), JobID: id, TraceID: tc.TraceID})
 		return
 	}
 	resp.TotalNS = total.Nanoseconds()
 	resp.QueueWaitNS = ji.QueueWaitNS
+	resp.TraceID = tc.TraceID
 	ji.State = JobDone
 	ji.Cache = resp.Cache
 	ji.Status = resp.Status
@@ -476,7 +563,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ji.SolveNS = resp.SolveNS
 	s.jobs.put(ji)
 	s.reg.Counter(fmt.Sprintf("service.jobs{status=%q}", resp.Status)).Inc()
+	root.SetAttr("outcome", resp.Status)
+	root.SetAttr("cache", resp.Cache)
+	root.End()
+	s.recordTrace(tr, tc, parentSpan, &ji, resp.Status)
+	logw.Info("job done",
+		"status", resp.Status, "cache", resp.Cache, "iterations", resp.Iterations,
+		"converged", resp.Converged, "queue_wait_ns", resp.QueueWaitNS,
+		"setup_ns", resp.SetupNS, "solve_ns", resp.SolveNS, "total_ns", resp.TotalNS)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordTrace snapshots the job's finished span tree into the recorder.
+// Called after root.End(), on every outcome path — rejected and failed jobs
+// leave traces too, so a client holding only an error body's trace id can
+// still see where the request spent its time.
+func (s *Server) recordTrace(tr *telemetry.Tracer, tc trace.Context, parentSpan string, ji *JobInfo, status string) {
+	report := tr.Report()
+	if len(report) == 0 {
+		return
+	}
+	s.traces.Record(&trace.Trace{
+		TraceID:      tc.TraceID,
+		SpanID:       tc.SpanID,
+		ParentSpanID: parentSpan,
+		JobID:        ji.ID,
+		Fingerprint:  ji.Matrix,
+		Name:         ji.Precond,
+		Status:       status,
+		Root:         report[0],
+	})
 }
 
 // runJob executes one admitted solve job: preconditioner via cache (or the
@@ -502,6 +618,9 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 		ThresholdTau: req.Tau,
 		MaxRowNNZ:    512,
 		Workers:      s.opt.Workers,
+		// The job's span tracer: FSAI setup phases (base-pattern, extend,
+		// precalc, …) become children of the request's span tree.
+		Tracer: trace.TracerFromContext(ctx),
 	}
 	ko := krylov.Options{
 		Tol:           req.Tol,
@@ -575,7 +694,11 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 
 	default: // cacheable FSAI family
 		key := PrecondKey(rm.Info.Fingerprint, req)
+		cacheSpan := trace.StartSpan(ctx, "precond-cache")
 		entry, hit, err := s.cache.GetOrBuild(ctx, key, func() (*CachedPrecond, error) {
+			// The build runs on this job's goroutine, so the setup spans
+			// (via fo.Tracer) nest under this job's precond-cache span;
+			// coalesced waiters get the factor without foreign spans.
 			t0 := time.Now()
 			p, err := buildFSAIFamily(req.Precond, a, fo)
 			if err != nil {
@@ -584,6 +707,8 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 			return &CachedPrecond{P: p, SetupNS: time.Since(t0).Nanoseconds()}, nil
 		})
 		if err != nil {
+			cacheSpan.SetAttr("cache", "error")
+			cacheSpan.End()
 			s.watcher.End(krylov.Result{})
 			return nil, fmt.Errorf("preconditioner: %v", err)
 		}
@@ -594,11 +719,29 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 			resp.Cache = CacheMiss
 			setupNS = entry.SetupNS
 		}
+		cacheSpan.SetAttr("cache", resp.Cache)
+		cacheSpan.End()
 		g = entry.P
 		m := entry.P.CloneForApply(s.opt.Workers)
 		t0 := time.Now()
 		res = krylov.Solve(a, x, b, m, ko)
 		solveNS = time.Since(t0).Nanoseconds()
+
+		// Iteration-count anomaly detection: the first converged solve on
+		// this factor defines the fingerprint's baseline; warm solves that
+		// drift far above it get flagged — the cache still "works" (hit,
+		// zero setup) but no longer preconditions like it used to.
+		if hit && res.Converged {
+			if base := entry.BaselineIters(); IterationAnomaly(base, res.Iterations) {
+				resp.IterAnomaly = true
+				s.log.Warn("iteration-count anomaly on warm solve",
+					"job_id", id, "matrix", shortFP(rm.Info.Fingerprint),
+					"baseline_iters", base, "iterations", res.Iterations)
+			}
+		}
+		if res.Converged {
+			entry.SetBaselineIters(res.Iterations)
+		}
 	}
 	s.watcher.End(res)
 
@@ -608,11 +751,23 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 	resp.RelRes = res.RelResidual
 	resp.SetupNS = setupNS
 	resp.SolveNS = solveNS
+	if tcc, ok := trace.FromContext(ctx); ok {
+		resp.TraceID = tcc.TraceID
+	}
 	if req.ReturnSolution {
 		resp.X = x
 	}
+
+	// SLO accounting happens before the report is written so the report's
+	// slo section reflects a window that includes this very solve.
+	warm := resp.Cache == CacheHit
+	s.slo.ObserveSolve(rm.Info.Fingerprint, warm, setupNS+solveNS, ji.QueueWaitNS)
+	if resp.IterAnomaly {
+		s.slo.RecordIterationAnomaly(rm.Info.Fingerprint)
+	}
+
 	if s.opt.RunsDir != "" {
-		resp.Report = s.writeJobReport(id, rm, req, resp, g, rout, res)
+		resp.Report = s.writeJobReport(id, rm, req, resp, g, rout, res, ji)
 	}
 	return resp, nil
 }
@@ -644,7 +799,7 @@ func buildFSAIFamily(name string, a *sparse.CSR, fo fsai.Options) (*fsai.Precond
 // writeJobReport emits the job's run report into RunsDir, returning the
 // file name ("" on write failure — reports are best-effort; the job result
 // already went to the client).
-func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveRequest, resp *SolveResponse, g *fsai.Preconditioner, rout *resilience.Outcome, res krylov.Result) string {
+func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveRequest, resp *SolveResponse, g *fsai.Preconditioner, rout *resilience.Outcome, res krylov.Result, ji *JobInfo) string {
 	label := rm.Info.Name
 	if label == "" {
 		label = shortFP(rm.Info.Fingerprint)
@@ -662,10 +817,29 @@ func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveReque
 		SolveWallNS: resp.SolveNS,
 		Service: &experiments.RunService{
 			JobID:       id,
+			TraceID:     resp.TraceID,
 			Fingerprint: rm.Info.Fingerprint,
 			Cache:       resp.Cache,
-			QueueWaitNS: resp.QueueWaitNS,
+			QueueWaitNS: ji.QueueWaitNS,
 		},
+	}
+	// The slo section snapshots the fingerprint's solve-latency series
+	// (including this job's own observation) so a report alone answers
+	// "was this solve within objective, and how much budget is left".
+	kind := obs.SLOColdSolve
+	if resp.Cache == CacheHit {
+		kind = obs.SLOWarmSolve
+	}
+	if st, ok := s.slo.State(rm.Info.Fingerprint, kind); ok {
+		entry.SLO = &experiments.RunSLO{
+			Kind:            st.SLO,
+			ObjectiveNS:     st.ObjectiveNS,
+			LatencyNS:       resp.SetupNS + resp.SolveNS,
+			Met:             resp.SetupNS+resp.SolveNS <= st.ObjectiveNS,
+			BurnRate:        st.BurnRate,
+			BudgetRemaining: st.BudgetRemaining,
+			IterAnomaly:     resp.IterAnomaly,
+		}
 	}
 	if t := res.Timing; t != (krylov.Timing{}) {
 		entry.Timing = &experiments.RunTiming{

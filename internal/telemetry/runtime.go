@@ -14,6 +14,13 @@ func PublishRuntimeMetrics(r *Registry) {
 	if r == nil {
 		return
 	}
+	r.SetHelp("go_goroutines", "goroutines currently live in the process")
+	r.SetHelp("go_heap_alloc_bytes", "heap bytes allocated and still in use")
+	r.SetHelp("go_heap_sys_bytes", "heap bytes obtained from the OS")
+	r.SetHelp("go_heap_objects", "allocated heap objects")
+	r.SetHelp("go_gc_num", "completed GC cycles")
+	r.SetHelp("go_gc_pause_total_ns", "cumulative GC stop-the-world pause nanoseconds")
+	r.SetHelp("go_gc_last_pause_ns", "duration of the most recent GC pause")
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	r.Gauge("go.goroutines").Set(float64(runtime.NumGoroutine()))

@@ -40,7 +40,25 @@ type Span struct {
 	start    time.Time
 	dur      time.Duration
 	done     bool
+	attrs    []Attr
 	children []*Span
+}
+
+// Attr is one string key/value annotation on a span.
+type Attr struct {
+	Key, Val string
+}
+
+// SetAttr annotates the span with a key/value pair (last write per key
+// wins at snapshot time). Nil-safe, so instrumentation sites need no
+// guards; safe for concurrent use with other tracer operations.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.tr.mu.Unlock()
 }
 
 // StartSpan opens a new span as a child of the innermost open span (or as a
@@ -102,13 +120,23 @@ func (s *Span) Duration() time.Duration {
 
 // SpanSnapshot is the serializable form of a finished span tree.
 type SpanSnapshot struct {
-	Name     string         `json:"name"`
-	NS       int64          `json:"ns"`
-	Children []SpanSnapshot `json:"children,omitempty"`
+	Name string `json:"name"`
+	// StartUnixNS is the span's wall-clock start (Unix nanoseconds), so
+	// exported trees line up on a shared timeline.
+	StartUnixNS int64             `json:"start_unix_ns,omitempty"`
+	NS          int64             `json:"ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+	Children    []SpanSnapshot    `json:"children,omitempty"`
 }
 
 func snapshotSpan(s *Span) SpanSnapshot {
-	out := SpanSnapshot{Name: s.Name, NS: s.dur.Nanoseconds()}
+	out := SpanSnapshot{Name: s.Name, StartUnixNS: s.start.UnixNano(), NS: s.dur.Nanoseconds()}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Val
+		}
+	}
 	for _, c := range s.children {
 		out.Children = append(out.Children, snapshotSpan(c))
 	}

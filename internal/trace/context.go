@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"context"
+
+	"repro/internal/telemetry"
+)
+
+// The context carries two things per request: the trace identifiers
+// (Context) and the job-scoped span tracer. They travel together — every
+// layer that already receives a context.Context (admission, cache, krylov)
+// can open correctly-nested spans without new parameters.
+
+type ctxKey int
+
+const (
+	ctxKeyContext ctxKey = iota
+	ctxKeyTracer
+)
+
+// NewContext returns ctx carrying the trace identifiers and the job's span
+// tracer. tr may be nil (identifiers only).
+func NewContext(ctx context.Context, tc Context, tr *telemetry.Tracer) context.Context {
+	ctx = context.WithValue(ctx, ctxKeyContext, tc)
+	if tr != nil {
+		ctx = context.WithValue(ctx, ctxKeyTracer, tr)
+	}
+	return ctx
+}
+
+// FromContext returns the trace identifiers carried by ctx, if any.
+// Nil-safe: a nil ctx yields ok == false.
+func FromContext(ctx context.Context) (Context, bool) {
+	if ctx == nil {
+		return Context{}, false
+	}
+	tc, ok := ctx.Value(ctxKeyContext).(Context)
+	return tc, ok && tc.Valid()
+}
+
+// TracerFromContext returns the span tracer carried by ctx (nil if absent —
+// which, by the telemetry package's nil-safety contract, is the valid
+// "tracing off" tracer).
+func TracerFromContext(ctx context.Context) *telemetry.Tracer {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKeyTracer).(*telemetry.Tracer)
+	return tr
+}
+
+// StartSpan opens a named span on the tracer carried by ctx. When ctx
+// carries no tracer this returns a nil span whose methods are no-ops, so
+// instrumentation sites in the solver layers stay guard-free.
+func StartSpan(ctx context.Context, name string) *telemetry.Span {
+	return TracerFromContext(ctx).StartSpan(name)
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Trace is one finished end-to-end request: its identifiers, what produced
+// it, and the full span tree. This is the document served by GET
+// /traces/<trace-id> and appended to the JSONL export.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	// SpanID is the id of the root span in Root (the server's own root; a
+	// continued inbound trace parents it under ParentSpanID).
+	SpanID string `json:"span_id"`
+	// ParentSpanID is the inbound traceparent's span id when the client
+	// started the trace; empty for traces originated server-side.
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+
+	// JobID / Fingerprint / Name tie the trace back to the solve job, the
+	// operator it ran on, and a human label.
+	JobID       string `json:"job_id,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Name        string `json:"name,omitempty"`
+	// Status is the job outcome the trace ended with (solver status, or
+	// "rejected"/"failed" for jobs that never solved).
+	Status string `json:"status,omitempty"`
+
+	RecordedAt string `json:"recorded_at,omitempty"`
+
+	// Root is the span tree (root span plus nested children).
+	Root telemetry.SpanSnapshot `json:"root"`
+}
+
+// Summary is one entry of the GET /traces listing.
+type Summary struct {
+	TraceID     string `json:"trace_id"`
+	JobID       string `json:"job_id,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Name        string `json:"name,omitempty"`
+	Status      string `json:"status,omitempty"`
+	RecordedAt  string `json:"recorded_at,omitempty"`
+	DurationNS  int64  `json:"duration_ns"`
+	Spans       int    `json:"spans"`
+}
+
+// Recorder retains the most recent finished traces in memory (bounded
+// ring), fans them out to live subscribers (the /traces SSE stream), and
+// optionally appends each one as a JSONL line for post-mortem analysis.
+// All methods are safe for concurrent use; the zero value is not ready —
+// use NewRecorder. A nil *Recorder is the valid "tracing export off" value:
+// every method is a no-op.
+type Recorder struct {
+	mu       sync.Mutex
+	capacity int
+	byID     map[string]*Trace
+	order    []string // oldest first
+	subs     map[chan *Trace]struct{}
+
+	jsonlPath string
+	reg       *telemetry.Registry
+}
+
+// NewRecorder returns a recorder keeping at most capacity traces
+// (capacity < 1 is treated as 1). jsonlPath, when non-empty, receives one
+// JSON document per recorded trace, newline-delimited, appended atomically
+// under the recorder lock. reg, when non-nil, receives the trace_* series.
+func NewRecorder(capacity int, jsonlPath string, reg *telemetry.Registry) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	reg.SetHelp("trace_recorded", "finished request traces recorded")
+	reg.SetHelp("trace_dropped", "recorded traces evicted from the in-memory ring")
+	reg.SetHelp("trace_export_errors", "JSONL trace-export write failures")
+	reg.SetHelp("trace_malformed_traceparent", "inbound traceparent headers rejected as malformed")
+	return &Recorder{
+		capacity:  capacity,
+		byID:      map[string]*Trace{},
+		subs:      map[chan *Trace]struct{}{},
+		jsonlPath: jsonlPath,
+		reg:       reg,
+	}
+}
+
+// MalformedHeader counts one rejected inbound traceparent header. Nil-safe.
+func (r *Recorder) MalformedHeader() {
+	if r == nil {
+		return
+	}
+	r.reg.Counter("trace.malformed_traceparent").Inc()
+}
+
+// Record stores a finished trace, notifies subscribers and appends the
+// JSONL export line. Nil-safe (no-op on a nil recorder or nil trace).
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	if t.RecordedAt == "" {
+		t.RecordedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	r.mu.Lock()
+	if _, ok := r.byID[t.TraceID]; !ok {
+		r.order = append(r.order, t.TraceID)
+	}
+	r.byID[t.TraceID] = t
+	for len(r.order) > r.capacity {
+		delete(r.byID, r.order[0])
+		r.order = r.order[1:]
+		r.reg.Counter("trace.dropped").Inc()
+	}
+	var exportErr error
+	if r.jsonlPath != "" {
+		exportErr = appendJSONL(r.jsonlPath, t)
+	}
+	subs := make([]chan *Trace, 0, len(r.subs))
+	for ch := range r.subs {
+		subs = append(subs, ch)
+	}
+	r.mu.Unlock()
+
+	r.reg.Counter("trace.recorded").Inc()
+	if exportErr != nil {
+		r.reg.Counter("trace.export_errors").Inc()
+	}
+	for _, ch := range subs {
+		select {
+		case ch <- t: // live stream is best-effort: a slow subscriber
+		default: // misses traces rather than stalling the recorder
+		}
+	}
+}
+
+func appendJSONL(path string, t *Trace) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f) // Encode terminates each document with \n
+	if err := enc.Encode(t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Get returns the full trace for a trace id.
+func (r *Recorder) Get(traceID string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[traceID]
+	return t, ok
+}
+
+// List returns summaries of the retained traces, most recent first.
+func (r *Recorder) List() []Summary {
+	if r == nil {
+		return []Summary{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Summary, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		t := r.byID[r.order[i]]
+		out = append(out, Summary{
+			TraceID:     t.TraceID,
+			JobID:       t.JobID,
+			Fingerprint: t.Fingerprint,
+			Name:        t.Name,
+			Status:      t.Status,
+			RecordedAt:  t.RecordedAt,
+			DurationNS:  t.Root.NS,
+			Spans:       countSpans(t.Root),
+		})
+	}
+	return out
+}
+
+func countSpans(s telemetry.SpanSnapshot) int {
+	n := 1
+	for _, c := range s.Children {
+		n += countSpans(c)
+	}
+	return n
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// Subscribe returns a channel of newly recorded traces and a cancel
+// function. The channel is buffered; traces recorded while the buffer is
+// full are skipped for that subscriber (the ring and JSONL export remain
+// complete). Nil-safe: a nil recorder returns a never-firing channel.
+func (r *Recorder) Subscribe() (<-chan *Trace, func()) {
+	ch := make(chan *Trace, 16)
+	if r == nil {
+		return ch, func() {}
+	}
+	r.mu.Lock()
+	r.subs[ch] = struct{}{}
+	r.mu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			r.mu.Lock()
+			delete(r.subs, ch)
+			r.mu.Unlock()
+		})
+	}
+}

@@ -1,0 +1,150 @@
+// Package trace is the request-scoped tracing layer of the solve service:
+// W3C-traceparent-style trace/span identifiers, context plumbing that
+// carries one job's identifiers and span tracer through every layer a solve
+// crosses (HTTP handler, admission queue, preconditioner cache, FSAI setup,
+// the CG loop), and a Recorder that retains finished span trees for the
+// /traces endpoint and exports them as JSONL next to the run reports.
+//
+// The paper's headline metric is per-matrix time-to-solution; this package
+// is what attributes that time per *request* once the reproduction runs as
+// a daemon: every solve gets one connected span tree from client to CG, so
+// "why was this solve slow" has an answer (queue wait vs cache miss vs
+// setup phase vs iteration count) instead of a process-wide average. It is
+// also the propagation groundwork for the sharded fleet (ROADMAP item 1):
+// the identifiers follow the W3C traceparent wire format, so a forwarded
+// solve keeps its trace across nodes.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Context identifies one position in a trace: the trace the request belongs
+// to and the span representing the current operation. Identifiers are
+// lower-case hex strings of the W3C Trace Context sizes (16-byte trace id,
+// 8-byte span id). The zero value means "no trace".
+type Context struct {
+	// TraceID is the 32-hex-digit identifier shared by every span of one
+	// end-to-end request.
+	TraceID string `json:"trace_id"`
+	// SpanID is the 16-hex-digit identifier of the current span.
+	SpanID string `json:"span_id"`
+}
+
+// Valid reports whether both identifiers have the W3C sizes, are hex, and
+// are not all-zero (the spec's invalid values).
+func (c Context) Valid() bool {
+	return validHexID(c.TraceID, 32) && validHexID(c.SpanID, 16)
+}
+
+// Traceparent renders the context in the W3C traceparent header format
+// (version 00, sampled flag set): 00-<trace-id>-<span-id>-01.
+func (c Context) Traceparent() string {
+	return "00-" + c.TraceID + "-" + c.SpanID + "-01"
+}
+
+// New returns a fresh context: a new trace with a new root span.
+func New() Context {
+	return Context{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+// Child returns a context in the same trace with a fresh span id — the
+// identifier a server assigns to its own root span when continuing an
+// inbound trace.
+func (c Context) Child() Context {
+	return Context{TraceID: c.TraceID, SpanID: NewSpanID()}
+}
+
+// NewTraceID returns a random 16-byte trace id as 32 hex digits.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns a random 8-byte span id as 16 hex digits.
+func NewSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	// crypto/rand.Read never fails on the supported platforms; a broken
+	// entropy source would already have broken TLS. Fall back to a fixed
+	// non-zero pattern rather than panicking in an observability path.
+	if _, err := rand.Read(b); err != nil {
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+func validHexID(s string, width int) bool {
+	if len(s) != width {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// (version-traceid-spanid-flags). Unknown versions are accepted as long as
+// the first four fields have the version-00 shape, per the spec's
+// forward-compatibility rule; malformed values are rejected with an error
+// describing the first violated constraint. The empty string is malformed —
+// callers should check for header absence first.
+func ParseTraceparent(h string) (Context, error) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return Context{}, fmt.Errorf("traceparent: empty header")
+	}
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return Context{}, fmt.Errorf("traceparent: %d fields, want at least 4", len(parts))
+	}
+	ver, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isHex(ver) {
+		return Context{}, fmt.Errorf("traceparent: bad version %q", ver)
+	}
+	if ver == "ff" {
+		return Context{}, fmt.Errorf("traceparent: forbidden version ff")
+	}
+	if ver == "00" && len(parts) != 4 {
+		return Context{}, fmt.Errorf("traceparent: version 00 has %d fields, want 4", len(parts))
+	}
+	if !validHexID(traceID, 32) {
+		return Context{}, fmt.Errorf("traceparent: bad trace id %q", traceID)
+	}
+	if !validHexID(spanID, 16) {
+		return Context{}, fmt.Errorf("traceparent: bad parent span id %q", spanID)
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return Context{}, fmt.Errorf("traceparent: bad flags %q", flags)
+	}
+	return Context{TraceID: traceID, SpanID: spanID}, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Short returns the first 8 digits of an identifier for compact log lines.
+func Short(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}

@@ -4,7 +4,24 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting gate: print the offending files so the diff is in the log.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
+
+# staticcheck is optional tooling: run it when the host has it, skip
+# (loudly) when it does not — bare containers stay green either way.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping" >&2
+fi
+
 go test ./...
 go test -race ./...

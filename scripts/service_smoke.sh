@@ -22,6 +22,20 @@ json_num() {
     sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9]*\).*/\1/p' "$1" | head -1
 }
 
+# json_str FILE KEY -> first string value of "KEY": "..."
+json_str() {
+    sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+# json_ok FILE -> asserts the file parses as JSON (when python3 is around)
+json_ok() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool "$1" >/dev/null
+    else
+        grep -q '[{[]' "$1"
+    fi
+}
+
 echo "== building fsaid =="
 go build -o "$workdir/fsaid" ./cmd/fsaid
 
@@ -33,7 +47,8 @@ pid=$!
 
 addr=""
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's#^fsaid listening on http://##p' "$workdir/stderr.log" | head -1)
+    # The daemon announces itself via slog: ... msg="fsaid listening" addr=http://H:P
+    addr=$(sed -n 's#.*msg="fsaid listening" addr=http://\([^ ]*\).*#\1#p' "$workdir/stderr.log" | head -1)
     [ -n "$addr" ] && break
     kill -0 "$pid" 2>/dev/null || { echo "fsaid exited early:"; cat "$workdir/stderr.log"; exit 1; }
     sleep 0.1
@@ -70,6 +85,24 @@ if [ -n "$cold_total" ] && [ -n "$warm_total" ] && [ "$warm_total" -ge "$cold_to
 fi
 echo "cold: total=${cold_total}ns setup=${cold_setup}ns; warm: total=${warm_total}ns setup=${warm_setup}ns"
 
+echo "== request tracing: /traces and /traces/<id> =="
+warm_trace=$(json_str "$workdir/warm.json" trace_id)
+[ -n "$warm_trace" ] || { echo "FAIL: warm solve response has no trace_id"; cat "$workdir/warm.json"; fail=1; }
+curl -fsS "http://$addr/traces" >"$workdir/traces.json"
+json_ok "$workdir/traces.json" || { echo "FAIL: /traces is not well-formed JSON"; cat "$workdir/traces.json"; fail=1; }
+grep -q "\"$warm_trace\"" "$workdir/traces.json" || { echo "FAIL: /traces does not list the warm solve's trace"; cat "$workdir/traces.json"; fail=1; }
+curl -fsS "http://$addr/traces/$warm_trace" >"$workdir/trace.json"
+json_ok "$workdir/trace.json" || { echo "FAIL: /traces/<id> is not well-formed JSON"; fail=1; }
+grep -q '"solve-request"' "$workdir/trace.json" || { echo "FAIL: trace missing solve-request root span"; cat "$workdir/trace.json"; fail=1; }
+grep -q '"cg-solve"' "$workdir/trace.json" || { echo "FAIL: trace missing cg-solve span"; cat "$workdir/trace.json"; fail=1; }
+
+echo "== SLO monitor: /slo =="
+curl -fsS "http://$addr/slo" >"$workdir/slo.json"
+json_ok "$workdir/slo.json" || { echo "FAIL: /slo is not well-formed JSON"; cat "$workdir/slo.json"; fail=1; }
+grep -q '"target"' "$workdir/slo.json" || { echo "FAIL: /slo missing target"; cat "$workdir/slo.json"; fail=1; }
+grep -q '"warm_solve"' "$workdir/slo.json" || { echo "FAIL: /slo missing warm_solve series"; cat "$workdir/slo.json"; fail=1; }
+grep -q '"cold_solve"' "$workdir/slo.json" || { echo "FAIL: /slo missing cold_solve series"; cat "$workdir/slo.json"; fail=1; }
+
 echo "== cache counters on /metrics =="
 curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
 grep -q '^service_cache_hits 1$' "$workdir/metrics.txt" || { echo "FAIL: cache-hit counter not incremented"; grep service_cache "$workdir/metrics.txt" || true; fail=1; }
@@ -104,6 +137,16 @@ curl -fsS "http://$addr/runs" >"$workdir/runs.json"
 grep -q 'j-000001.json' "$workdir/runs.json" || { echo "FAIL: /runs does not list job reports:"; cat "$workdir/runs.json"; fail=1; }
 curl -fsS "http://$addr/runs/j-000002.json" >"$workdir/warmreport.json"
 grep -q '"cache": *"hit"' "$workdir/warmreport.json" || { echo "FAIL: warm run report missing cache=hit"; cat "$workdir/warmreport.json"; fail=1; }
+report_trace=$(json_str "$workdir/warmreport.json" trace_id)
+if [ "$report_trace" != "$warm_trace" ]; then
+    echo "FAIL: run report trace_id ($report_trace) != solve response trace_id ($warm_trace)"
+    fail=1
+fi
+grep -q '"slo"' "$workdir/warmreport.json" || { echo "FAIL: warm run report missing slo section"; fail=1; }
+
+echo "== fsaid solve CLI surfaces its trace id =="
+"$workdir/fsaid" solve -addr "$addr" -matrix lap -precond fsaie >"$workdir/cli.out"
+grep -q 'trace=[0-9a-f]\{32\}' "$workdir/cli.out" || { echo "FAIL: fsaid solve output has no trace id:"; cat "$workdir/cli.out"; fail=1; }
 
 echo "== fsaid stats / jobs =="
 "$workdir/fsaid" stats -addr "$addr"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-smoke clean obs-smoke service-smoke compare-baseline chaos
+.PHONY: all build test race vet fmt lint check bench bench-smoke clean obs-smoke service-smoke compare-baseline chaos prof-overhead-guard
 
 all: check
 
@@ -54,6 +54,14 @@ service-smoke:
 # diff the deterministic metrics with fsaicompare.
 compare-baseline:
 	./scripts/compare_baseline.sh
+
+# Continuous-profiling overhead gate (docs/observability.md): measure the
+# sampler's per-window bookkeeping under load and fail if the projected
+# overhead at the default window/gap cadence reaches 2%. Run without -short
+# (the test skips under -short); -count=1 defeats the test cache so the
+# timing is from this machine, now.
+prof-overhead-guard:
+	$(GO) test -run 'TestSamplerOverheadBudget' -count=1 -v ./internal/prof/
 
 # Fault-injection chaos suite: seeded injectors corrupting SpMV outputs,
 # diagonals and computed factors, with the recovery chain proving detection,

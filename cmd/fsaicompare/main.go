@@ -13,6 +13,11 @@
 //	            grow by up to PCT% before it is flagged
 //	-wall       also compare wall-clock metrics (setup/solve nanoseconds)
 //	-v          print every comparison, not just regressions
+//	-record F   append the candidate's headline numbers (wall times,
+//	            iterations, achieved SpMV GB/s) to the JSON history file F
+//	            (conventionally BENCH_history.json), so perf trends survive
+//	            individual CI runs. Recording happens before the exit code
+//	            is decided — regressed runs land in the history too.
 //
 // Exit status: 0 when no regression is found, 1 when at least one metric
 // regressed beyond tolerance (or an entry disappeared, or a previously
@@ -21,11 +26,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/roofline"
 )
 
 // metric is one comparable quantity of a run entry. Lower is better for
@@ -88,6 +96,7 @@ func main() {
 		tolPct  = flag.Float64("tol", 10, "regression tolerance in percent")
 		wall    = flag.Bool("wall", false, "also compare wall-clock metrics")
 		verbose = flag.Bool("v", false, "print every comparison, not just regressions")
+		record  = flag.String("record", "", "append the candidate's headline numbers to this JSON history file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fsaicompare [flags] OLD.json NEW.json\n")
@@ -113,6 +122,12 @@ func main() {
 	}
 
 	regressions := compare(oldRep, newRep, *tolPct, *wall, *verbose)
+	if *record != "" {
+		if err := appendHistory(*record, flag.Arg(1), newRep, regressions); err != nil {
+			fatal("record: %v", err)
+		}
+		fmt.Printf("recorded %d entr(y/ies) to %s\n", len(newRep.Entries), *record)
+	}
 	if regressions > 0 {
 		fmt.Printf("FAIL: %d regression(s) beyond %.3g%% tolerance\n", regressions, *tolPct)
 		os.Exit(1)
@@ -181,6 +196,78 @@ func growthPct(oldV, newV float64) float64 {
 		return 100
 	}
 	return (newV - oldV) / oldV * 100
+}
+
+// historyRecord is one -record append: the candidate report's headline
+// numbers plus when and from which file they were taken. The history file
+// is a JSON array of these, oldest first.
+type historyRecord struct {
+	Time        string         `json:"time"`
+	Report      string         `json:"report"`
+	Tool        string         `json:"tool,omitempty"`
+	Regressions int            `json:"regressions"`
+	Entries     []historyEntry `json:"entries"`
+}
+
+// historyEntry is the headline row of one run entry.
+type historyEntry struct {
+	Matrix      string  `json:"matrix"`
+	Variant     string  `json:"variant"`
+	Filter      float64 `json:"filter"`
+	Iterations  int     `json:"iterations"`
+	Converged   bool    `json:"converged"`
+	SetupWallNS int64   `json:"setup_wall_ns"`
+	SolveWallNS int64   `json:"solve_wall_ns"`
+	// SpMVGBs is the solve's achieved SpMV memory bandwidth in GB/s, from
+	// the report's roofline section (0 when the report has none).
+	SpMVGBs float64 `json:"spmv_gbs,omitempty"`
+}
+
+// appendHistory reads the history file (absent or empty: fresh array),
+// appends one record for rep and writes the array back.
+func appendHistory(path, reportPath string, rep *experiments.RunReport, regressions int) error {
+	var hist []historyRecord
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("%s: existing history is not a JSON array: %v", path, err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+
+	rec := historyRecord{
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		Report:      reportPath,
+		Tool:        rep.Tool,
+		Regressions: regressions,
+	}
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		he := historyEntry{
+			Matrix:      e.Matrix,
+			Variant:     e.Variant,
+			Filter:      e.Filter,
+			Iterations:  e.Iterations,
+			Converged:   e.Converged,
+			SetupWallNS: e.SetupWallNS,
+			SolveWallNS: e.SolveWallNS,
+		}
+		if e.Roofline != nil {
+			for _, k := range e.Roofline.Kernels {
+				if k.Kernel == roofline.KernelSpMV {
+					he.SpMVGBs = k.AchievedBandwidthBytes / 1e9
+				}
+			}
+		}
+		rec.Entries = append(rec.Entries, he)
+	}
+	hist = append(hist, rec)
+
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func fatal(format string, args ...any) {

@@ -24,6 +24,10 @@
 //	  -slo-queue D      queue-wait p95 objective (default 5s)
 //	  -slo-window D     SLO sliding window (default 10m)
 //	  -slo-min-events N window events before the budget can exhaust (default 10)
+//	  -machine NAME     roofline machine model: Skylake|POWER9|A64FX (default Skylake)
+//	  -prof-window D    continuous-profiling capture window (default 10s)
+//	  -prof-gap D       pause between capture windows (default 50s)
+//	  -prof-keep N      profiling windows retained for /profiles (default 32)
 //
 //	fsaid register [flags]         register a matrix with a running daemon
 //	  -addr URL         daemon address (default http://127.0.0.1:7474)
@@ -63,6 +67,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/telemetry"
@@ -131,6 +136,10 @@ func cmdServe(args []string) {
 		sloQueue     = fs.Duration("slo-queue", 0, "queue-wait p95 objective (default 5s)")
 		sloWindow    = fs.Duration("slo-window", 0, "SLO sliding window (default 10m)")
 		sloMinEvents = fs.Int("slo-min-events", 0, "events in the window before the budget can exhaust (default 10)")
+		machine      = fs.String("machine", "", "roofline machine model: Skylake|POWER9|A64FX (default Skylake)")
+		profWindow   = fs.Duration("prof-window", 0, "continuous-profiling capture window (default 10s)")
+		profGap      = fs.Duration("prof-gap", 0, "pause between profiling windows (default 50s)")
+		profKeep     = fs.Int("prof-keep", 0, "profiling windows retained for /profiles (default 32)")
 	)
 	_ = fs.Parse(args)
 
@@ -165,6 +174,12 @@ func cmdServe(args []string) {
 			QueueWaitP95: *sloQueue,
 			Window:       *sloWindow,
 			MinEvents:    *sloMinEvents,
+		},
+		Machine: *machine,
+		Profiling: prof.Options{
+			Window:   *profWindow,
+			Gap:      *profGap,
+			Capacity: *profKeep,
 		},
 	})
 	addr, err := srv.Start(*listen)
@@ -335,6 +350,9 @@ func cmdSolve(args []string) {
 	}
 	if resp.IterAnomaly {
 		fmt.Fprintln(os.Stderr, "fsaid: warning: warm solve needed far more iterations than this matrix's baseline")
+	}
+	if resp.LowBandwidth {
+		fmt.Fprintln(os.Stderr, "fsaid: warning: achieved SpMV bandwidth fell >30% below this matrix's baseline (see /roofline)")
 	}
 	if !resp.Converged {
 		fmt.Fprintf(os.Stderr, "fsaid: solve did not converge (status: %s)\n", resp.Status)

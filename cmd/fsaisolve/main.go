@@ -28,6 +28,8 @@
 //	-hold           with -listen: keep serving after the solve until SIGINT/SIGTERM
 //	-runs-dir DIR   directory served under /runs (default: the -metrics-out directory)
 //	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-machine NAME   roofline machine model for the achieved-performance
+//	                placement: Skylake|POWER9|A64FX (default Skylake)
 //	-timeout D      overall solve wall-clock budget (e.g. 30s); on expiry the
 //	                solve stops cooperatively at a resumable checkpoint and the
 //	                tool exits 3
@@ -65,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/cachesim"
 	fsai "repro/internal/core"
 	"repro/internal/experiments"
@@ -75,6 +78,7 @@ import (
 	"repro/internal/precond"
 	"repro/internal/reorder"
 	"repro/internal/resilience"
+	"repro/internal/roofline"
 	"repro/internal/sparse"
 	"repro/internal/spectral"
 	"repro/internal/stats"
@@ -105,6 +109,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		timeout    = flag.Duration("timeout", 0, "overall solve wall-clock budget (0: none); exits 3 on expiry")
 		resilient  = flag.Bool("resilient", false, "solve through the adaptive recovery chain (internal/resilience)")
+		machineStr = flag.String("machine", "Skylake", "roofline machine model: Skylake|POWER9|A64FX")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -149,6 +154,15 @@ func main() {
 		sparse.EnableOpCounters(true)
 	}
 
+	machine, machineOK := arch.ByName(*machineStr)
+	if !machineOK {
+		fatal("unknown -machine %q (want Skylake|POWER9|A64FX)", *machineStr)
+	}
+	var roofMon *obs.RooflineMonitor
+	if observing {
+		roofMon = obs.NewRooflineMonitor(machine, metrics)
+	}
+
 	var watcher *obs.SolveWatcher
 	var srv *obs.Server
 	if *listenAddr != "" {
@@ -157,7 +171,7 @@ func main() {
 		if dir == "" && *metricsOut != "" {
 			dir = filepath.Dir(*metricsOut)
 		}
-		srv = obs.NewServer(obs.Options{Registry: metrics, Watcher: watcher, RunsDir: dir})
+		srv = obs.NewServer(obs.Options{Registry: metrics, Watcher: watcher, RunsDir: dir, Roofline: roofMon})
 		addr, err := srv.Start(*listenAddr)
 		if err != nil {
 			fatal("listen: %v", err)
@@ -312,6 +326,30 @@ func main() {
 			msec(tm.SpMV), msec(tm.Precond), msec(tm.BLAS1), msec(tm.Total))
 	}
 
+	// Live roofline placement: per-kernel achieved GB/s and GFLOP/s against
+	// the -machine model, into the roofline_* gauges and the run report.
+	var rsol *obs.RooflineSolve
+	if roofMon != nil && res.Iterations > 0 && res.Timing != (krylov.Timing{}) {
+		var gm *sparse.CSR
+		if g != nil {
+			gm = g.G
+		}
+		t := res.Timing
+		est := roofline.SolveEstimate(a, gm, res.Iterations,
+			t.SpMV.Nanoseconds(), t.Precond.Nanoseconds(), t.BLAS1.Nanoseconds(), machine)
+		if len(est) > 0 {
+			rs := roofMon.Observe("", a.Fingerprint(), res.Iterations, est)
+			rsol = &rs
+			if *traceFlag {
+				for _, e := range est {
+					fmt.Fprintf(os.Stderr, "roofline: %-8s %.2f GB/s %.2f GFLOP/s (%.1f%% of %s bound, %s-bound)\n",
+						e.Kernel, e.AchievedBandwidthBytes/1e9, e.AchievedFlops/1e9,
+						e.PctOfAttainable, machine.Name, e.Bound)
+				}
+			}
+		}
+	}
+
 	// Cache-miss attribution of the preconditioner application, for the run
 	// report's cache section and the live /metrics series.
 	var cacheSection *experiments.RunCacheAttrib
@@ -369,6 +407,14 @@ func main() {
 			entry.ExtPct = g.ExtensionPct()
 			entry.SetupPhases = g.Stats.Phases
 			entry.Cache = cacheSection
+		}
+		if rsol != nil {
+			entry.Roofline = &experiments.RunRoofline{
+				Machine:                rsol.Machine,
+				Kernels:                rsol.Kernels,
+				BaselineBandwidthBytes: rsol.BaselineBandwidthBytes,
+				LowBandwidth:           rsol.LowBandwidth,
+			}
 		}
 		rep := &experiments.RunReport{
 			Tool: "fsaisolve",

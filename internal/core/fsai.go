@@ -1,6 +1,7 @@
 package fsai
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -108,6 +109,12 @@ type Options struct {
 	// filter, final Frobenius solve). Per-phase wall times are always
 	// recorded in SetupStats.Phases regardless.
 	Tracer *telemetry.Tracer
+
+	// Ctx, when non-nil, carries the caller's pprof label set; Compute runs
+	// under it with phase=setup merged in, so continuous-profiling windows
+	// attribute FSAI setup CPU to the owning job. Setup is not cancelled
+	// through it.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -232,8 +239,19 @@ type Preconditioner struct {
 	// the stack treated it as "all CPUs"; the mismatch is fixed.)
 	Workers int
 
-	tmp []float64
-	eng *kernels.Engine
+	tmp  []float64
+	eng  *kernels.Engine
+	lctx context.Context // pprof label context for Apply's pooled sweeps
+}
+
+// SetLabelContext makes Apply's pooled SpMV dispatches run under ctx's
+// pprof labels (see kernels.Engine.SetLabelContext). krylov.Solve calls
+// this automatically when its own label context is set.
+func (p *Preconditioner) SetLabelContext(ctx context.Context) {
+	p.lctx = ctx
+	if p.eng != nil {
+		p.eng.SetLabelContext(ctx)
+	}
 }
 
 // Apply computes z = Gᵀ(G r), the FSAI preconditioning operation: two SpMV
@@ -259,6 +277,7 @@ func (p *Preconditioner) Apply(z, r []float64) {
 	}
 	if p.eng == nil || p.eng.Workers() != w {
 		p.eng = kernels.New(p.G.Rows, w)
+		p.eng.SetLabelContext(p.lctx)
 	}
 	p.eng.SpMV(p.G, p.tmp, r)
 	p.eng.SpMV(p.GT, z, p.tmp)

@@ -1,11 +1,13 @@
 package fsai
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/pattern"
+	"repro/internal/prof"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -29,7 +31,25 @@ func (pr phaseRecorder) phase(name string) func() {
 
 // Compute builds an FSAI-family preconditioner for the SPD matrix a
 // according to opts. It is the entry point covering Algorithms 1, 2 and 4.
+// With Options.Ctx set, the whole setup runs under the pprof label
+// phase=setup merged into the context's labels (see internal/prof).
 func Compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
+	if opts.Ctx == nil {
+		return compute(a, opts)
+	}
+	var (
+		p   *Preconditioner
+		err error
+	)
+	prof.WithPhase(opts.Ctx, prof.PhaseSetup, func(ctx context.Context) {
+		o := opts
+		o.Ctx = ctx
+		p, err = compute(a, o)
+	})
+	return p, err
+}
+
+func compute(a *sparse.CSR, opts Options) (*Preconditioner, error) {
 	if a.Rows != a.Cols {
 		return nil, setupErrf(ReasonBadInput, -1, "matrix is %dx%d, want square", a.Rows, a.Cols)
 	}

@@ -12,6 +12,7 @@ import (
 	fsai "repro/internal/core"
 	"repro/internal/krylov"
 	"repro/internal/resilience"
+	"repro/internal/roofline"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -44,7 +45,12 @@ import (
 //	   "trace_id" (fsaid jobs; resolves against the daemon's /traces), and
 //	   the per-entry "slo" section (objective, burn rate, remaining error
 //	   budget and the warm-solve iteration-anomaly flag at write time).
-const RunReportSchemaVersion = 5
+//	6: adds the per-entry "roofline" section (optional): the solve's
+//	   achieved GB/s and GFLOP/s per kernel class laid against the machine
+//	   model's roofs, the matrix's rolling bandwidth baseline and the
+//	   low-bandwidth flag. The numbers mirror the roofline_* Prometheus
+//	   gauges for the same job.
+const RunReportSchemaVersion = 6
 
 // RunReportMinSchemaVersion is the oldest schema ReadRunReport upgrades.
 const RunReportMinSchemaVersion = 1
@@ -141,6 +147,26 @@ type RunEntry struct {
 	// SLO is the latency-objective verdict of an fsaid job (schema v5,
 	// optional): absent for CLI runs and for daemons without SLO state.
 	SLO *RunSLO `json:"slo,omitempty"`
+
+	// Roofline is the live roofline placement of this solve (schema v6,
+	// optional): absent when kernel timing was not collected.
+	Roofline *RunRoofline `json:"roofline,omitempty"`
+}
+
+// RunRoofline is the report's live-roofline section (schema v6): the
+// solve's per-kernel achieved bandwidth and flop rate against the machine
+// model, exactly the values the roofline_* gauges exported for the job —
+// report and /metrics must agree for the same job id.
+type RunRoofline struct {
+	// Machine is the arch model the kernels are priced against.
+	Machine string `json:"machine"`
+	// Kernels holds the per-kernel-class placements (spmv, apply_g, blas1).
+	Kernels []roofline.Achieved `json:"kernels"`
+	// BaselineBandwidthBytes is the matrix's rolling SpMV-bandwidth
+	// baseline before this solve (0 until established).
+	BaselineBandwidthBytes float64 `json:"baseline_bandwidth_bytes,omitempty"`
+	// LowBandwidth marks a solve >30% below that baseline.
+	LowBandwidth bool `json:"low_bandwidth,omitempty"`
 }
 
 // RunService is the report's solve-daemon section: which job produced the

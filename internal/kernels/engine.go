@@ -25,6 +25,7 @@
 package kernels
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/parallel"
@@ -61,6 +62,10 @@ type Engine struct {
 	alpha, beta     float64
 	sm              *sparse.CSR
 	sy, sx          []float64
+
+	// lctx is the pprof label context pooled dispatches run under (job id,
+	// solver phase); nil means unlabeled. See SetLabelContext.
+	lctx context.Context
 
 	dotBody, axpyBody, xpayBody, xrBody, axpyDotBody, spmvBody func(chunk, lo, hi int)
 }
@@ -137,6 +142,14 @@ func NewWithPool(n, workers int, pool *parallel.Pool) *Engine {
 // Workers returns the worker count the engine schedules for.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetLabelContext makes the engine's pooled dispatches run under ctx's
+// pprof labels: the persistent pool workers adopt them per dispatch, so a
+// captured CPU window attributes kernel time on every participant to the
+// owning job and phase, not just on the submitting goroutine. A nil ctx
+// (or one without labels) leaves dispatches unlabeled. Costs nothing per
+// dispatch beyond two label swaps on each woken worker.
+func (e *Engine) SetLabelContext(ctx context.Context) { e.lctx = ctx }
+
 // parallelVec reports whether a BLAS-1 sweep of length n should be pooled.
 func (e *Engine) parallelVec(n int) bool {
 	return e.workers > 1 && n >= parallelMinLen && len(e.vbounds) > 2
@@ -145,7 +158,7 @@ func (e *Engine) parallelVec(n int) bool {
 // run dispatches body over the engine's vector chunks, containing worker
 // panics back onto the caller (matching parallel.For semantics).
 func (e *Engine) run(body func(chunk, lo, hi int)) {
-	if err := e.pool.Run(e.vbounds, body); err != nil {
+	if err := e.pool.RunLabeled(e.vbounds, body, e.lctx); err != nil {
 		panic(err)
 	}
 }
@@ -174,7 +187,7 @@ func (e *Engine) SpMV(m *sparse.CSR, y, x []float64) {
 		return
 	}
 	e.sm, e.sy, e.sx = m, y, x
-	if err := e.pool.Run(pl.Bounds, e.spmvBody); err != nil {
+	if err := e.pool.RunLabeled(pl.Bounds, e.spmvBody, e.lctx); err != nil {
 		panic(err)
 	}
 	e.sm, e.sy, e.sx = nil, nil, nil

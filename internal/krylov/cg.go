@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/kernels"
+	"repro/internal/prof"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -206,7 +207,26 @@ type Result struct {
 // robustness guards: indefinite-curvature and NaN/Inf detection, optional
 // stagnation detection, cooperative cancellation and checkpointing. Every
 // terminal path reports a typed Result.Status.
+//
+// When Options.Ctx is set, the whole loop runs under the pprof label
+// phase=cg merged into the context's existing labels (the service adds
+// job_id/trace_id/fingerprint), so captured CPU profile windows attribute
+// solver samples to the owning job — including on the pooled kernel
+// workers, which adopt the labels per dispatch.
 func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result {
+	if opt.Ctx == nil {
+		return solve(a, x, b, m, opt)
+	}
+	var res Result
+	prof.WithPhase(opt.Ctx, prof.PhaseCG, func(ctx context.Context) {
+		o := opt
+		o.Ctx = ctx
+		res = solve(a, x, b, m, o)
+	})
+	return res
+}
+
+func solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result {
 	n := a.Rows
 	if m == nil {
 		m = Identity{}
@@ -254,6 +274,15 @@ func Solve(a *sparse.CSR, x, b []float64, m Preconditioner, opt Options) Result 
 		opt.Metrics.Gauge("kernels.spmv.imbalance_pct").Set(imb)
 	}
 	eng := kernels.New(n, opt.Workers)
+	if opt.Ctx != nil {
+		// Pooled kernel dispatches adopt the solve's pprof labels; the
+		// preconditioner's own engine (FSAI's two G sweeps) gets the same
+		// treatment when it supports it.
+		eng.SetLabelContext(opt.Ctx)
+		if lc, ok := m.(interface{ SetLabelContext(context.Context) }); ok {
+			lc.SetLabelContext(opt.Ctx)
+		}
+	}
 	var start, t0 time.Time
 	if collect {
 		start = time.Now()

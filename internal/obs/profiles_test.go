@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/prof"
+	"repro/internal/roofline"
+	"repro/internal/telemetry"
+)
+
+// TestProfilesEndpointNilSampler: a server mounted without a sampler must
+// still answer /profiles with valid JSON (enabled=false), never 5xx.
+func TestProfilesEndpointNilSampler(t *testing.T) {
+	srv := NewServer(Options{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	code, _, body := get(t, hs.URL+"/profiles")
+	if code != 200 {
+		t.Fatalf("/profiles without sampler: status %d", code)
+	}
+	var idx struct {
+		Enabled bool              `json:"enabled"`
+		Windows []json.RawMessage `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if idx.Enabled || len(idx.Windows) != 0 {
+		t.Fatalf("expected disabled empty index, got %s", body)
+	}
+	if code, _, _ := get(t, hs.URL+"/profiles/1"); code != 404 {
+		t.Fatalf("/profiles/1 without sampler: status %d, want 404", code)
+	}
+}
+
+// TestProfilesEndpointServesWindows: index, per-window detail with summary,
+// raw profile downloads, and 404s for missing windows and unknown kinds.
+func TestProfilesEndpointServesWindows(t *testing.T) {
+	sampler := prof.NewSampler(prof.Options{Capacity: 4})
+	srv := NewServer(Options{Profiles: sampler})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	w := sampler.Capture(30 * time.Millisecond)
+	if w == nil || w.ID == 0 {
+		t.Fatalf("capture: %+v", w)
+	}
+
+	code, _, body := get(t, hs.URL+"/profiles")
+	if code != 200 {
+		t.Fatalf("/profiles: status %d", code)
+	}
+	var idx struct {
+		Enabled bool `json:"enabled"`
+		Windows []struct {
+			ID uint64 `json:"id"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("bad index JSON: %v", err)
+	}
+	if !idx.Enabled || len(idx.Windows) != 1 || idx.Windows[0].ID != w.ID {
+		t.Fatalf("index: %s", body)
+	}
+
+	code, _, body = get(t, hs.URL+"/profiles/1")
+	if code != 200 {
+		t.Fatalf("/profiles/1: status %d", code)
+	}
+	var detail struct {
+		Window struct {
+			ID uint64 `json:"id"`
+		} `json:"window"`
+	}
+	if err := json.Unmarshal([]byte(body), &detail); err != nil {
+		t.Fatalf("bad detail JSON: %v", err)
+	}
+	if detail.Window.ID != w.ID {
+		t.Fatalf("detail window id = %d, want %d", detail.Window.ID, w.ID)
+	}
+
+	for _, kind := range []string{"cpu", "heap", "goroutine"} {
+		code, hdr, raw := get(t, hs.URL+"/profiles/1/"+kind)
+		if code != 200 {
+			t.Fatalf("/profiles/1/%s: status %d", kind, code)
+		}
+		if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+			t.Fatalf("/profiles/1/%s content-type %q", kind, ct)
+		}
+		if _, err := prof.Parse([]byte(raw)); err != nil {
+			t.Fatalf("/profiles/1/%s does not parse: %v", kind, err)
+		}
+	}
+
+	for _, path := range []string{"/profiles/99", "/profiles/1/bogus", "/profiles/notanumber"} {
+		if code, _, _ := get(t, hs.URL+path); code != 404 {
+			t.Fatalf("%s: status %d, want 404", path, code)
+		}
+	}
+}
+
+// TestRooflineEndpoint: machine roofs and per-matrix state as JSON.
+func TestRooflineEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mon := NewRooflineMonitor(arch.Skylake(), reg)
+	srv := NewServer(Options{Registry: reg, Roofline: mon})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	mon.Observe("j-000001", "cafe0123456789ab", 10, []roofline.Achieved{{
+		Kernel:                 roofline.KernelSpMV,
+		Flops:                  2e9,
+		Bytes:                  16e9,
+		Seconds:                0.1,
+		AchievedFlops:          2e10,
+		AchievedBandwidthBytes: 1.6e11,
+	}})
+
+	code, _, body := get(t, hs.URL+"/roofline")
+	if code != 200 {
+		t.Fatalf("/roofline: status %d", code)
+	}
+	var rep RooflineReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Machine.Name != "Skylake" || rep.Machine.BandwidthBytes != 256e9 {
+		t.Fatalf("machine: %+v", rep.Machine)
+	}
+	if len(rep.Matrices) != 1 || rep.Matrices[0].Latest.JobID != "j-000001" {
+		t.Fatalf("matrices: %+v", rep.Matrices)
+	}
+
+	// An unconfigured monitor still answers valid JSON, never 5xx.
+	bare := NewServer(Options{})
+	hb := httptest.NewServer(bare.Handler())
+	defer hb.Close()
+	code, _, body = get(t, hb.URL+"/roofline")
+	if code != 200 {
+		t.Fatalf("/roofline without monitor: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+}
+
+// TestRooflineLowBandwidthFlagging: the rolling baseline flags a solve >30%
+// below it only after enough observations, and the flag counter increments.
+func TestRooflineLowBandwidthFlagging(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mon := NewRooflineMonitor(arch.Skylake(), reg)
+	est := func(bw float64) []roofline.Achieved {
+		return []roofline.Achieved{{
+			Kernel:                 roofline.KernelSpMV,
+			AchievedFlops:          bw / 8,
+			AchievedBandwidthBytes: bw,
+		}}
+	}
+	for i := 0; i < 3; i++ {
+		rs := mon.Observe("", "fp1", 10, est(100e9))
+		if rs.LowBandwidth {
+			t.Fatalf("solve %d flagged before baseline established", i)
+		}
+	}
+	// 50 GB/s against a ~100 GB/s baseline: well past the 30% threshold.
+	rs := mon.Observe("", "fp1", 10, est(50e9))
+	if !rs.LowBandwidth {
+		t.Fatalf("slow solve not flagged: %+v", rs)
+	}
+	// A healthy solve right after is not flagged (baseline folded the slow
+	// one in, but 100 vs ~85 EWMA is above 70%).
+	rs = mon.Observe("", "fp1", 10, est(100e9))
+	if rs.LowBandwidth {
+		t.Fatalf("healthy solve flagged: %+v", rs)
+	}
+	rep := mon.Report()
+	if len(rep.Matrices) != 1 || rep.Matrices[0].LowBandwidthSolves != 1 {
+		t.Fatalf("report: %+v", rep.Matrices)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/prof"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -40,6 +41,12 @@ type Options struct {
 	Traces *trace.Recorder
 	// SLO backs GET /slo and lets budget exhaustion degrade /healthz.
 	SLO *SLOMonitor
+	// Profiles backs GET /profiles: the continuous sampler's window index,
+	// per-window summaries and raw pprof downloads. The server does not
+	// start or stop the sampler — ownership stays with the caller.
+	Profiles *prof.Sampler
+	// Roofline backs GET /roofline and the roofline_* gauges.
+	Roofline *RooflineMonitor
 }
 
 // Server serves the observability endpoints. Construct with NewServer, then
@@ -78,6 +85,9 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/traces/", s.handleTraceByID)
 	s.mux.HandleFunc("/slo", s.handleSLO)
+	s.mux.HandleFunc("/profiles", s.handleProfiles)
+	s.mux.HandleFunc("/profiles/", s.handleProfileByID)
+	s.mux.HandleFunc("/roofline", s.handleRoofline)
 	// Wire the stdlib profiler explicitly — the package-level init only
 	// registers on http.DefaultServeMux, which we deliberately avoid.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -153,6 +163,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /traces           finished request traces (JSON; /traces/<trace-id> for the
                     span tree; add ?stream=1 for SSE of new traces)
   /slo              per-fingerprint latency objectives, burn rate, error budget
+  /profiles         continuous profiler: window index; /profiles/<id> for the
+                    top-N summary with per-job CPU attribution;
+                    /profiles/<id>/{cpu,heap,goroutine,mutex} for raw .pb.gz
+  /roofline         live roofline: achieved GB/s and GFLOP/s per kernel vs the
+                    machine roofs, per-matrix bandwidth baselines and flags
 `)
 }
 

@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"context"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +35,7 @@ type Pool struct {
 	// Job state, valid for the duration of one dispatch.
 	bounds  []int
 	body    func(chunk, lo, hi int)
+	labels  context.Context // pprof label context workers adopt, may be nil
 	cursor  atomic.Int64
 	pending atomic.Int64
 	fail    atomic.Pointer[PanicError]
@@ -97,7 +100,19 @@ func (p *Pool) Close() {
 // the barrier, park again.
 func (p *Pool) worker(ch chan struct{}) {
 	for range ch {
-		p.drain()
+		// Adopt the dispatch's pprof label context (job id, solver phase)
+		// for the duration of the drain, so CPU samples taken on parked
+		// workers attribute to the solve that dispatched them — goroutine
+		// labels do not propagate to pre-spawned goroutines by themselves.
+		// The submitting goroutine already carries its own labels. Reset
+		// afterwards so idle workers never hold stale attributions.
+		if lctx := p.labels; lctx != nil {
+			pprof.SetGoroutineLabels(lctx)
+			p.drain()
+			pprof.SetGoroutineLabels(context.Background())
+		} else {
+			p.drain()
+		}
 		if p.pending.Add(-1) == 0 {
 			p.done <- struct{}{}
 		}
@@ -126,6 +141,15 @@ func (p *Pool) drain() {
 // Run performs no allocations itself, so a caller that reuses a pre-bound
 // body (see internal/kernels) pays zero heap traffic per dispatch.
 func (p *Pool) Run(bounds []int, body func(chunk, lo, hi int)) error {
+	return p.RunLabeled(bounds, body, nil)
+}
+
+// RunLabeled is Run with a pprof label context: worker goroutines adopt
+// lctx's labels while draining this dispatch's chunks, so profile samples
+// on the persistent workers attribute to the submitting solve. A nil lctx
+// is exactly Run. The inline-degraded paths need no adoption — they run on
+// the calling goroutine, which already carries its labels.
+func (p *Pool) RunLabeled(bounds []int, body func(chunk, lo, hi int), lctx context.Context) error {
 	nChunks := len(bounds) / 2
 	if nChunks == 0 {
 		return nil
@@ -144,7 +168,7 @@ func (p *Pool) Run(bounds []int, body func(chunk, lo, hi int)) error {
 		p.inlineRuns.Add(1)
 		return runInline(bounds, body)
 	}
-	p.bounds, p.body = bounds, body
+	p.bounds, p.body, p.labels = bounds, body, lctx
 	p.cursor.Store(0)
 	p.fail.Store(nil)
 	p.pending.Store(int64(participants))
@@ -157,7 +181,7 @@ func (p *Pool) Run(bounds []int, body func(chunk, lo, hi int)) error {
 		<-p.done
 	}
 	err := p.fail.Load()
-	p.bounds, p.body = nil, nil
+	p.bounds, p.body, p.labels = nil, nil, nil
 	p.mu.Unlock()
 	if err != nil {
 		return err

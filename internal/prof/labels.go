@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Label keys stamped onto solve-job goroutines. These are the join keys
+// between captured profile windows and the request traces of
+// internal/trace: job_id and trace_id match the ids in /traces and the run
+// report, fingerprint matches the matrix registry, and phase tells which
+// part of the solve (admission wait, FSAI setup, CG iterations) the CPU
+// samples belong to.
+const (
+	LabelJobID       = "job_id"
+	LabelTraceID     = "trace_id"
+	LabelFingerprint = "fingerprint"
+	LabelPhase       = "phase"
+)
+
+// Phase label values.
+const (
+	PhaseAdmission = "admission"
+	PhaseSetup     = "setup"
+	PhaseCG        = "cg"
+)
+
+// Do runs fn with the given pprof labels added to the context's label set,
+// so CPU samples taken while fn runs carry them. It is a thin wrapper over
+// pprof.Do that tolerates a nil context and skips empty values.
+func Do(ctx context.Context, fn func(context.Context), kv ...string) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	flat := make([]string, 0, len(kv))
+	for i := 0; i+1 < len(kv); i += 2 {
+		if kv[i] == "" || kv[i+1] == "" {
+			continue
+		}
+		flat = append(flat, kv[i], kv[i+1])
+	}
+	if len(flat) == 0 {
+		fn(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels(flat...), fn)
+}
+
+// WithJobLabels runs fn with the job attribution labels set.
+func WithJobLabels(ctx context.Context, jobID, traceID, fingerprint string, fn func(context.Context)) {
+	Do(ctx, fn,
+		LabelJobID, jobID,
+		LabelTraceID, traceID,
+		LabelFingerprint, fingerprint)
+}
+
+// WithPhase runs fn with the phase label set (merged into any job labels
+// already present on ctx).
+func WithPhase(ctx context.Context, phase string, fn func(context.Context)) {
+	Do(ctx, fn, LabelPhase, phase)
+}

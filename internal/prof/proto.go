@@ -1,0 +1,573 @@
+// Package prof is the continuous-profiling subsystem: a background sampler
+// that captures windowed CPU profiles (runtime/pprof start/stop cycles) plus
+// heap/goroutine snapshots and allocation deltas into a bounded ring buffer,
+// and a zero-dependency parser for the pprof profile protobuf so captured
+// windows can be summarized (top-N flat functions, per-label attribution)
+// without shipping the google.golang.org/protobuf module.
+//
+// Solve jobs run under pprof labels (job_id, trace_id, fingerprint, phase —
+// see Do/WithPhase), so any captured window attributes its CPU samples to
+// the jobs and solver phases that were running, joinable against the request
+// traces of internal/trace by the shared ids.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The pprof profile format (github.com/google/pprof/proto/profile.proto) is
+// a single protobuf message. The decoder below understands exactly the
+// fields the summaries need: sample types, samples (values + labels + call
+// stacks), locations, functions and the string table. Unknown fields are
+// skipped by wire type, so future additions to the format stay readable.
+
+// ValueType is one sample dimension ("cpu"/"nanoseconds", "samples"/"count").
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one profile sample: a call stack (leaf first) with one value per
+// sample type and the pprof labels that were set on the goroutine.
+type Sample struct {
+	// Stack holds function names, leaf first. Names are resolved through the
+	// location and function tables; inlined frames all appear.
+	Stack []string
+	// Values holds one value per Profile.SampleTypes entry.
+	Values []int64
+	// Labels holds the string-valued pprof labels of the sample.
+	Labels map[string][]string
+	// NumLabels holds the numeric labels (key -> values).
+	NumLabels map[string][]int64
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+	PeriodType    ValueType
+}
+
+// Parse decodes a pprof profile from its serialized form. Gzipped input
+// (the .pb.gz runtime/pprof writes) is detected and unwrapped.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		data = raw
+	}
+	return parseProfile(data)
+}
+
+// rawSample carries a sample before string/location resolution.
+type rawSample struct {
+	locIDs []uint64
+	values []int64
+	labels []rawLabel
+}
+
+type rawLabel struct{ key, str, num int64 }
+
+type rawLocation struct {
+	id      uint64
+	funcIDs []uint64 // one per line (inlined frames)
+	address uint64
+}
+
+type rawFunction struct {
+	id   uint64
+	name int64 // string table index
+}
+
+func parseProfile(data []byte) (*Profile, error) {
+	var (
+		strTab     []string
+		samples    []rawSample
+		locs       []rawLocation
+		funcs      []rawFunction
+		sampleType []rawValueType
+		periodType rawValueType
+		p          = &Profile{}
+	)
+	d := decoder{buf: data}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleType = append(sampleType, vt)
+		case 2: // sample
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			l, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			locs = append(locs, l)
+		case 5: // function
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			funcs = append(funcs, f)
+		case 6: // string_table
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			strTab = append(strTab, string(msg))
+		case 9: // time_nanos
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10: // duration_nanos
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			if periodType, err = parseValueTypeRaw(msg); err != nil {
+				return nil, err
+			}
+		case 12: // period
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strTab) {
+			return ""
+		}
+		return strTab[i]
+	}
+
+	// Resolve indirections: sample types, then location id -> function names.
+	for i := range sampleType {
+		p.SampleTypes = append(p.SampleTypes, ValueType{
+			Type: str(sampleType[i].typeIdx), Unit: str(sampleType[i].unitIdx)})
+	}
+	p.PeriodType = ValueType{Type: str(periodType.typeIdx), Unit: str(periodType.unitIdx)}
+
+	funcName := make(map[uint64]string, len(funcs))
+	for _, f := range funcs {
+		funcName[f.id] = str(f.name)
+	}
+	locFrames := make(map[uint64][]string, len(locs))
+	for _, l := range locs {
+		frames := make([]string, 0, len(l.funcIDs))
+		for _, fid := range l.funcIDs {
+			if name := funcName[fid]; name != "" {
+				frames = append(frames, name)
+			}
+		}
+		if len(frames) == 0 {
+			frames = []string{fmt.Sprintf("0x%x", l.address)}
+		}
+		locFrames[l.id] = frames
+	}
+
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, lid := range rs.locIDs {
+			s.Stack = append(s.Stack, locFrames[lid]...)
+		}
+		for _, lb := range rs.labels {
+			key := str(lb.key)
+			if key == "" {
+				continue
+			}
+			if lb.str != 0 {
+				if s.Labels == nil {
+					s.Labels = map[string][]string{}
+				}
+				s.Labels[key] = append(s.Labels[key], str(lb.str))
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string][]int64{}
+				}
+				s.NumLabels[key] = append(s.NumLabels[key], lb.num)
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// parseValueType keeps the raw string indexes; resolution happens once the
+// string table is complete (it legally appears after the samples).
+type rawValueType struct{ typeIdx, unitIdx int64 }
+
+func parseValueType(msg []byte) (rawValueType, error) { return parseValueTypeRaw(msg) }
+
+func parseValueTypeRaw(msg []byte) (rawValueType, error) {
+	var vt rawValueType
+	d := decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch field {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return vt, err
+			}
+			vt.typeIdx = int64(v)
+		case 2:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return vt, err
+			}
+			vt.unitIdx = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(msg []byte) (rawSample, error) {
+	var s rawSample
+	d := decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1: // location_id (packed or repeated varint)
+			vals, err := d.packedVarints(wire)
+			if err != nil {
+				return s, err
+			}
+			s.locIDs = append(s.locIDs, vals...)
+		case 2: // value
+			vals, err := d.packedVarints(wire)
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		case 3: // label
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return s, err
+			}
+			lb, err := parseLabel(msg)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, lb)
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(msg []byte) (rawLabel, error) {
+	var lb rawLabel
+	d := decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return lb, err
+		}
+		switch field {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return lb, err
+			}
+			lb.key = int64(v)
+		case 2:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return lb, err
+			}
+			lb.str = int64(v)
+		case 3:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return lb, err
+			}
+			lb.num = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return lb, err
+			}
+		}
+	}
+	return lb, nil
+}
+
+func parseLocation(msg []byte) (rawLocation, error) {
+	var l rawLocation
+	d := decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return l, err
+		}
+		switch field {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return l, err
+			}
+			l.id = v
+		case 3:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return l, err
+			}
+			l.address = v
+		case 4: // line
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return l, err
+			}
+			fid, err := parseLineFunc(msg)
+			if err != nil {
+				return l, err
+			}
+			if fid != 0 {
+				l.funcIDs = append(l.funcIDs, fid)
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseLineFunc(msg []byte) (uint64, error) {
+	var fid uint64
+	d := decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return 0, err
+		}
+		if field == 1 {
+			v, err := d.varintField(wire)
+			if err != nil {
+				return 0, err
+			}
+			fid = v
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return fid, nil
+}
+
+func parseFunction(msg []byte) (rawFunction, error) {
+	var f rawFunction
+	d := decoder{buf: msg}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return f, err
+		}
+		switch field {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return f, err
+			}
+			f.id = v
+		case 2:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return f, err
+			}
+			f.name = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return f, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// decoder is a minimal protobuf wire-format reader.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+var errTruncated = errors.New("prof: truncated profile")
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+// tag reads the next field number and wire type.
+func (d *decoder) tag() (field int, wire int, err error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, errTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("prof: varint overflow")
+}
+
+// varintField reads a varint value, allowing only wire type 0.
+func (d *decoder) varintField(wire int) (uint64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("prof: expected varint, got wire type %d", wire)
+	}
+	return d.varint()
+}
+
+// bytes reads a length-delimited payload (wire type 2).
+func (d *decoder) bytes(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("prof: expected bytes, got wire type %d", wire)
+	}
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, errTruncated
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// packedVarints reads a repeated varint field in either encoding: packed
+// (one length-delimited blob) or one value per occurrence.
+func (d *decoder) packedVarints(wire int) ([]uint64, error) {
+	switch wire {
+	case 0:
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	case 2:
+		blob, err := d.bytes(wire)
+		if err != nil {
+			return nil, err
+		}
+		sub := decoder{buf: blob}
+		var out []uint64
+		for !sub.done() {
+			v, err := sub.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("prof: expected packed varints, got wire type %d", wire)
+	}
+}
+
+// skip advances over a field of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1: // fixed64
+		if len(d.buf)-d.pos < 8 {
+			return errTruncated
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.bytes(wire)
+		return err
+	case 5: // fixed32
+		if len(d.buf)-d.pos < 4 {
+			return errTruncated
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}

@@ -1,0 +1,136 @@
+package prof
+
+import "sort"
+
+// FlatEntry is one row of a top-N flat summary: CPU time attributed to the
+// leaf function of each sample.
+type FlatEntry struct {
+	Function string  `json:"function"`
+	Nanos    int64   `json:"nanos"`
+	Samples  int64   `json:"samples"`
+	Pct      float64 `json:"pct"`
+}
+
+// LabelEntry is CPU time aggregated by one pprof label value.
+type LabelEntry struct {
+	Value string  `json:"value"`
+	Nanos int64   `json:"nanos"`
+	Pct   float64 `json:"pct"`
+}
+
+// Summary is the parsed digest of one CPU profile window.
+type Summary struct {
+	TotalNanos int64        `json:"total_nanos"`
+	Samples    int          `json:"samples"`
+	Top        []FlatEntry  `json:"top"`
+	ByJob      []LabelEntry `json:"by_job,omitempty"`
+	ByPhase    []LabelEntry `json:"by_phase,omitempty"`
+}
+
+// cpuValueIndex finds the index of the "cpu"/"nanoseconds" sample value,
+// falling back to the last value (the runtime puts samples/count first,
+// cpu/nanoseconds second).
+func cpuValueIndex(p *Profile) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == "cpu" {
+			return i
+		}
+	}
+	if n := len(p.SampleTypes); n > 0 {
+		return n - 1
+	}
+	return 0
+}
+
+// Summarize computes the flat top-N by leaf function and the per-label CPU
+// attribution for job_id and phase.
+func Summarize(p *Profile, topN int) Summary {
+	ci := cpuValueIndex(p)
+	s := Summary{Samples: len(p.Samples)}
+	flat := map[string]*FlatEntry{}
+	byJob := map[string]int64{}
+	byPhase := map[string]int64{}
+	for _, sm := range p.Samples {
+		if ci >= len(sm.Values) {
+			continue
+		}
+		v := sm.Values[ci]
+		s.TotalNanos += v
+		leaf := "<unknown>"
+		if len(sm.Stack) > 0 {
+			leaf = sm.Stack[0]
+		}
+		fe := flat[leaf]
+		if fe == nil {
+			fe = &FlatEntry{Function: leaf}
+			flat[leaf] = fe
+		}
+		fe.Nanos += v
+		fe.Samples++
+		for _, job := range sm.Labels[LabelJobID] {
+			byJob[job] += v
+		}
+		for _, ph := range sm.Labels[LabelPhase] {
+			byPhase[ph] += v
+		}
+	}
+	for _, fe := range flat {
+		if s.TotalNanos > 0 {
+			fe.Pct = 100 * float64(fe.Nanos) / float64(s.TotalNanos)
+		}
+		s.Top = append(s.Top, *fe)
+	}
+	sort.Slice(s.Top, func(i, j int) bool {
+		if s.Top[i].Nanos != s.Top[j].Nanos {
+			return s.Top[i].Nanos > s.Top[j].Nanos
+		}
+		return s.Top[i].Function < s.Top[j].Function
+	})
+	if topN > 0 && len(s.Top) > topN {
+		s.Top = s.Top[:topN]
+	}
+	s.ByJob = labelEntries(byJob, s.TotalNanos)
+	s.ByPhase = labelEntries(byPhase, s.TotalNanos)
+	return s
+}
+
+func labelEntries(m map[string]int64, total int64) []LabelEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]LabelEntry, 0, len(m))
+	for v, ns := range m {
+		e := LabelEntry{Value: v, Nanos: ns}
+		if total > 0 {
+			e.Pct = 100 * float64(ns) / float64(total)
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nanos != out[j].Nanos {
+			return out[i].Nanos > out[j].Nanos
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// LabelValues returns the distinct values of one string label across all
+// samples, sorted.
+func LabelValues(p *Profile, key string) []string {
+	seen := map[string]bool{}
+	for _, sm := range p.Samples {
+		for _, v := range sm.Labels[key] {
+			seen[v] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -119,6 +119,12 @@ type SolveResponse struct {
 	// regime). The SLO monitor counts these per fingerprint.
 	IterAnomaly bool `json:"iter_anomaly,omitempty"`
 
+	// LowBandwidth marks a solve whose achieved SpMV memory bandwidth fell
+	// more than 30% below the matrix's rolling baseline (see GET /roofline
+	// for the per-matrix state and the run report's roofline section for
+	// this job's full kernel placement).
+	LowBandwidth bool `json:"low_bandwidth,omitempty"`
+
 	// QueueWaitNS is time spent waiting for a concurrency slot; SetupNS the
 	// preconditioner setup cost this job actually paid (0 on a cache hit);
 	// SolveNS the PCG wall time; TotalNS admission-to-response.

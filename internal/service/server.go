@@ -16,13 +16,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arch"
 	fsai "repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/krylov"
 	"repro/internal/matgen"
 	"repro/internal/mmio"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/resilience"
+	"repro/internal/roofline"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -74,6 +77,17 @@ type Options struct {
 	// SLO configures the mounted SLO monitor's latency objectives; zero
 	// fields get defaults (see obs.SLOObjectives).
 	SLO obs.SLOObjectives
+
+	// Machine names the arch model the live roofline estimator prices
+	// kernels against ("Skylake", "POWER9", "A64FX"; default Skylake —
+	// the paper's primary evaluation node). Unknown names fall back to
+	// Skylake with a logged warning rather than failing startup.
+	Machine string
+	// Profiling configures the continuous-profiling sampler served at
+	// /profiles; zero fields get defaults (10s window every minute, 32
+	// retained windows — see prof.Options). The sampler runs only while
+	// the server is Started, so handler-only embeddings stay quiet.
+	Profiling prof.Options
 }
 
 func (o *Options) setDefaults() {
@@ -121,6 +135,8 @@ type Server struct {
 	obsSrv   *obs.Server
 	traces   *trace.Recorder
 	slo      *obs.SLOMonitor
+	profiler *prof.Sampler
+	roofline *obs.RooflineMonitor
 	mux      *http.ServeMux
 	seq      atomic.Int64
 
@@ -150,6 +166,22 @@ func New(opt Options) *Server {
 		slo:      obs.NewSLOMonitor(opt.SLO, reg),
 		mux:      http.NewServeMux(),
 	}
+	machine := arch.Skylake()
+	if opt.Machine != "" {
+		m, ok := arch.ByName(opt.Machine)
+		if !ok {
+			s.log.Warn("unknown machine model, using Skylake", "machine", opt.Machine)
+			m = arch.Skylake()
+		}
+		machine = m
+	}
+	s.roofline = obs.NewRooflineMonitor(machine, reg)
+	po := opt.Profiling
+	po.Registry = reg
+	// Created here so /profiles is wired for handler-only embeddings (and
+	// tests), but started only in Start and stopped in Shutdown/Close: a
+	// Server that is never Started spawns no goroutines.
+	s.profiler = prof.NewSampler(po)
 	s.obsSrv = obs.NewServer(obs.Options{
 		Registry:  reg,
 		Watcher:   s.watcher,
@@ -157,6 +189,8 @@ func New(opt Options) *Server {
 		Heartbeat: opt.Heartbeat,
 		Traces:    s.traces,
 		SLO:       s.slo,
+		Profiles:  s.profiler,
+		Roofline:  s.roofline,
 	})
 	reg.SetHelp("service_matrices", "matrices currently registered")
 	reg.SetHelp("service_jobs", "finished solve jobs by status")
@@ -185,6 +219,14 @@ func (s *Server) Traces() *trace.Recorder { return s.traces }
 // SLO exposes the mounted SLO monitor (tests, embedding).
 func (s *Server) SLO() *obs.SLOMonitor { return s.slo }
 
+// Prof exposes the continuous-profiling sampler (tests, embedding). It is
+// running only between Start and Shutdown/Close; embedders that use only
+// Handler may Start/Stop it themselves.
+func (s *Server) Prof() *prof.Sampler { return s.profiler }
+
+// Roofline exposes the live roofline monitor (tests, embedding).
+func (s *Server) Roofline() *obs.RooflineMonitor { return s.roofline }
+
 // Start listens on addr (":0" picks a free port) and serves in the
 // background, returning the bound address.
 func (s *Server) Start(addr string) (net.Addr, error) {
@@ -196,6 +238,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	s.mu.Lock()
 	s.ln, s.hs = ln, hs
 	s.mu.Unlock()
+	s.profiler.Start()
 	go func() { _ = hs.Serve(ln) }()
 	return ln.Addr(), nil
 }
@@ -207,6 +250,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	// End the SSE streams first — they would otherwise hold the drain open
 	// until their clients disconnected.
+	s.profiler.Stop()
 	obsErr := s.obsSrv.Shutdown(ctx)
 	s.mu.Lock()
 	hs := s.hs
@@ -223,6 +267,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Close abruptly stops a Started server.
 func (s *Server) Close() error {
+	s.profiler.Stop()
 	_ = s.obsSrv.Shutdown(context.Background())
 	s.mu.Lock()
 	hs := s.hs
@@ -475,8 +520,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	logw.Info("job enqueued",
 		"matrix", shortFP(rm.Info.Fingerprint), "precond", req.Precond)
 
+	// The admission wait runs under the job's pprof labels with
+	// phase=admission, so a captured CPU window shows queueing as its own
+	// attributed slice, distinct from setup and CG time.
 	admSpan := tr.StartSpan("admission-wait")
-	release, err := s.adm.acquire(r.Context())
+	var (
+		release func()
+		err     error
+	)
+	prof.Do(r.Context(), func(lctx context.Context) {
+		release, err = s.adm.acquire(lctx)
+	}, prof.LabelJobID, id, prof.LabelTraceID, tc.TraceID,
+		prof.LabelFingerprint, shortFP(rm.Info.Fingerprint),
+		prof.LabelPhase, prof.PhaseAdmission)
 	admSpan.End()
 	if err != nil {
 		ji.State = JobRejected
@@ -530,7 +586,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		holdSpan.End()
 	}
 
-	resp, jerr := s.runJob(ctx, id, rm, &req, &ji)
+	// The whole job body carries job_id/trace_id/fingerprint pprof labels;
+	// setup and CG add their phase labels underneath (internal/core,
+	// internal/krylov), and the kernel pool workers adopt them per dispatch.
+	var (
+		resp *SolveResponse
+		jerr error
+	)
+	prof.WithJobLabels(ctx, id, tc.TraceID, shortFP(rm.Info.Fingerprint), func(lctx context.Context) {
+		resp, jerr = s.runJob(lctx, id, rm, &req, &ji)
+	})
 	total := time.Since(enqueued)
 	ji.TotalNS = total.Nanoseconds()
 	ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
@@ -621,6 +686,9 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 		// The job's span tracer: FSAI setup phases (base-pattern, extend,
 		// precalc, …) become children of the request's span tree.
 		Tracer: trace.TracerFromContext(ctx),
+		// The job's label context: the setup runs under phase=setup pprof
+		// labels, attributable in /profiles windows.
+		Ctx: ctx,
 	}
 	ko := krylov.Options{
 		Tol:           req.Tol,
@@ -745,6 +813,31 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 	}
 	s.watcher.End(res)
 
+	// Live roofline placement: price the solve's kernel classes against the
+	// machine model and fold the SpMV bandwidth into the matrix's rolling
+	// baseline. The same numbers go to the roofline_* gauges, the response
+	// and the run report, so all three agree for this job id.
+	var rsol *obs.RooflineSolve
+	if t := res.Timing; res.Iterations > 0 && t != (krylov.Timing{}) {
+		var gm *sparse.CSR
+		if g != nil {
+			gm = g.G
+		}
+		est := roofline.SolveEstimate(a, gm, res.Iterations,
+			t.SpMV.Nanoseconds(), t.Precond.Nanoseconds(), t.BLAS1.Nanoseconds(),
+			s.roofline.Machine())
+		if len(est) > 0 {
+			rs := s.roofline.Observe(id, rm.Info.Fingerprint, res.Iterations, est)
+			rsol = &rs
+			resp.LowBandwidth = rs.LowBandwidth
+			if rs.LowBandwidth {
+				s.log.Warn("solve bandwidth >30% below matrix baseline",
+					"job_id", id, "matrix", shortFP(rm.Info.Fingerprint),
+					"baseline_bw", rs.BaselineBandwidthBytes)
+			}
+		}
+	}
+
 	resp.Iterations = res.Iterations
 	resp.Converged = res.Converged
 	resp.Status = res.Status.String()
@@ -767,7 +860,7 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 	}
 
 	if s.opt.RunsDir != "" {
-		resp.Report = s.writeJobReport(id, rm, req, resp, g, rout, res, ji)
+		resp.Report = s.writeJobReport(id, rm, req, resp, g, rout, res, ji, rsol)
 	}
 	return resp, nil
 }
@@ -799,7 +892,7 @@ func buildFSAIFamily(name string, a *sparse.CSR, fo fsai.Options) (*fsai.Precond
 // writeJobReport emits the job's run report into RunsDir, returning the
 // file name ("" on write failure — reports are best-effort; the job result
 // already went to the client).
-func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveRequest, resp *SolveResponse, g *fsai.Preconditioner, rout *resilience.Outcome, res krylov.Result, ji *JobInfo) string {
+func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveRequest, resp *SolveResponse, g *fsai.Preconditioner, rout *resilience.Outcome, res krylov.Result, ji *JobInfo, rsol *obs.RooflineSolve) string {
 	label := rm.Info.Name
 	if label == "" {
 		label = shortFP(rm.Info.Fingerprint)
@@ -847,6 +940,15 @@ func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveReque
 			PrecondNS: t.Precond.Nanoseconds(),
 			BLAS1NS:   t.BLAS1.Nanoseconds(),
 			TotalNS:   t.Total.Nanoseconds(),
+		}
+	}
+	if rsol != nil {
+		// The exact values the roofline_* gauges exported for this job.
+		entry.Roofline = &experiments.RunRoofline{
+			Machine:                rsol.Machine,
+			Kernels:                rsol.Kernels,
+			BaselineBandwidthBytes: rsol.BaselineBandwidthBytes,
+			LowBandwidth:           rsol.LowBandwidth,
 		}
 	}
 	if g != nil {

@@ -76,6 +76,25 @@ curl -fsS "http://$addr/runs" >"$workdir/runs.json"
 grep -q "run.json" "$workdir/runs.json" || { echo "FAIL: /runs does not list the report:"; cat "$workdir/runs.json"; fail=1; }
 curl -fsS "http://$addr/runs/run.json" >"$workdir/fetched.json"
 grep -q '"schema_version"' "$workdir/fetched.json" || { echo "FAIL: /runs/run.json unreadable"; fail=1; }
+grep -q '"roofline"' "$workdir/fetched.json" || { echo "FAIL: run report missing roofline section"; fail=1; }
+
+echo "== GET /roofline =="
+curl -fsS "http://$addr/roofline" >"$workdir/roofline.json"
+grep -q '"machine"' "$workdir/roofline.json" || { echo "FAIL: /roofline missing machine roofs:"; cat "$workdir/roofline.json"; fail=1; }
+grep -q '"spmv"' "$workdir/roofline.json" || { echo "FAIL: /roofline has no spmv placement:"; cat "$workdir/roofline.json"; fail=1; }
+
+echo "== GET /profiles (no sampler: disabled but valid JSON) =="
+curl -fsS "http://$addr/profiles" >"$workdir/profiles.json"
+grep -q '"enabled": *false' "$workdir/profiles.json" || { echo "FAIL: /profiles should report disabled:"; cat "$workdir/profiles.json"; fail=1; }
+
+echo "== no observability route may answer 5xx =="
+for route in / /metrics /healthz /debug/solve /runs /traces /slo /profiles /roofline; do
+    code=$(curl -sS -o /dev/null -w '%{http_code}' "http://$addr$route")
+    if [ "$code" -ge 500 ]; then
+        echo "FAIL: GET $route answered HTTP $code"
+        fail=1
+    fi
+done
 
 kill "$pid" && wait "$pid" 2>/dev/null || true
 pid=""

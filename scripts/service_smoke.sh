@@ -41,8 +41,11 @@ go build -o "$workdir/fsaid" ./cmd/fsaid
 
 echo "== starting fsaid serve =="
 # One slot, no waiting queue: the saturation drill below is deterministic.
+# The profiling cadence is cranked way up so a capture window lands during
+# the smoke run (production default is 10s out of every minute).
 "$workdir/fsaid" serve -listen 127.0.0.1:0 -runs-dir "$workdir/runs" \
-    -max-inflight 1 -queue=-1 2>"$workdir/stderr.log" &
+    -max-inflight 1 -queue=-1 \
+    -prof-window 300ms -prof-gap 200ms 2>"$workdir/stderr.log" &
 pid=$!
 
 addr=""
@@ -113,6 +116,39 @@ echo "== /healthz =="
 curl -fsS "http://$addr/healthz" >"$workdir/health.json"
 grep -q '"status": *"ok"' "$workdir/health.json" || { echo "FAIL: /healthz not ok:"; cat "$workdir/health.json"; fail=1; }
 
+echo "== live roofline: /roofline and roofline_* gauges =="
+curl -fsS "http://$addr/roofline" >"$workdir/roofline.json"
+json_ok "$workdir/roofline.json" || { echo "FAIL: /roofline is not well-formed JSON"; cat "$workdir/roofline.json"; fail=1; }
+grep -q '"machine"' "$workdir/roofline.json" || { echo "FAIL: /roofline missing machine roofs"; cat "$workdir/roofline.json"; fail=1; }
+grep -q '"spmv"' "$workdir/roofline.json" || { echo "FAIL: /roofline has no spmv kernel placement"; cat "$workdir/roofline.json"; fail=1; }
+grep -q '^roofline_achieved_bandwidth_bytes{' "$workdir/metrics.txt" || { echo "FAIL: roofline_achieved_bandwidth_bytes missing from /metrics"; fail=1; }
+grep -q '^roofline_achieved_flops{' "$workdir/metrics.txt" || { echo "FAIL: roofline_achieved_flops missing from /metrics"; fail=1; }
+
+echo "== continuous profiling: /profiles =="
+# Wait for the sampler (300ms window / 200ms gap) to land a capture.
+profiled=0
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/profiles" >"$workdir/profiles.json"
+    if grep -q '"id": *1' "$workdir/profiles.json"; then profiled=1; break; fi
+    sleep 0.1
+done
+json_ok "$workdir/profiles.json" || { echo "FAIL: /profiles is not well-formed JSON"; cat "$workdir/profiles.json"; fail=1; }
+grep -q '"enabled": *true' "$workdir/profiles.json" || { echo "FAIL: /profiles reports sampler disabled"; cat "$workdir/profiles.json"; fail=1; }
+[ "$profiled" = "1" ] || { echo "FAIL: no profiling window captured"; cat "$workdir/profiles.json"; fail=1; }
+curl -fsS "http://$addr/profiles/1" >"$workdir/window.json"
+json_ok "$workdir/window.json" || { echo "FAIL: /profiles/1 is not well-formed JSON"; fail=1; }
+curl -fsS "http://$addr/profiles/1/heap" >"$workdir/heap.pb.gz"
+[ -s "$workdir/heap.pb.gz" ] || { echo "FAIL: /profiles/1/heap empty"; fail=1; }
+
+echo "== no observability route may answer 5xx =="
+for route in / /metrics /healthz /debug/solve /runs /traces /slo /profiles /roofline; do
+    code=$(curl -sS -o /dev/null -w '%{http_code}' "http://$addr$route")
+    if [ "$code" -ge 500 ]; then
+        echo "FAIL: GET $route answered HTTP $code"
+        fail=1
+    fi
+done
+
 echo "== admission control: saturate and expect 429 =="
 curl -fsS -X POST -H 'Content-Type: application/json' \
     -d '{"matrix":"lap","precond":"jacobi","hold_ms":3000,"max_iter":5}' \
@@ -143,6 +179,8 @@ if [ "$report_trace" != "$warm_trace" ]; then
     fail=1
 fi
 grep -q '"slo"' "$workdir/warmreport.json" || { echo "FAIL: warm run report missing slo section"; fail=1; }
+grep -q '"roofline"' "$workdir/warmreport.json" || { echo "FAIL: warm run report missing roofline section"; cat "$workdir/warmreport.json"; fail=1; }
+grep -q '"achieved_bandwidth_bytes"' "$workdir/warmreport.json" || { echo "FAIL: roofline section has no achieved bandwidth"; fail=1; }
 
 echo "== fsaid solve CLI surfaces its trace id =="
 "$workdir/fsaid" solve -addr "$addr" -matrix lap -precond fsaie >"$workdir/cli.out"
@@ -164,6 +202,15 @@ if kill -0 "$pid" 2>/dev/null; then
 else
     wait "$pid" 2>/dev/null || true
     pid=""
+fi
+
+# With SMOKE_ARTIFACTS_DIR set (CI does), keep the captured profiles and
+# run reports for upload; the ephemeral workdir is deleted either way.
+if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS_DIR"
+    cp -f "$workdir"/*.json "$workdir"/heap.pb.gz "$SMOKE_ARTIFACTS_DIR"/ 2>/dev/null || true
+    cp -rf "$workdir/runs" "$SMOKE_ARTIFACTS_DIR"/ 2>/dev/null || true
+    echo "smoke artifacts kept in $SMOKE_ARTIFACTS_DIR"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-smoke clean obs-smoke service-smoke compare-baseline chaos prof-overhead-guard
+.PHONY: all build test race vet fmt lint check bench bench-smoke clean obs-smoke service-smoke crash-drill compare-baseline chaos prof-overhead-guard
 
 all: check
 
@@ -49,6 +49,13 @@ obs-smoke:
 # solve skip setup (plus 429 backpressure and graceful shutdown).
 service-smoke:
 	./scripts/service_smoke.sh
+
+# Crash-recovery drill: cold solve into a durable -data-dir, SIGKILL the
+# daemon mid-solve, restart and assert a warm bit-identical solve from the
+# recovered store, then bit-flip the stored factor and assert it is
+# quarantined without taking the daemon down (docs/robustness.md).
+crash-drill:
+	./scripts/crash_drill.sh
 
 # Perf-regression gate: reproduce the committed BENCH_baseline.json run and
 # diff the deterministic metrics with fsaicompare.

@@ -10,6 +10,13 @@
 //	fsaid serve [flags]            run the daemon
 //	  -listen ADDR      listen address (default :7474; ":0" picks a free port)
 //	  -runs-dir DIR     keep per-job run reports here, served under /runs
+//	  -data-dir DIR     durable store for matrices and computed factors; on
+//	                    restart the registry and preconditioner cache are
+//	                    rehydrated from here, so warm solves survive crashes
+//	  -mem-soft-limit S soft heap watermark (e.g. 512MiB); above it the daemon
+//	                    sheds cold solves (429) and evicts cached factors
+//	  -idempotency N    completed solve responses retained for
+//	                    Idempotency-Key replay (default 256)
 //	  -max-inflight N   concurrent solve jobs (default 2)
 //	  -queue N          jobs allowed to wait for a slot (default 16)
 //	  -cache N          cached preconditioner factors (default 16)
@@ -42,6 +49,13 @@
 //	  -filter F -line N -power N -tau T -tol T -maxiter N   as in fsaisolve
 //	  -resilient        route through the adaptive recovery chain
 //	  -timeout D        job deadline
+//	  -retries N        attempts on 429/503/transport errors (default 1: no
+//	                    retry); backoff honors the server's Retry-After, one
+//	                    idempotency key spans all attempts, and -deadline
+//	                    bounds the whole loop
+//	  -deadline D       overall client budget across attempts; propagated to
+//	                    the server, which cancels queued and in-flight work
+//	                    when it expires (exit 3)
 //
 //	fsaid stats [-addr URL]        print the daemon's registry/cache/queue stats
 //	fsaid jobs  [-addr URL]        print the daemon's job history
@@ -51,7 +65,8 @@
 // force-exits.
 //
 // Exit status: 0 ok (for solve: converged), 1 runtime error, 2 usage
-// error, 3 solve finished without converging — the fsaisolve convention.
+// error, 3 solve finished without converging OR the -deadline expired —
+// the fsaisolve convention (deadline expiry is a cancellation).
 package main
 
 import (
@@ -60,8 +75,10 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -70,6 +87,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/service"
 	"repro/internal/service/client"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -122,6 +140,9 @@ func cmdServe(args []string) {
 	var (
 		listen       = fs.String("listen", ":7474", "listen address (\":0\" picks a free port)")
 		runsDir      = fs.String("runs-dir", "", "keep per-job run reports here (served under /runs)")
+		dataDir      = fs.String("data-dir", "", "durable store for matrices and factors (survives restarts)")
+		memSoft      = fs.String("mem-soft-limit", "", "soft heap watermark, e.g. 512MiB (empty: no shedding)")
+		idemEntries  = fs.Int("idempotency", 0, "completed responses kept for Idempotency-Key replay (default 256)")
 		maxInflight  = fs.Int("max-inflight", 0, "concurrent solve jobs (default 2)")
 		queueCap     = fs.Int("queue", 0, "jobs allowed to wait for a slot (default 16)")
 		cacheN       = fs.Int("cache", 0, "cached preconditioner factors (default 16)")
@@ -153,21 +174,40 @@ func cmdServe(args []string) {
 			fatal("runs-dir: %v", err)
 		}
 	}
+	softLimit, err := parseSize(*memSoft)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsaid serve: -mem-soft-limit: %v\n", err)
+		os.Exit(2)
+	}
 	metrics := telemetry.NewRegistry()
 	stopRuntime := telemetry.StartRuntimeMetrics(metrics, 0)
 	defer stopRuntime()
 
+	var st *store.Store
+	if *dataDir != "" {
+		// Open replays the manifest, verifies checksums and quarantines
+		// anything corrupt; the server drains the recovered entries into the
+		// registry and preconditioner cache, so the first solve after a crash
+		// is already warm. The server owns the store from here (Close).
+		if st, err = store.Open(*dataDir, store.Options{Metrics: metrics, Logger: logger}); err != nil {
+			fatal("data-dir: %v", err)
+		}
+	}
+
 	srv := service.New(service.Options{
-		Metrics:        metrics,
-		RunsDir:        *runsDir,
-		MaxInflight:    *maxInflight,
-		QueueCap:       *queueCap,
-		CacheEntries:   *cacheN,
-		MatrixCap:      *matrixCap,
-		Workers:        *workers,
-		DefaultTimeout: *timeout,
-		Logger:         logger,
-		TraceHistory:   *traceHistory,
+		Metrics:            metrics,
+		RunsDir:            *runsDir,
+		Store:              st,
+		MemSoftLimitBytes:  softLimit,
+		IdempotencyEntries: *idemEntries,
+		MaxInflight:        *maxInflight,
+		QueueCap:           *queueCap,
+		CacheEntries:       *cacheN,
+		MatrixCap:          *matrixCap,
+		Workers:            *workers,
+		DefaultTimeout:     *timeout,
+		Logger:             logger,
+		TraceHistory:       *traceHistory,
 		SLO: obs.SLOObjectives{
 			WarmSolveP95: *sloWarm,
 			ColdSolveP95: *sloCold,
@@ -298,6 +338,8 @@ func cmdSolve(args []string) {
 		maxIter   = fs.Int("maxiter", 10000, "PCG iteration cap")
 		resilient = fs.Bool("resilient", false, "solve through the adaptive recovery chain")
 		timeout   = fs.Duration("timeout", 0, "job deadline (0: server default)")
+		retries   = fs.Int("retries", 1, "attempts on 429/503/transport errors (1: no retry)")
+		deadline  = fs.Duration("deadline", 0, "overall client budget across attempts (0: none); exits 3 on expiry")
 	)
 	_ = fs.Parse(args)
 	if *matrix == "" {
@@ -306,7 +348,16 @@ func cmdSolve(args []string) {
 	}
 	ctx, cancel := clientContext()
 	defer cancel()
-	resp, tc, err := client.New(*addr).SolveTraced(ctx, service.SolveRequest{
+	if *deadline > 0 {
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithTimeout(ctx, *deadline)
+		defer dcancel()
+	}
+	pol := client.DefaultRetryPolicy(*retries)
+	pol.OnRetry = func(attempt int, err error, delay time.Duration) {
+		fmt.Fprintf(os.Stderr, "fsaid: attempt %d failed (%v); retrying in %s\n", attempt, err, delay.Round(time.Millisecond))
+	}
+	resp, tc, st, err := client.New(*addr).SolveTracedRetry(ctx, service.SolveRequest{
 		Matrix:       *matrix,
 		Precond:      *precond,
 		Filter:       *filter,
@@ -317,8 +368,16 @@ func cmdSolve(args []string) {
 		MaxIter:      *maxIter,
 		Resilient:    *resilient,
 		TimeoutMS:    timeout.Milliseconds(),
-	}, trace.Context{})
+	}, trace.Context{}, pol)
 	if err != nil {
+		// Deadline outcomes exit 3 (a cancellation, like non-convergence),
+		// whether the budget died client-side or the server reported the
+		// expiry for a queued job (504).
+		if deadlineOutcome(err) {
+			fmt.Fprintf(os.Stderr, "fsaid: trace=%s attempts=%d\n", tc.TraceID, st.Attempts)
+			fmt.Fprintf(os.Stderr, "fsaid: deadline exceeded after %d attempt(s): %v\n", st.Attempts, err)
+			os.Exit(3)
+		}
 		// Surface the identifiers the daemon knows this request by, so a
 		// rejected or timed-out submission is still diagnosable: the body's
 		// server-assigned ids when a response arrived (429, 5xx), otherwise
@@ -332,19 +391,22 @@ func cmdSolve(args []string) {
 			}
 		}
 		if jobID != "" {
-			fmt.Fprintf(os.Stderr, "fsaid: job=%s trace=%s\n", jobID, traceID)
+			fmt.Fprintf(os.Stderr, "fsaid: job=%s trace=%s attempts=%d\n", jobID, traceID, st.Attempts)
 		} else {
-			fmt.Fprintf(os.Stderr, "fsaid: trace=%s\n", traceID)
+			fmt.Fprintf(os.Stderr, "fsaid: trace=%s attempts=%d\n", traceID, st.Attempts)
 		}
 		if apiErr != nil && apiErr.RetryAfter > 0 {
 			fatal("%v (retry after %s)", err, apiErr.RetryAfter)
 		}
 		fatal("solve: %v", err)
 	}
-	fmt.Printf("job=%s trace=%s precond=%s cache=%s queue_wait=%.1fms setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e\n",
+	fmt.Printf("job=%s trace=%s precond=%s cache=%s queue_wait=%.1fms setup=%.1fms solve=%.1fms iterations=%d converged=%v relres=%.2e attempts=%d\n",
 		resp.JobID, resp.TraceID, resp.Precond, resp.Cache,
 		msec(resp.QueueWaitNS), msec(resp.SetupNS), msec(resp.SolveNS),
-		resp.Iterations, resp.Converged, resp.RelRes)
+		resp.Iterations, resp.Converged, resp.RelRes, st.Attempts)
+	if resp.Replayed {
+		fmt.Println("replayed: result served from the original attempt (idempotency key matched)")
+	}
 	if resp.Report != "" {
 		fmt.Printf("report: /runs/%s\n", resp.Report)
 	}
@@ -358,6 +420,46 @@ func cmdSolve(args []string) {
 		fmt.Fprintf(os.Stderr, "fsaid: solve did not converge (status: %s)\n", resp.Status)
 		os.Exit(3)
 	}
+}
+
+// deadlineOutcome reports whether a solve error means a deadline expired —
+// the client budget died locally, or the server answered 504 for a job whose
+// propagated deadline expired while queued.
+func deadlineOutcome(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusGatewayTimeout
+}
+
+// parseSize parses a byte size like "512MiB", "2GiB", "64MB" or a plain
+// byte count. Empty means 0 (disabled).
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	suffixes := []struct {
+		suffix string
+		mult   uint64
+	}{
+		{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	}
+	mult := uint64(1)
+	for _, sf := range suffixes {
+		if strings.HasSuffix(s, sf.suffix) {
+			mult = sf.mult
+			s = strings.TrimSpace(strings.TrimSuffix(s, sf.suffix))
+			break
+		}
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512MiB, 2GiB or a byte count)", s)
+	}
+	return n * mult, nil
 }
 
 func cmdStats(args []string) {

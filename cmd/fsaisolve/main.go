@@ -477,7 +477,14 @@ func main() {
 	// status contract) so scripts and CI can tell "solved" from "gave up"
 	// without parsing stdout.
 	if !res.Converged {
-		fmt.Fprintf(os.Stderr, "fsaisolve: solve did not converge (status: %s)\n", res.Status)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// Name the deadline outcome explicitly: the status alone says
+			// "cancelled" without saying why.
+			fmt.Fprintf(os.Stderr, "fsaisolve: -timeout %s expired; solve stopped at iteration %d (status: %s)\n",
+				*timeout, res.Iterations, res.Status)
+		} else {
+			fmt.Fprintf(os.Stderr, "fsaisolve: solve did not converge (status: %s)\n", res.Status)
+		}
 		os.Exit(3)
 	}
 }

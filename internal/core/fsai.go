@@ -325,12 +325,37 @@ func (p *Preconditioner) CloneForApply(workers int) *Preconditioner {
 	return c
 }
 
+// FromFactors reconstructs a Preconditioner from previously computed
+// state — the factors G/Gᵀ, the patterns and the setup stats — and
+// pre-allocates the Apply scratch exactly like Compute does. It exists for
+// the durable store: a factor rehydrated from disk is bit-identical to the
+// one that was computed, so warm solves after a restart reproduce the
+// original arithmetic. The patterns may be nil (report pattern sections
+// then read as zero). workers follows the krylov convention (<=0: all
+// CPUs).
+func FromFactors(g, gt *sparse.CSR, base, final *pattern.Pattern, stats SetupStats, workers int) *Preconditioner {
+	p := &Preconditioner{
+		G:            g,
+		GT:           gt,
+		BasePattern:  base,
+		FinalPattern: final,
+		Stats:        stats,
+		Workers:      workers,
+	}
+	p.initApply()
+	return p
+}
+
 // NNZ returns the stored-entry count of the lower factor G.
 func (p *Preconditioner) NNZ() int { return p.G.NNZ() }
 
 // ExtensionPct returns the percentage of entries the final pattern adds on
-// top of the base pattern (the "% NNZ" columns of Table 1).
+// top of the base pattern (the "% NNZ" columns of Table 1). Zero when the
+// patterns are absent (e.g. a factor rehydrated without them).
 func (p *Preconditioner) ExtensionPct() float64 {
+	if p.BasePattern == nil || p.FinalPattern == nil {
+		return 0
+	}
 	base := p.BasePattern.NNZ()
 	if base == 0 {
 		return 0

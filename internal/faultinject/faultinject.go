@@ -98,6 +98,14 @@ type Injector struct {
 	delay   time.Duration
 	delayN  int // remaining worker starts to delay (-1: every start)
 	events  []Event
+
+	// HTTP/filesystem arms (http.go).
+	httpDelay  time.Duration
+	httpDelayN int     // remaining requests to delay (-1: every request)
+	httpDropN  int     // remaining responses to drop (-1: every response)
+	shortFrac  float64 // short-write fraction of bytes kept
+	shortN     int     // remaining entry writes to truncate (-1: every write)
+	bitFlipN   int     // remaining entry writes to bit-flip (-1: every write)
 }
 
 // New returns an injector with the given seed and nothing armed.

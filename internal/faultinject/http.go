@@ -1,0 +1,216 @@
+package faultinject
+
+// HTTP and filesystem fault arms. These extend the seeded injector to the
+// service's failure domains: delayed responses (slow network / GC pause),
+// dropped responses (connection severed after the server did the work —
+// the case idempotency keys exist for), short writes and bit flips on
+// store entry files (torn writes, silent media corruption).
+//
+// The HTTP faults are applied by the HTTPFaults middleware; the filesystem
+// faults by the store's write path through the MutateFileWrite hook, gated
+// on Enabled() exactly like the solver-loop sites.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Additional injection sites.
+const (
+	SiteHTTPDelay  = "http-delay"
+	SiteHTTPDrop   = "http-drop"
+	SiteShortWrite = "short-write"
+	SiteBitFlip    = "bit-flip"
+)
+
+// WithHTTPDelay arms a sleep of d before handling each of the next count
+// HTTP requests (count < 0: every request).
+func (in *Injector) WithHTTPDelay(d time.Duration, count int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.httpDelay = d
+	in.httpDelayN = count
+	return in
+}
+
+// WithHTTPDrop arms dropping the response of the next count HTTP requests:
+// the handler runs to completion server-side, then the connection is
+// severed without writing a response. The client sees a transport error for
+// work that actually happened — the exact race an idempotent retry must
+// resolve to the original result.
+func (in *Injector) WithHTTPDrop(count int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.httpDropN = count
+	return in
+}
+
+// WithShortWrite arms truncating the next count store entry writes to frac
+// of their length (a torn write at crash). frac is clamped to [0,1).
+func (in *Injector) WithShortWrite(frac float64, count int) *Injector {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shortFrac = frac
+	in.shortN = count
+	return in
+}
+
+// WithBitFlip arms flipping one seeded bit in each of the next count store
+// entry writes (silent corruption the checksum must catch).
+func (in *Injector) WithBitFlip(count int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.bitFlipN = count
+	return in
+}
+
+// HTTPFaults wraps an HTTP handler with the armed HTTP faults. With no
+// injector active it forwards with zero added cost beyond one atomic load.
+func HTTPFaults(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !Enabled() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		in := active
+		mu.Unlock()
+		if in == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if d := in.takeHTTPDelay(r); d > 0 {
+			time.Sleep(d)
+		}
+		if in.takeHTTPDrop(r) {
+			// Serve first so the server-side effect (job ran, result cached,
+			// idempotency key completed) is real, THEN sever the connection so
+			// the client never learns it.
+			rec := &discardResponse{header: http.Header{}}
+			next.ServeHTTP(rec, r)
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				// Cannot sever (e.g. HTTP/2 test server); degrade to serving
+				// the response normally rather than hanging the request.
+				for k, vs := range rec.header {
+					for _, v := range vs {
+						w.Header().Add(k, v)
+					}
+				}
+				w.WriteHeader(rec.status())
+				_, _ = w.Write(rec.body)
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				if tc, ok := conn.(*net.TCPConn); ok {
+					// RST instead of FIN so the client reliably sees an error
+					// rather than a clean EOF it might interpret as a response.
+					_ = tc.SetLinger(0)
+				}
+				_ = conn.Close()
+			}
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (in *Injector) takeHTTPDelay(r *http.Request) time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.httpDelay <= 0 || in.httpDelayN == 0 {
+		return 0
+	}
+	if in.httpDelayN > 0 {
+		in.httpDelayN--
+	}
+	in.record(Event{Site: SiteHTTPDelay, Detail: fmt.Sprintf("%s %s delayed %v", r.Method, r.URL.Path, in.httpDelay)})
+	return in.httpDelay
+}
+
+func (in *Injector) takeHTTPDrop(r *http.Request) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.httpDropN == 0 {
+		return false
+	}
+	if in.httpDropN > 0 {
+		in.httpDropN--
+	}
+	in.record(Event{Site: SiteHTTPDrop, Detail: fmt.Sprintf("%s %s response dropped", r.Method, r.URL.Path)})
+	return true
+}
+
+// MutateFileWrite is the store's write-path hook: it returns the bytes that
+// actually reach disk for the entry at rel. With short-write armed the data
+// is truncated; with bit-flip armed one seeded bit is inverted. Only called
+// when Enabled() is true; with nothing armed it returns data unchanged.
+func MutateFileWrite(rel string, data []byte) []byte {
+	mu.Lock()
+	in := active
+	mu.Unlock()
+	if in == nil {
+		return data
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.shortN != 0 && in.shortFrac < 1 && len(data) > 0 {
+		if in.shortN > 0 {
+			in.shortN--
+		}
+		n := int(float64(len(data)) * in.shortFrac)
+		in.record(Event{Site: SiteShortWrite, Index: n, Detail: fmt.Sprintf("%s truncated %d -> %d bytes", rel, len(data), n)})
+		return append([]byte(nil), data[:n]...)
+	}
+	if in.bitFlipN != 0 && len(data) > 0 {
+		if in.bitFlipN > 0 {
+			in.bitFlipN--
+		}
+		out := append([]byte(nil), data...)
+		pos := in.rng.Intn(len(out))
+		bit := uint(in.rng.Intn(8))
+		out[pos] ^= 1 << bit
+		in.record(Event{Site: SiteBitFlip, Index: pos, Detail: fmt.Sprintf("%s bit %d of byte %d flipped", rel, bit, pos)})
+		return out
+	}
+	return data
+}
+
+// discardResponse captures a response that will never reach the client.
+type discardResponse struct {
+	header     http.Header
+	statusCode int
+	body       []byte
+}
+
+func (d *discardResponse) Header() http.Header { return d.header }
+
+func (d *discardResponse) WriteHeader(code int) {
+	if d.statusCode == 0 {
+		d.statusCode = code
+	}
+}
+
+func (d *discardResponse) Write(p []byte) (int, error) {
+	if d.statusCode == 0 {
+		d.statusCode = http.StatusOK
+	}
+	d.body = append(d.body, p...)
+	return len(p), nil
+}
+
+func (d *discardResponse) status() int {
+	if d.statusCode == 0 {
+		return http.StatusOK
+	}
+	return d.statusCode
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHTTPDelayFiresAndDecrements(t *testing.T) {
+	in := New(1).WithHTTPDelay(30*time.Millisecond, 1)
+	restore := Activate(in)
+	defer restore()
+
+	var served atomic.Int64
+	h := HTTPFaults(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("first request not delayed (%v)", d)
+	}
+	// Arm is spent: second request is fast.
+	start = time.Now()
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("second request still delayed (%v)", d)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("served %d requests, want 2", served.Load())
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Site != SiteHTTPDelay {
+		t.Fatalf("events = %v", ev)
+	}
+}
+
+func TestHTTPDropServesThenSevers(t *testing.T) {
+	in := New(1).WithHTTPDrop(1)
+	restore := Activate(in)
+	defer restore()
+
+	var served atomic.Int64
+	h := HTTPFaults(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// The dropped request must still run the handler (the server-side work
+	// happens; only the response is lost) and surface as a transport error.
+	resp, err := http.Get(srv.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped response reached the client")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1 (drop must serve before severing)", served.Load())
+	}
+	// Next request goes through normally.
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Site != SiteHTTPDrop {
+		t.Fatalf("events = %v", ev)
+	}
+}
+
+func TestHTTPFaultsNoInjectorPassthrough(t *testing.T) {
+	h := HTTPFaults(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status = %d, want passthrough 418", resp.StatusCode)
+	}
+}
+
+func TestMutateFileWriteUnarmedIsIdentity(t *testing.T) {
+	in := New(1)
+	restore := Activate(in)
+	defer restore()
+	data := []byte("hello world")
+	out := MutateFileWrite("x.bin", data)
+	if string(out) != string(data) {
+		t.Fatal("unarmed MutateFileWrite changed the data")
+	}
+}

@@ -82,6 +82,26 @@ type SolveRequest struct {
 	HoldMS int64 `json:"hold_ms,omitempty"`
 }
 
+// Header names of the client-resilience protocol.
+const (
+	// HeaderDeadlineMS carries the client's remaining deadline budget as
+	// whole milliseconds. The server takes min(budget, request/server
+	// timeout) as the job's wall-clock bound, applied from admission — a
+	// job still queue-waiting when the budget expires is cancelled with
+	// HTTP 504 instead of occupying a slot for a caller that already gave
+	// up. Relative milliseconds (not an absolute timestamp) keep the
+	// contract clock-skew-safe.
+	HeaderDeadlineMS = "X-Fsaid-Deadline-Ms"
+	// HeaderIdempotencyKey makes a solve request safely retryable: two
+	// requests with the same key execute the solve at most once, and a
+	// retry of a completed request replays the original job's response
+	// (marked by HeaderIdempotentReplay and SolveResponse.Replayed).
+	HeaderIdempotencyKey = "Idempotency-Key"
+	// HeaderIdempotentReplay is "1" on responses served from the
+	// idempotency index instead of a fresh execution.
+	HeaderIdempotentReplay = "X-Fsaid-Idempotent-Replay"
+)
+
 // Cache-outcome values reported in SolveResponse.Cache and the run report's
 // service section.
 const (
@@ -132,6 +152,11 @@ type SolveResponse struct {
 	SetupNS     int64 `json:"setup_ns"`
 	SolveNS     int64 `json:"solve_ns"`
 	TotalNS     int64 `json:"total_ns"`
+
+	// Replayed marks a response served from the idempotency index: a retry
+	// of a request whose original execution already completed. All other
+	// fields describe the original job.
+	Replayed bool `json:"replayed,omitempty"`
 
 	// Report is the run-report file name under /runs when the server keeps
 	// run history.
@@ -199,11 +224,26 @@ type QueueStats struct {
 	Completed   int64 `json:"completed"`
 }
 
+// StoreStats is the durable-store section of GET /api/v1/stats, present
+// only when the daemon runs with -data-dir.
+type StoreStats struct {
+	Matrices int   `json:"matrices"`
+	Factors  int   `json:"factors"`
+	Bytes    int64 `json:"bytes"`
+	// Corrupt counts entries quarantined at recovery or rejected at read.
+	Corrupt int64 `json:"corrupt"`
+}
+
 // Stats is the GET /api/v1/stats document.
 type Stats struct {
 	Matrices int        `json:"matrices"`
 	Cache    CacheStats `json:"cache"`
 	Queue    QueueStats `json:"queue"`
+	// Store summarizes the durable store (nil without -data-dir).
+	Store *StoreStats `json:"store,omitempty"`
+	// Degraded is the memory-pressure degradation state: "normal",
+	// "pressure" (cold solves shed) or "critical" (all solves shed).
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // ErrorBody is the JSON error envelope of non-2xx API responses.

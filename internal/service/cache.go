@@ -83,6 +83,12 @@ type PrecondCache struct {
 
 	hits, misses, evictions atomic.Int64
 	reg                     *telemetry.Registry
+
+	// evictHook observes every key leaving the cache (LRU overflow,
+	// EvictMatrix, EvictOldest). The server points it at the durable store
+	// so disk state mirrors cache state. Always invoked OUTSIDE c.mu — the
+	// hook does disk IO.
+	evictHook func(keys ...string)
 }
 
 // NewPrecondCache returns a cache holding at most capacity factors
@@ -155,36 +161,78 @@ func (c *PrecondCache) GetOrBuild(ctx context.Context, key string, build func() 
 
 	c.mu.Lock()
 	delete(c.building, key)
+	var evicted []string
 	if call.err == nil {
-		c.insertLocked(key, call.e)
+		evicted = c.insertLocked(key, call.e)
 	}
+	hook := c.evictHook
 	c.mu.Unlock()
 	close(call.done)
+	if hook != nil && len(evicted) > 0 {
+		hook(evicted...)
+	}
 
 	c.misses.Add(1)
 	c.reg.Counter("service.cache.misses").Inc()
 	return call.e, false, call.err
 }
 
-// insertLocked adds an entry at the LRU front and evicts beyond capacity.
-// Caller holds c.mu.
-func (c *PrecondCache) insertLocked(key string, e *CachedPrecond) {
+// SetEvictHook registers fn to observe evicted keys. Must be set before the
+// cache serves traffic.
+func (c *PrecondCache) SetEvictHook(fn func(keys ...string)) {
+	c.mu.Lock()
+	c.evictHook = fn
+	c.mu.Unlock()
+}
+
+// Put inserts an already-computed entry (rehydration from the durable
+// store). It counts neither a hit nor a miss, and respects capacity like
+// any insert.
+func (c *PrecondCache) Put(key string, e *CachedPrecond) {
+	e.Key = key
+	c.mu.Lock()
+	evicted := c.insertLocked(key, e)
+	hook := c.evictHook
+	c.mu.Unlock()
+	if hook != nil && len(evicted) > 0 {
+		hook(evicted...)
+	}
+}
+
+// Contains reports whether key is resident, without touching LRU order or
+// the hit/miss counters. The degradation layer uses it to tell warm
+// requests (serve: nearly free) from cold ones (shed: setup is the
+// expensive, allocation-heavy phase).
+func (c *PrecondCache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// insertLocked adds an entry at the LRU front and evicts beyond capacity,
+// returning the evicted keys. Caller holds c.mu and must run the evict
+// hook on the returned keys after unlocking.
+func (c *PrecondCache) insertLocked(key string, e *CachedPrecond) []string {
 	if el, ok := c.items[key]; ok {
 		// A concurrent builder lost a race with an eviction+rebuild; keep
 		// the resident entry.
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.items[key] = c.ll.PushFront(e)
+	var evicted []string
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		old := oldest.Value.(*CachedPrecond)
 		c.ll.Remove(oldest)
 		delete(c.items, old.Key)
+		evicted = append(evicted, old.Key)
 		c.evictions.Add(1)
 		c.reg.Counter("service.cache.evictions").Inc()
 	}
 	c.reg.Gauge("service.cache.entries").Set(float64(c.ll.Len()))
+	return evicted
 }
 
 // EvictMatrix drops every cached factor whose key belongs to the given
@@ -193,21 +241,55 @@ func (c *PrecondCache) insertLocked(key string, e *CachedPrecond) {
 func (c *PrecondCache) EvictMatrix(fingerprint string) int {
 	prefix := fingerprint + "|"
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
+	var evicted []string
 	for key, el := range c.items {
 		if strings.HasPrefix(key, prefix) {
 			c.ll.Remove(el)
 			delete(c.items, key)
-			n++
+			evicted = append(evicted, key)
 		}
 	}
+	n := len(evicted)
 	if n > 0 {
 		c.evictions.Add(int64(n))
 		c.reg.Counter("service.cache.evictions").Add(int64(n))
 		c.reg.Gauge("service.cache.entries").Set(float64(c.ll.Len()))
 	}
+	hook := c.evictHook
+	c.mu.Unlock()
+	if hook != nil && n > 0 {
+		hook(evicted...)
+	}
 	return n
+}
+
+// EvictOldest drops up to n least-recently-used entries, returning how many
+// were removed. The degradation layer calls it under memory pressure to
+// give factor memory back before the watermark becomes an OOM.
+func (c *PrecondCache) EvictOldest(n int) int {
+	c.mu.Lock()
+	var evicted []string
+	for len(evicted) < n {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*CachedPrecond)
+		c.ll.Remove(oldest)
+		delete(c.items, old.Key)
+		evicted = append(evicted, old.Key)
+	}
+	if len(evicted) > 0 {
+		c.evictions.Add(int64(len(evicted)))
+		c.reg.Counter("service.cache.evictions").Add(int64(len(evicted)))
+		c.reg.Gauge("service.cache.entries").Set(float64(c.ll.Len()))
+	}
+	hook := c.evictHook
+	c.mu.Unlock()
+	if hook != nil && len(evicted) > 0 {
+		hook(evicted...)
+	}
+	return len(evicted)
 }
 
 // Len returns the number of cached factors.

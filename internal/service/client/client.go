@@ -51,6 +51,15 @@ func New(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
+// SetHTTPClient replaces the underlying HTTP client (custom transport,
+// keep-alive policy, proxies). Call it before the client is shared; a nil
+// argument is ignored.
+func (c *Client) SetHTTPClient(hc *http.Client) {
+	if hc != nil {
+		c.hc = hc
+	}
+}
+
 // do runs one request and decodes the JSON response into out (when non-nil).
 // Non-2xx statuses become *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
@@ -81,12 +90,29 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 func decodeAPIError(resp *http.Response) *APIError {
 	apiErr := &APIError{StatusCode: resp.StatusCode}
 	_ = json.NewDecoder(resp.Body).Decode(&apiErr.Body)
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
+	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	return apiErr
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either delta-seconds or an HTTP-date. A date in the past (or an
+// unparsable value) yields 0.
+func parseRetryAfter(s string, now time.Time) time.Duration {
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
 		}
 	}
-	return apiErr
+	return 0
 }
 
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
@@ -156,29 +182,51 @@ func (c *Client) SolveTraced(ctx context.Context, req service.SolveRequest, tc t
 	if !tc.Valid() {
 		tc = trace.New()
 	}
-	data, err := json.Marshal(req)
+	data, err := marshalSolve(req)
 	if err != nil {
 		return nil, tc, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/solve", bytes.NewReader(data))
+	out, err := c.solveOnce(ctx, data, tc, "")
+	return out, tc, err
+}
+
+func marshalSolve(req service.SolveRequest) ([]byte, error) { return json.Marshal(req) }
+
+// solveOnce performs a single POST /api/v1/solve attempt. The marshalled
+// body is passed in so retries resend identical bytes; idemKey (when
+// non-empty) travels as the Idempotency-Key header; a context deadline is
+// propagated as the remaining-millisecond budget header so the server can
+// stop working for a caller that gave up.
+func (c *Client) solveOnce(ctx context.Context, body []byte, tc trace.Context, idemKey string) (*service.SolveResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/solve", bytes.NewReader(body))
 	if err != nil {
-		return nil, tc, err
+		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set("traceparent", tc.Traceparent())
+	if idemKey != "" {
+		hreq.Header.Set(service.HeaderIdempotencyKey, idemKey)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		hreq.Header.Set(service.HeaderDeadlineMS, strconv.FormatInt(ms, 10))
+	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
-		return nil, tc, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return nil, tc, decodeAPIError(resp)
+		return nil, decodeAPIError(resp)
 	}
 	var out service.SolveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, tc, err
+		return nil, err
 	}
-	return &out, tc, nil
+	return &out, nil
 }
 
 // Jobs lists the daemon's job history, most recent first.

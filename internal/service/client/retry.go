@@ -1,0 +1,213 @@
+package client
+
+// Retrying solve path. The daemon already speaks backpressure — 429 with a
+// Retry-After derived from observed solve times — but until this layer the
+// client surfaced every transient as a failure. SolveRetry turns the
+// contract into something a caller can lean on: capped exponential backoff
+// with full jitter, the server's Retry-After honored when present, retries
+// restricted to genuinely transient classes (429, 503, transport errors —
+// never other 4xx, which retries cannot fix), and an idempotency key so a
+// retried request whose original execution completed replays the original
+// result instead of paying setup twice.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	mathrand "math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// RetryPolicy configures SolveRetry. The zero value disables retrying
+// (a single attempt); DefaultRetryPolicy is a sane production setting.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k (0-based) waits a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay·2^k)] — full
+	// jitter, so a burst of rejected clients decorrelates instead of
+	// re-stampeding in lockstep. Default 200ms.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff wait. Default 5s.
+	MaxDelay time.Duration
+	// RespectRetryAfter honors a server Retry-After (429) as the wait for
+	// the next attempt, overriding the computed backoff. Default true via
+	// DefaultRetryPolicy; the zero value does NOT honor it only because the
+	// zero value never retries at all.
+	RespectRetryAfter bool
+
+	// OnRetry, when set, observes each scheduled retry before its wait:
+	// the 1-based attempt that failed, the error, and the chosen delay.
+	OnRetry func(attempt int, err error, delay time.Duration)
+
+	// now/sleep/jitter are test seams; nil means real time and math/rand.
+	now    func() time.Time
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func() float64
+}
+
+// DefaultRetryPolicy returns the recommended policy for n total attempts.
+func DefaultRetryPolicy(n int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       n,
+		BaseDelay:         200 * time.Millisecond,
+		MaxDelay:          5 * time.Second,
+		RespectRetryAfter: true,
+	}
+}
+
+// RetryStats reports what a SolveRetry call actually did.
+type RetryStats struct {
+	// Attempts is the number of requests sent (1 = no retry was needed).
+	Attempts int
+	// Waited is the total backoff time slept between attempts.
+	Waited time.Duration
+	// Replayed is true when the final response came from the server's
+	// idempotency index: an earlier attempt did the work, its response was
+	// lost in transit, and the retry recovered it without re-solving.
+	Replayed bool
+	// IdempotencyKey is the key the attempts shared.
+	IdempotencyKey string
+}
+
+// Retryable reports whether err is a transient failure a retry can fix:
+// HTTP 429 (admission rejection) and 503 (degraded/unavailable), or a
+// transport error (connection refused/reset, dropped response). Context
+// cancellation and expiry are terminal — the caller gave up — and every
+// other API status (4xx validation, 5xx solver failure) is deterministic,
+// so retrying would only repeat it.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	// Anything else that reached us from Client.Do is a transport-level
+	// failure: the request may or may not have executed server-side, which
+	// is exactly what the idempotency key disambiguates.
+	return true
+}
+
+// SolveRetry submits a solve with retries under pol, returning the response
+// and what the retry loop did. All attempts share one idempotency key and
+// one trace, so the daemon's logs show a single logical request and a retry
+// of completed work replays the original result. A context deadline both
+// bounds the local retry loop and travels to the server as the job's budget.
+func (c *Client) SolveRetry(ctx context.Context, req service.SolveRequest, pol RetryPolicy) (*service.SolveResponse, RetryStats, error) {
+	out, _, st, err := c.SolveTracedRetry(ctx, req, trace.Context{}, pol)
+	return out, st, err
+}
+
+// SolveTracedRetry is SolveRetry under a caller-provided trace context (the
+// zero value originates a fresh trace, returned on every path).
+func (c *Client) SolveTracedRetry(ctx context.Context, req service.SolveRequest, tc trace.Context, pol RetryPolicy) (*service.SolveResponse, trace.Context, RetryStats, error) {
+	if !tc.Valid() {
+		tc = trace.New()
+	}
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	if pol.BaseDelay <= 0 {
+		pol.BaseDelay = 200 * time.Millisecond
+	}
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = 5 * time.Second
+	}
+	now := pol.now
+	if now == nil {
+		now = time.Now
+	}
+	sleep := pol.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	jitter := pol.jitter
+	if jitter == nil {
+		jitter = mathrand.Float64
+	}
+
+	st := RetryStats{IdempotencyKey: NewIdempotencyKey()}
+	body, err := marshalSolve(req)
+	if err != nil {
+		return nil, tc, st, err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		st.Attempts++
+		out, err := c.solveOnce(ctx, body, tc, st.IdempotencyKey)
+		if err == nil {
+			st.Replayed = out.Replayed
+			return out, tc, st, nil
+		}
+		lastErr = err
+		if !Retryable(err) || attempt == pol.MaxAttempts-1 {
+			break
+		}
+		delay := backoffDelay(pol, attempt, err, jitter)
+		if dl, ok := ctx.Deadline(); ok && now().Add(delay).After(dl) {
+			// The wait would outlive the caller's deadline; surface the last
+			// real failure instead of sleeping into a guaranteed timeout.
+			break
+		}
+		if pol.OnRetry != nil {
+			pol.OnRetry(st.Attempts, err, delay)
+		}
+		st.Waited += delay
+		if err := sleep(ctx, delay); err != nil {
+			return nil, tc, st, lastErr
+		}
+	}
+	return nil, tc, st, lastErr
+}
+
+// backoffDelay picks the wait before the next attempt: the server's
+// Retry-After when present and respected, else full-jitter exponential
+// backoff.
+func backoffDelay(pol RetryPolicy, attempt int, err error, jitter func() float64) time.Duration {
+	var apiErr *APIError
+	if pol.RespectRetryAfter && errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	ceil := pol.BaseDelay << uint(attempt)
+	if ceil > pol.MaxDelay || ceil <= 0 {
+		ceil = pol.MaxDelay
+	}
+	return time.Duration(jitter() * float64(ceil))
+}
+
+// NewIdempotencyKey returns a fresh 128-bit hex idempotency key.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to math/rand
+		// rather than failing a solve over a duplicate-detection nicety.
+		for i := range b {
+			b[i] = byte(mathrand.Intn(256))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/roofline"
 	"repro/internal/sparse"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -83,6 +85,26 @@ type Options struct {
 	// the paper's primary evaluation node). Unknown names fall back to
 	// Skylake with a logged warning rather than failing startup.
 	Machine string
+
+	// Store, when non-nil, is the durable persistence layer (fsaid
+	// -data-dir): registered matrices and computed factors are written
+	// through to it, deletions and evictions remove the disk entries, and
+	// New rehydrates the registry and preconditioner cache from its
+	// recovered entries — warm solves survive restarts. The server takes
+	// ownership (Close closes it).
+	Store *store.Store
+
+	// MemSoftLimitBytes is the soft heap watermark: above it the daemon
+	// degrades (sheds cold solves with 429, evicts cache entries) instead
+	// of growing toward an OOM kill. 0 disables degradation.
+	MemSoftLimitBytes uint64
+	// MemProbe overrides the heap measurement (tests). Nil: live heap via
+	// runtime.ReadMemStats.
+	MemProbe func() uint64
+
+	// IdempotencyEntries bounds the completed-response idempotency index
+	// (default 256).
+	IdempotencyEntries int
 	// Profiling configures the continuous-profiling sampler served at
 	// /profiles; zero fields get defaults (10s window every minute, 32
 	// retained windows — see prof.Options). The sampler runs only while
@@ -137,6 +159,9 @@ type Server struct {
 	slo      *obs.SLOMonitor
 	profiler *prof.Sampler
 	roofline *obs.RooflineMonitor
+	store    *store.Store
+	idem     *idemIndex
+	degrade  *degrader
 	mux      *http.ServeMux
 	seq      atomic.Int64
 
@@ -196,6 +221,31 @@ func New(opt Options) *Server {
 	reg.SetHelp("service_jobs", "finished solve jobs by status")
 	reg.SetHelp("service_job_total_ns", "job wall time admission-to-response")
 	reg.SetHelp("service_job_queue_wait_ns", "job time spent waiting for a slot")
+	reg.SetHelp("retry_replays_total", "solve responses replayed from the idempotency index (duplicate of a completed request)")
+	reg.SetHelp("retry_coalesced_total", "duplicate solve requests that waited for an in-flight execution with the same idempotency key")
+	reg.SetHelp("retry_deadline_expired_total", "solve jobs cancelled because the client's propagated deadline expired (504 while queued, cancelled in flight)")
+	// Touch the zero counters so the retry_* families render on /metrics
+	// from the first scrape.
+	reg.Counter("retry.replays_total")
+	reg.Counter("retry.coalesced_total")
+	reg.Counter("retry.deadline_expired_total")
+
+	s.idem = newIdemIndex(opt.IdempotencyEntries, reg)
+	s.degrade = newDegrader(opt.MemSoftLimitBytes, opt.MemProbe, s.cache, reg, s.log, s.obsSrv)
+	if opt.Store != nil {
+		s.store = opt.Store
+		s.rehydrate()
+		// From here on, every cache eviction (LRU overflow, DELETE,
+		// memory-pressure shedding) also removes the disk entry, so the
+		// store never serves a factor the cache decided to drop.
+		s.cache.SetEvictHook(func(keys ...string) {
+			for _, key := range keys {
+				if err := s.store.DeleteFactor(key); err != nil {
+					s.log.Warn("store factor delete failed", "error", err.Error())
+				}
+			}
+		})
+	}
 
 	s.mux.Handle("/", s.obsSrv.Handler())
 	s.mux.HandleFunc("/api/v1/matrices", s.handleMatrices)
@@ -227,6 +277,41 @@ func (s *Server) Prof() *prof.Sampler { return s.profiler }
 // Roofline exposes the live roofline monitor (tests, embedding).
 func (s *Server) Roofline() *obs.RooflineMonitor { return s.roofline }
 
+// Store exposes the durable store (nil without one).
+func (s *Server) Store() *store.Store { return s.store }
+
+// rehydrate replays the store's recovered entries into the registry and
+// the preconditioner cache: the crash-recovery moment the whole layer
+// exists for. Every recovered entry was checksum-verified at store.Open;
+// a factor entry only rehydrates when its matrix landed in the registry,
+// and the reconstructed preconditioner is bit-identical to the one
+// computed before the restart.
+func (s *Server) rehydrate() {
+	matrices, factors := s.store.DrainRecovered()
+	nm := 0
+	for _, rm := range matrices {
+		if _, err := s.matrices.Register(rm.A, rm.Name); err != nil {
+			s.log.Warn("recovered matrix not registered", "name", rm.Name, "error", err.Error())
+			continue
+		}
+		nm++
+	}
+	s.reg.Gauge("service.matrices").Set(float64(s.matrices.Len()))
+	nf := 0
+	for _, f := range factors {
+		if _, ok := s.matrices.Get(f.Fingerprint); !ok {
+			continue
+		}
+		p := fsai.FromFactors(f.G, f.GT, f.Base, f.Final, f.Stats, s.opt.Workers)
+		s.cache.Put(f.Key, &CachedPrecond{P: p, SetupNS: f.SetupNS})
+		nf++
+	}
+	if nm > 0 || nf > 0 {
+		s.log.Info("state rehydrated from store",
+			"dir", s.store.Dir(), "matrices", nm, "factors", nf)
+	}
+}
+
 // Start listens on addr (":0" picks a free port) and serves in the
 // background, returning the bound address.
 func (s *Server) Start(addr string) (net.Addr, error) {
@@ -256,12 +341,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	hs := s.hs
 	s.hs, s.ln = nil, nil
 	s.mu.Unlock()
-	if hs == nil {
-		return obsErr
+	if hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			s.closeStore()
+			return err
+		}
 	}
-	if err := hs.Shutdown(ctx); err != nil {
-		return err
-	}
+	s.closeStore()
 	return obsErr
 }
 
@@ -273,10 +359,20 @@ func (s *Server) Close() error {
 	hs := s.hs
 	s.hs, s.ln = nil, nil
 	s.mu.Unlock()
-	if hs == nil {
-		return nil
+	var err error
+	if hs != nil {
+		err = hs.Close()
 	}
-	return hs.Close()
+	s.closeStore()
+	return err
+}
+
+// closeStore releases the store's manifest log handle once all jobs are
+// done writing through.
+func (s *Server) closeStore() {
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 }
 
 // normalize fills the request defaults in place and validates the knobs it
@@ -397,6 +493,14 @@ func (s *Server) registerMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Gauge("service.matrices").Set(float64(s.matrices.Len()))
+	if s.store != nil {
+		// Write-through is best-effort: a store error costs durability, not
+		// the registration (the store counts it in store_errors_total).
+		if serr := s.store.PutMatrix(a, info.Name); serr != nil {
+			s.log.Warn("store matrix write failed",
+				"fingerprint", shortFP(info.Fingerprint), "error", serr.Error())
+		}
+	}
 	code := http.StatusOK
 	if info.Created {
 		code = http.StatusCreated
@@ -424,7 +528,16 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "matrix %q not registered", ref)
 			return
 		}
+		// Eviction first: the cache's evict hook deletes the factor disk
+		// entries, then the matrix entry goes. After this, neither memory
+		// nor disk can resurrect the operator.
 		s.cache.EvictMatrix(fp)
+		if s.store != nil {
+			if serr := s.store.DeleteMatrix(fp); serr != nil {
+				s.log.Warn("store matrix delete failed",
+					"fingerprint", shortFP(fp), "error", serr.Error())
+			}
+		}
 		s.reg.Gauge("service.matrices").Set(float64(s.matrices.Len()))
 		w.WriteHeader(http.StatusNoContent)
 	default:
@@ -448,11 +561,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		Matrices: s.matrices.Len(),
 		Cache:    s.cache.Stats(),
 		Queue:    s.adm.stats(),
-	})
+		Degraded: s.degrade.stateName(),
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &StoreStats{
+			Matrices: ss.Matrices,
+			Factors:  ss.Factors,
+			Bytes:    ss.Bytes,
+			Corrupt:  ss.Corrupt,
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -478,6 +602,47 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if len(req.RHS) != 0 && len(req.RHS) != rm.A.Rows {
 		writeError(w, http.StatusBadRequest, "rhs has %d values, matrix has %d rows", len(req.RHS), rm.A.Rows)
 		return
+	}
+
+	// Idempotency: a duplicate of a completed request replays its stored
+	// response; a duplicate of an in-flight one waits for the original
+	// execution. Either way the solve runs at most once server-side. The
+	// owner registers completion via deferred finish below — failure paths
+	// abort the claim so transient errors stay retryable.
+	var idemEnt *idemEntry
+	var finalResp *SolveResponse
+	if key := r.Header.Get(HeaderIdempotencyKey); key != "" {
+		ent, owner := s.idem.claim(key)
+		if !owner {
+			s.replayIdempotent(w, r, ent)
+			return
+		}
+		idemEnt = ent
+		defer func() {
+			if finalResp != nil {
+				s.idem.complete(idemEnt, finalResp)
+			} else {
+				s.idem.abort(idemEnt)
+			}
+		}()
+	}
+
+	// Deadline propagation: the client's remaining budget travels as
+	// relative milliseconds and bounds the job from THIS point — queue wait
+	// included. A job whose caller gave up must stop occupying the queue
+	// and must not start (or keep running) CG.
+	reqCtx := r.Context()
+	clientDeadline := false
+	if h := r.Header.Get(HeaderDeadlineMS); h != "" {
+		if ms, perr := strconv.ParseInt(h, 10, 64); perr == nil && ms > 0 {
+			var cancel context.CancelFunc
+			reqCtx, cancel = context.WithTimeout(reqCtx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+			clientDeadline = true
+		} else {
+			writeError(w, http.StatusBadRequest, "bad %s header %q", HeaderDeadlineMS, h)
+			return
+		}
 	}
 
 	id := fmt.Sprintf("j-%06d", s.seq.Add(1))
@@ -520,6 +685,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	logw.Info("job enqueued",
 		"matrix", shortFP(rm.Info.Fingerprint), "precond", req.Precond)
 
+	// Memory-watermark degradation gate: under pressure only solves that
+	// skip the allocation-heavy setup phase (warm cache hits, none/jacobi)
+	// are admitted; under critical everything sheds. Shedding answers 429
+	// exactly like queue saturation, so retrying clients back off the same
+	// way.
+	if state, shed := s.degrade.admit(s.solveIsWarm(&req, rm)); shed {
+		ji.State = JobRejected
+		ji.Err = fmt.Sprintf("shed: memory %s", degradeName(state))
+		ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+		s.jobs.put(ji)
+		root.SetAttr("outcome", JobRejected)
+		root.End()
+		s.recordTrace(tr, tc, parentSpan, &ji, JobRejected)
+		logw.Warn("job shed under memory pressure", "state", degradeName(state))
+		secs := int(math.Ceil(s.adm.retryAfter().Seconds()))
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+			Error:       fmt.Sprintf("service: shedding load, memory state %q", degradeName(state)),
+			RetryAfterS: secs, JobID: id, TraceID: tc.TraceID})
+		return
+	}
+
 	// The admission wait runs under the job's pprof labels with
 	// phase=admission, so a captured CPU window shows queueing as its own
 	// attributed slice, distinct from setup and CG time.
@@ -528,7 +715,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		release func()
 		err     error
 	)
-	prof.Do(r.Context(), func(lctx context.Context) {
+	prof.Do(reqCtx, func(lctx context.Context) {
 		release, err = s.adm.acquire(lctx)
 	}, prof.LabelJobID, id, prof.LabelTraceID, tc.TraceID,
 		prof.LabelFingerprint, shortFP(rm.Info.Fingerprint),
@@ -551,6 +738,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				Error: err.Error(), RetryAfterS: secs, JobID: id, TraceID: tc.TraceID})
 			return
 		}
+		if clientDeadline && errors.Is(err, context.DeadlineExceeded) {
+			// The client's propagated budget ran out while the job was still
+			// queue-waiting: give back the queue spot and say so — 504, the
+			// deadline-specific "the server did not finish in time" status.
+			s.reg.Counter("retry.deadline_expired_total").Inc()
+			logw.Warn("client deadline expired while queued")
+			writeJSON(w, http.StatusGatewayTimeout, ErrorBody{
+				Error: "client deadline expired while queued", JobID: id, TraceID: tc.TraceID})
+			return
+		}
 		// The client went away while queued; the body is written for the log.
 		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{
 			Error: err.Error(), JobID: id, TraceID: tc.TraceID})
@@ -568,7 +765,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// reqCtx already carries the client's propagated deadline (when sent),
+	// so the effective in-flight budget is min(client deadline, timeout):
+	// whichever fires first cancels queue-era CG via krylov's Ctx path.
+	ctx, cancel := context.WithTimeout(reqCtx, timeout)
 	defer cancel()
 	// Everything below the handler reads the identifiers and the span
 	// tracer from the context — no new parameters through cache/krylov.
@@ -628,6 +828,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ji.SolveNS = resp.SolveNS
 	s.jobs.put(ji)
 	s.reg.Counter(fmt.Sprintf("service.jobs{status=%q}", resp.Status)).Inc()
+	if clientDeadline && errors.Is(reqCtx.Err(), context.DeadlineExceeded) {
+		// The client's budget expired mid-flight; the cancellation already
+		// stopped CG (status "cancelled"), this just attributes it.
+		s.reg.Counter("retry.deadline_expired_total").Inc()
+		logw.Warn("client deadline expired in flight", "status", resp.Status)
+	}
 	root.SetAttr("outcome", resp.Status)
 	root.SetAttr("cache", resp.Cache)
 	root.End()
@@ -636,7 +842,56 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		"status", resp.Status, "cache", resp.Cache, "iterations", resp.Iterations,
 		"converged", resp.Converged, "queue_wait_ns", resp.QueueWaitNS,
 		"setup_ns", resp.SetupNS, "solve_ns", resp.SolveNS, "total_ns", resp.TotalNS)
+	finalResp = resp
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveIsWarm reports whether req would skip the allocation-heavy setup
+// phase: an FSAI-family factor already resident in the cache, or a
+// preconditioner too cheap to matter (none/jacobi). Resilient solves bypass
+// the cache and always count as cold.
+func (s *Server) solveIsWarm(req *SolveRequest, rm *RegisteredMatrix) bool {
+	if req.Resilient {
+		return false
+	}
+	if req.Precond == "none" || req.Precond == "jacobi" {
+		return true
+	}
+	return s.cache.Contains(PrecondKey(rm.Info.Fingerprint, req))
+}
+
+// replayIdempotent serves a request whose idempotency key another request
+// owns or owned: wait for the original execution (bounded by this request's
+// context) and replay its stored response. A nil stored response means the
+// original attempt failed without a result — answer 503 so the client's
+// retry loop tries again with the key now unclaimed.
+func (s *Server) replayIdempotent(w http.ResponseWriter, r *http.Request, ent *idemEntry) {
+	completed := false
+	select {
+	case <-ent.done:
+		completed = true
+	default:
+	}
+	resp, err := s.idem.await(r.Context(), ent)
+	switch {
+	case err != nil:
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{
+			Error: "gave up waiting for the original request with this idempotency key"})
+	case resp == nil:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{
+			Error: "original request with this idempotency key failed; retry"})
+	default:
+		if completed {
+			s.reg.Counter("retry.replays_total").Inc()
+		} else {
+			s.reg.Counter("retry.coalesced_total").Inc()
+		}
+		s.log.Info("idempotent replay", "job_id", resp.JobID, "trace_id", resp.TraceID,
+			"coalesced", !completed)
+		w.Header().Set(HeaderIdempotentReplay, "1")
+		writeJSON(w, http.StatusOK, replayCopy(resp))
+	}
 }
 
 // recordTrace snapshots the job's finished span tree into the recorder.
@@ -786,6 +1041,27 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 		} else {
 			resp.Cache = CacheMiss
 			setupNS = entry.SetupNS
+			if s.store != nil {
+				// Durability write-through: the factor this job just paid for
+				// survives a crash. Best-effort — a store failure costs the
+				// next restart a recomputation, never this response.
+				if serr := s.store.PutFactor(key, rm.Info.Fingerprint, entry.P, entry.SetupNS); serr != nil {
+					s.log.Warn("store factor write failed",
+						"job_id", id, "matrix", shortFP(rm.Info.Fingerprint), "error", serr.Error())
+				}
+			}
+			// A concurrent DELETE may have unregistered the matrix while this
+			// job was building. Unregistering starts with the registry
+			// removal, so if the matrix is still registered here, any delete
+			// in flight will sweep our cache/store writes itself; if it is
+			// gone, the delete may already have swept — redo the sweep so
+			// nothing survives an unregister.
+			if _, ok := s.matrices.Get(rm.Info.Fingerprint); !ok {
+				s.cache.EvictMatrix(rm.Info.Fingerprint)
+				if s.store != nil {
+					_ = s.store.DeleteMatrix(rm.Info.Fingerprint)
+				}
+			}
 		}
 		cacheSpan.SetAttr("cache", resp.Cache)
 		cacheSpan.End()

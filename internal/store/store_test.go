@@ -1,0 +1,436 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fsai "repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+)
+
+// fixture computes one matrix + factor pair for persistence tests.
+func fixture(t *testing.T) (*sparse.CSR, *fsai.Preconditioner) {
+	t.Helper()
+	a := matgen.Laplace2D(8, 8)
+	p, err := fsai.Compute(a, fsai.Options{Variant: fsai.VariantFull, LineBytes: 64, PatternPower: 1})
+	if err != nil {
+		t.Fatalf("fsai.Compute: %v", err)
+	}
+	return a, p
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func sameCSR(a, b *sparse.CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.Val) != len(b.Val) {
+		return false
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+			return false
+		}
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	a, p := fixture(t)
+	fp := a.Fingerprint()
+	key := fp + "|fsaie|f=0|line=64|pow=1|tau=0"
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "lap8"); err != nil {
+		t.Fatalf("PutMatrix: %v", err)
+	}
+	if err := s.PutFactor(key, fp, p, 12345); err != nil {
+		t.Fatalf("PutFactor: %v", err)
+	}
+	st := s.Stats()
+	if st.Matrices != 1 || st.Factors != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats after put = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openStore(t, dir)
+	ms, fs := s2.DrainRecovered()
+	if len(ms) != 1 || len(fs) != 1 {
+		t.Fatalf("recovered %d matrices, %d factors; want 1, 1", len(ms), len(fs))
+	}
+	if ms[0].Name != "lap8" || ms[0].A.Fingerprint() != fp {
+		t.Fatalf("recovered matrix name=%q fp=%s", ms[0].Name, ms[0].A.Fingerprint())
+	}
+	f := fs[0]
+	if f.Key != key || f.Fingerprint != fp || f.SetupNS != 12345 {
+		t.Fatalf("recovered factor meta = %+v", f)
+	}
+	// Bit-identical factors are the whole point: a warm solve after restart
+	// must reproduce the original arithmetic exactly.
+	if !sameCSR(f.G, p.G) || !sameCSR(f.GT, p.GT) {
+		t.Fatal("recovered factors are not bit-identical to the computed ones")
+	}
+	if f.Base == nil || f.Final == nil ||
+		f.Base.NNZ() != p.BasePattern.NNZ() || f.Final.NNZ() != p.FinalPattern.NNZ() {
+		t.Fatal("recovered patterns do not match")
+	}
+	if f.Stats.Rows != p.Stats.Rows || f.Stats.DirectFlops != p.Stats.DirectFlops {
+		t.Fatalf("recovered stats = %+v, want %+v", f.Stats, p.Stats)
+	}
+	// Rehydration path used by the service: the reconstructed preconditioner
+	// must Apply without the original in-process state.
+	re := fsai.FromFactors(f.G, f.GT, f.Base, f.Final, f.Stats, 1)
+	z1 := make([]float64, a.Rows)
+	z2 := make([]float64, a.Rows)
+	r := make([]float64, a.Rows)
+	for i := range r {
+		r[i] = float64(i%7) - 3
+	}
+	p.Workers = 1
+	p.Apply(z1, r)
+	re.Apply(z2, r)
+	for i := range z1 {
+		if z1[i] != z2[i] {
+			t.Fatalf("Apply mismatch at %d: %g vs %g", i, z1[i], z2[i])
+		}
+	}
+	// Second drain hands back nothing.
+	if m2, f2 := s2.DrainRecovered(); len(m2) != 0 || len(f2) != 0 {
+		t.Fatal("DrainRecovered is not one-shot")
+	}
+}
+
+func TestDeleteRemovesDiskEntries(t *testing.T) {
+	dir := t.TempDir()
+	a, p := fixture(t)
+	fp := a.Fingerprint()
+	key := fp + "|fsai"
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFactor(key, fp, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteFactor(key); err != nil {
+		t.Fatalf("DeleteFactor: %v", err)
+	}
+	if err := s.DeleteMatrix(fp); err != nil {
+		t.Fatalf("DeleteMatrix: %v", err)
+	}
+	for _, sub := range []string{matrixDir, factorDir} {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("%s still holds %d files after delete", sub, len(entries))
+		}
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	if ms, fs := s2.DrainRecovered(); len(ms) != 0 || len(fs) != 0 {
+		t.Fatalf("deleted entries came back: %d matrices, %d factors", len(ms), len(fs))
+	}
+}
+
+// corruptOneFile flips one byte of the single file in dir/sub.
+func corruptOneFile(t *testing.T, dir, sub string, mutate func([]byte) []byte) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, sub))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected exactly one file in %s (err=%v, n=%d)", sub, err, len(entries))
+	}
+	path := filepath.Join(dir, sub, entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return entries[0].Name()
+}
+
+func TestBitFlippedFactorIsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	a, p := fixture(t)
+	fp := a.Fingerprint()
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFactor(fp+"|k", fp, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	name := corruptOneFile(t, dir, factorDir, func(b []byte) []byte {
+		b[len(b)/2] ^= 0x10
+		return b
+	})
+
+	s2 := openStore(t, dir)
+	ms, fs := s2.DrainRecovered()
+	if len(ms) != 1 {
+		t.Fatalf("matrix should survive a factor corruption, got %d", len(ms))
+	}
+	if len(fs) != 0 {
+		t.Fatal("bit-flipped factor was not dropped")
+	}
+	if got := s2.Stats().Corrupt; got != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, name)); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+}
+
+func TestTruncatedMatrixIsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t)
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	corruptOneFile(t, dir, matrixDir, func(b []byte) []byte { return b[:len(b)/3] })
+
+	s2 := openStore(t, dir)
+	ms, _ := s2.DrainRecovered()
+	if len(ms) != 0 {
+		t.Fatal("truncated matrix entry was not dropped")
+	}
+	if got := s2.Stats().Corrupt; got != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", got)
+	}
+}
+
+func TestFactorWithoutMatrixIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	a, p := fixture(t)
+	fp := a.Fingerprint()
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFactor(fp+"|k", fp, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteMatrix(fp); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	ms, fs := s2.DrainRecovered()
+	if len(ms) != 0 || len(fs) != 0 {
+		t.Fatalf("orphaned factor survived: %d matrices, %d factors", len(ms), len(fs))
+	}
+	// Dangling factors are dropped, not quarantined: nothing was corrupt.
+	if got := s2.Stats().Corrupt; got != 0 {
+		t.Fatalf("corrupt counter = %d, want 0", got)
+	}
+}
+
+func TestPartialTrailingLogLineIsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t)
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a torn, non-JSON final line.
+	logPath := filepath.Join(dir, logName)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"del-matrix","ref":"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openStore(t, dir)
+	ms, _ := s2.DrainRecovered()
+	if len(ms) != 1 {
+		t.Fatalf("recovered %d matrices, want 1 (torn log tail must not lose prior records)", len(ms))
+	}
+}
+
+func TestCorruptSnapshotIsQuarantinedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t)
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open must succeed; the put-matrix record still lives in manifest.log
+	// (written after the Open-time compaction), so the entry survives.
+	s2 := openStore(t, dir)
+	ms, _ := s2.DrainRecovered()
+	if len(ms) != 1 {
+		t.Fatalf("recovered %d matrices, want 1 via log replay", len(ms))
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, manifestName)); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+}
+
+func TestOrphanFilesAndTempFilesAreSwept(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t)
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	orphan := filepath.Join(dir, factorDir, "deadbeef.bin")
+	tmp := filepath.Join(dir, matrixDir, "half.bin.tmp")
+	for _, p := range []string{orphan, tmp} {
+		if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	openStore(t, dir)
+	for _, p := range []string{orphan, tmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s not swept (err=%v)", p, err)
+		}
+	}
+}
+
+func TestLogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t)
+
+	s := openStore(t, dir)
+	if err := s.PutMatrix(a, "m"); err != nil {
+		t.Fatal(err)
+	}
+	// Rename churn drives the append log past compactEvery.
+	for i := 0; i < compactEvery+4; i++ {
+		name := "alias-" + strings.Repeat("x", i%3+1)
+		if err := s.PutMatrix(a, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 4096 {
+		t.Fatalf("manifest log not compacted: %d bytes", fi.Size())
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	ms, _ := s2.DrainRecovered()
+	if len(ms) != 1 {
+		t.Fatalf("recovered %d matrices after compaction, want 1", len(ms))
+	}
+}
+
+func TestInjectedShortWriteAndBitFlipAreCaughtOnRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		arm  func(in *faultinject.Injector)
+		site string
+	}{
+		{"short-write", func(in *faultinject.Injector) { in.WithShortWrite(0.5, 1) }, faultinject.SiteShortWrite},
+		{"bit-flip", func(in *faultinject.Injector) { in.WithBitFlip(1) }, faultinject.SiteBitFlip},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			a, p := fixture(t)
+			fp := a.Fingerprint()
+
+			s := openStore(t, dir)
+			if err := s.PutMatrix(a, "m"); err != nil {
+				t.Fatal(err)
+			}
+			in := faultinject.New(7)
+			tc.arm(in)
+			restore := faultinject.Activate(in)
+			err := s.PutFactor(fp+"|k", fp, p, 0)
+			restore()
+			if err != nil {
+				t.Fatalf("PutFactor under %s: %v", tc.name, err)
+			}
+			events := in.Events()
+			if len(events) != 1 || events[0].Site != tc.site {
+				t.Fatalf("events = %v, want one %s", events, tc.site)
+			}
+			s.Close()
+
+			s2 := openStore(t, dir)
+			ms, fs := s2.DrainRecovered()
+			if len(ms) != 1 || len(fs) != 0 {
+				t.Fatalf("recovered %d matrices, %d factors; corrupted factor must be dropped", len(ms), len(fs))
+			}
+			if got := s2.Stats().Corrupt; got != 1 {
+				t.Fatalf("corrupt counter = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestPutMatrixIsIdempotentByFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := fixture(t)
+
+	s := openStore(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.PutMatrix(a, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, matrixDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("re-putting one matrix produced %d files", len(entries))
+	}
+	if st := s.Stats(); st.Matrices != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -3,8 +3,11 @@
 # generated matrix, run a cold solve then a warm solve, and assert the
 # preconditioner cache did its job — the warm solve reports a cache hit with
 # zero setup time and beats the cold solve end-to-end. Also drills the
-# admission-control path (429 + Retry-After on saturation) and the mounted
-# observability endpoints. Run via `make service-smoke`.
+# admission-control path (429 + Retry-After on saturation), the mounted
+# observability endpoints, and asserts the robustness metric families
+# (store_*, retry_*, degraded_*) render with # HELP/# TYPE headers. The
+# crash-recovery path itself is drilled separately by crash_drill.sh.
+# Run via `make service-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,7 +46,10 @@ echo "== starting fsaid serve =="
 # One slot, no waiting queue: the saturation drill below is deterministic.
 # The profiling cadence is cranked way up so a capture window lands during
 # the smoke run (production default is 10s out of every minute).
+# -data-dir turns on the durable store (its gauges/counters must render);
+# the 4GiB soft limit arms the degradation layer without ever tripping it.
 "$workdir/fsaid" serve -listen 127.0.0.1:0 -runs-dir "$workdir/runs" \
+    -data-dir "$workdir/data" -mem-soft-limit 4GiB \
     -max-inflight 1 -queue=-1 \
     -prof-window 300ms -prof-gap 200ms 2>"$workdir/stderr.log" &
 pid=$!
@@ -111,6 +117,26 @@ curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
 grep -q '^service_cache_hits 1$' "$workdir/metrics.txt" || { echo "FAIL: cache-hit counter not incremented"; grep service_cache "$workdir/metrics.txt" || true; fail=1; }
 grep -q '^service_cache_misses 1$' "$workdir/metrics.txt" || { echo "FAIL: cache-miss counter wrong"; fail=1; }
 grep -q '^go_goroutines ' "$workdir/metrics.txt" || { echo "FAIL: runtime metrics missing from /metrics"; fail=1; }
+
+echo "== robustness metric families carry # HELP / # TYPE headers =="
+# docs/robustness.md documents these families; every one must render from
+# the first scrape (zero-registered), with its header pair, so dashboards
+# and alerts can rely on them before the first failure event.
+for fam in \
+    store_entries:gauge store_bytes:gauge store_corrupt_total:counter \
+    store_writes_total:counter store_deletes_total:counter store_errors_total:counter \
+    retry_replays_total:counter retry_coalesced_total:counter retry_deadline_expired_total:counter \
+    degraded_state:gauge degraded_shed_total:counter degraded_evictions_total:counter; do
+    name=${fam%:*}; kind=${fam#*:}
+    grep -q "^# HELP $name " "$workdir/metrics.txt" || { echo "FAIL: missing # HELP for $name"; fail=1; }
+    grep -q "^# TYPE $name $kind\$" "$workdir/metrics.txt" || { echo "FAIL: missing # TYPE $name $kind"; fail=1; }
+done
+# The durable store persisted the registered matrix and the cold solve's
+# factor: writes must be non-zero and both entry kinds present.
+grep -q '^store_writes_total [1-9]' "$workdir/metrics.txt" || { echo "FAIL: store_writes_total not incremented"; grep '^store_' "$workdir/metrics.txt" || true; fail=1; }
+grep -q '^store_entries{kind="matrix"} 1$' "$workdir/metrics.txt" || { echo "FAIL: store_entries{kind=\"matrix\"} != 1"; fail=1; }
+grep -q '^store_entries{kind="factor"} 1$' "$workdir/metrics.txt" || { echo "FAIL: store_entries{kind=\"factor\"} != 1"; fail=1; }
+grep -q '^degraded_state 0$' "$workdir/metrics.txt" || { echo "FAIL: degraded_state not 0 (normal) under no pressure"; fail=1; }
 
 echo "== /healthz =="
 curl -fsS "http://$addr/healthz" >"$workdir/health.json"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-smoke clean obs-smoke service-smoke crash-drill compare-baseline chaos prof-overhead-guard
+.PHONY: all build test race vet fmt lint check bench bench-smoke bench-nrhs clean obs-smoke service-smoke crash-drill compare-baseline chaos prof-overhead-guard
 
 all: check
 
@@ -38,6 +38,22 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'SpMV|FusedBlas1|PCGIteration|EngineDot' \
 		-benchtime 10x -benchmem \
 		./internal/sparse/ ./internal/kernels/ ./internal/krylov/
+
+# Multi-RHS amortization check (docs/performance.md, "Batched solving"):
+# the SpMM and block-PCG benchmarks across block widths (per-RHS ns drops
+# with k), plus the fsaibench -nrhs campaign, which also proves the block
+# solve's columns bit-identical to the scalar solves. The campaign's
+# deterministic metrics are gated against the committed multi-RHS baseline
+# (regenerate with `go run ./cmd/fsaibench -nrhs 8 -metrics-out
+# BENCH_nrhs_baseline.json`), and the candidate's per-RHS numbers are
+# appended to BENCH_history.json via fsaicompare -record.
+bench-nrhs:
+	$(GO) test -run '^$$' -bench 'SpMM|BlockPCGIteration' \
+		-benchtime 10x -benchmem ./internal/sparse/ ./internal/krylov/
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/fsaibench -nrhs 8 -metrics-out "$$tmp/nrhs.json" && \
+	$(GO) run ./cmd/fsaicompare -record BENCH_history.json \
+		BENCH_nrhs_baseline.json "$$tmp/nrhs.json"
 
 # Start fsaisolve with the observability server on a generated matrix and
 # scrape /metrics, /debug/solve (incl. SSE), /debug/pprof/ and /runs.

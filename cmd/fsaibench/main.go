@@ -12,6 +12,14 @@
 //	-arch NAME     restrict to one machine (Skylake, POWER9, A64FX)
 //	-ablation LIST run ablations: align,linesize,power,precond,order,adaptive,roofline,spectrum,fem,fig3 or all
 //	-matrix NAME   suite matrix for single-matrix ablations
+//	-nrhs K        multi-RHS amortization campaign: solve -matrix (or the
+//	               quick suite with -quick) for K right-hand sides, as K
+//	               scalar solves and as one K-column block solve, and print
+//	               the per-RHS wall times, amortization factor, and whether
+//	               the block columns reproduced the scalar solutions
+//	               bitwise; with -metrics-out, writes a run report whose
+//	               entries carry nrhs and whose op counters are split by
+//	               kernel class (spmv/spmm/blas1)
 //	-json PREFIX   also write per-machine results as <prefix>-<machine>.json
 //	-host          also print the measured host wall-clock table
 //	-v             progress output while the campaign runs
@@ -42,11 +50,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
 	"repro/internal/matgen"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 	"repro/internal/telemetry"
 )
@@ -60,6 +70,7 @@ func main() {
 		archFlag    = flag.String("arch", "", "restrict to one machine (Skylake, POWER9, A64FX)")
 		ablations   = flag.String("ablation", "", "comma-separated ablations: align,linesize,power,precond,order,adaptive,roofline,spectrum,fem,fig3 or all")
 		matrixFlag  = flag.String("matrix", "jump64x64-b8-j1e3", "suite matrix for single-matrix ablations")
+		nrhsFlag    = flag.Int("nrhs", 0, "multi-RHS amortization campaign with this many right-hand sides (>= 2)")
 		jsonPrefix  = flag.String("json", "", "write per-machine campaign results as <prefix>-<machine>.json")
 		hostTable   = flag.Bool("host", false, "also print measured host wall-clock FSAI vs FSAIE table")
 		verbose     = flag.Bool("v", false, "progress output")
@@ -96,7 +107,8 @@ func main() {
 	if *hostTable {
 		need64Host = true
 	}
-	if len(tables) == 0 && len(figures) == 0 && *ablations == "" && !*hostTable && *metricsOut == "" {
+	if len(tables) == 0 && len(figures) == 0 && *ablations == "" && !*hostTable &&
+		*metricsOut == "" && *nrhsFlag == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -104,6 +116,14 @@ func main() {
 	specs := matgen.Suite()
 	if *quickFlag {
 		specs = matgen.QuickSuite()
+	}
+
+	if *nrhsFlag != 0 {
+		if *nrhsFlag < 2 {
+			fatal("-nrhs must be >= 2, got %d", *nrhsFlag)
+		}
+		runMultiRHS(*nrhsFlag, *matrixFlag, *quickFlag, *metricsOut, *verbose, *timeout)
+		return
 	}
 
 	if *ablations != "" {
@@ -309,6 +329,59 @@ func main() {
 			}
 			fmt.Fprintln(out, experiments.Figure7(cs))
 		}
+	}
+}
+
+// runMultiRHS runs the -nrhs amortization campaign: the named suite matrix
+// (or the quick suite with -quick), each solved for k right-hand sides as k
+// scalar solves and as one k-column block solve. The op counters run for
+// the whole campaign so the report's op_classes section attributes the
+// work to spmv/spmm/blas1.
+func runMultiRHS(k int, matrixName string, quick bool, metricsOut string, verbose bool, timeout time.Duration) {
+	var specs []matgen.Spec
+	if quick {
+		specs = matgen.QuickSuite()
+	} else {
+		spec, ok := matgen.ByName(matrixName)
+		if !ok {
+			fatal("unknown -matrix %q", matrixName)
+		}
+		specs = []matgen.Spec{spec}
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	reg := telemetry.NewRegistry()
+	sparse.EnableOpCounters(true)
+	sparse.ResetOpCounters()
+	defer sparse.EnableOpCounters(false)
+
+	opt := experiments.MultiRHSOptions{
+		Workers: parallel.MaxWorkers(), Metrics: reg, Ctx: ctx,
+	}
+	var results []*experiments.MultiRHSResult
+	for _, spec := range specs {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "== multi-RHS: %s, k=%d ==\n", spec.Name, k)
+		}
+		r, err := experiments.RunMultiRHS(spec, k, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		results = append(results, r)
+	}
+	fmt.Print(experiments.MultiRHSTable(results))
+
+	if metricsOut != "" {
+		rep := experiments.MultiRHSReport(results, "fsaibench", "host", reg)
+		if err := experiments.WriteRunReportFile(metricsOut, rep); err != nil {
+			fatal("metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report (%d entries) to %s\n", len(rep.Entries), metricsOut)
 	}
 }
 

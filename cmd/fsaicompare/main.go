@@ -14,7 +14,9 @@
 //	-wall       also compare wall-clock metrics (setup/solve nanoseconds)
 //	-v          print every comparison, not just regressions
 //	-record F   append the candidate's headline numbers (wall times,
-//	            iterations, achieved SpMV GB/s) to the JSON history file F
+//	            iterations, achieved SpMV GB/s, and for multi-RHS entries
+//	            the block width and amortized per-RHS wall time) to the
+//	            JSON history file F
 //	            (conventionally BENCH_history.json), so perf trends survive
 //	            individual CI runs. Recording happens before the exit code
 //	            is decided — regressed runs land in the history too.
@@ -73,6 +75,14 @@ var metrics = []metric{
 	}},
 	{name: "solve_wall_ns", wall: true, get: func(e *experiments.RunEntry) (float64, bool) {
 		return float64(e.SolveWallNS), e.SolveWallNS > 0
+	}},
+	{name: "per_rhs_wall_ns", wall: true, get: func(e *experiments.RunEntry) (float64, bool) {
+		// Only multi-RHS entries (schema v7 nrhs > 1) carry the amortized
+		// per-RHS metric; single-RHS entries are gated by solve_wall_ns.
+		if e.NRHS < 2 || e.SolveWallNS <= 0 {
+			return 0, false
+		}
+		return float64(e.SolveWallNS) / float64(e.NRHS), true
 	}},
 }
 
@@ -218,6 +228,11 @@ type historyEntry struct {
 	Converged   bool    `json:"converged"`
 	SetupWallNS int64   `json:"setup_wall_ns"`
 	SolveWallNS int64   `json:"solve_wall_ns"`
+	// NRHS is the entry's block width (absent for single-RHS entries);
+	// PerRHSNS the amortized solve wall time per right-hand side, the
+	// headline number of the multi-RHS campaign.
+	NRHS     int   `json:"nrhs,omitempty"`
+	PerRHSNS int64 `json:"per_rhs_ns,omitempty"`
 	// SpMVGBs is the solve's achieved SpMV memory bandwidth in GB/s, from
 	// the report's roofline section (0 when the report has none).
 	SpMVGBs float64 `json:"spmv_gbs,omitempty"`
@@ -251,6 +266,10 @@ func appendHistory(path, reportPath string, rep *experiments.RunReport, regressi
 			Converged:   e.Converged,
 			SetupWallNS: e.SetupWallNS,
 			SolveWallNS: e.SolveWallNS,
+		}
+		if e.NRHS > 1 {
+			he.NRHS = e.NRHS
+			he.PerRHSNS = e.SolveWallNS / int64(e.NRHS)
 		}
 		if e.Roofline != nil {
 			for _, k := range e.Roofline.Kernels {

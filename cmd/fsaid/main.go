@@ -23,6 +23,11 @@
 //	  -matrices N       registry capacity (default 128)
 //	  -workers N        kernel parallelism per solve (default: all CPUs)
 //	  -timeout D        default per-job deadline (default 60s)
+//	  -batch-window D   collect concurrent warm solves on the same operator
+//	                    for up to D (e.g. 5ms) and run them as one block
+//	                    solve over a single admission slot (0: batching off)
+//	  -batch-max N      jobs per batch; a full batch launches before the
+//	                    window closes (default 8)
 //	  -log-level L      structured-log level: debug|info|warn|error (default info)
 //	  -log-format F     structured-log format: text|json (default text)
 //	  -trace-history N  finished request traces kept for /traces (default 256)
@@ -149,6 +154,8 @@ func cmdServe(args []string) {
 		matrixCap    = fs.Int("matrices", 0, "matrix registry capacity (default 128)")
 		workers      = fs.Int("workers", 0, "kernel parallelism per solve (0: all CPUs)")
 		timeout      = fs.Duration("timeout", 0, "default per-job deadline (default 60s)")
+		batchWindow  = fs.Duration("batch-window", 0, "batch window for concurrent warm solves (0: batching off)")
+		batchMax     = fs.Int("batch-max", 0, "jobs per batch (default 8)")
 		logLevel     = fs.String("log-level", "info", "structured-log level: debug|info|warn|error")
 		logFormat    = fs.String("log-format", "text", "structured-log format: text|json")
 		traceHistory = fs.Int("trace-history", 0, "finished request traces kept for /traces (default 256)")
@@ -206,6 +213,8 @@ func cmdServe(args []string) {
 		MatrixCap:          *matrixCap,
 		Workers:            *workers,
 		DefaultTimeout:     *timeout,
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
 		Logger:             logger,
 		TraceHistory:       *traceHistory,
 		SLO: obs.SLOObjectives{

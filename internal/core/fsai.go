@@ -240,6 +240,7 @@ type Preconditioner struct {
 	Workers int
 
 	tmp  []float64
+	btmp []float64 // block-apply scratch (rows × k), from the size-keyed pool
 	eng  *kernels.Engine
 	lctx context.Context // pprof label context for Apply's pooled sweeps
 }
@@ -281,6 +282,45 @@ func (p *Preconditioner) Apply(z, r []float64) {
 	}
 	p.eng.SpMV(p.G, p.tmp, r)
 	p.eng.SpMV(p.GT, z, p.tmp)
+}
+
+// ApplyBlock computes Z = Gᵀ(G R) for k column-major residual vectors in
+// two SpMM sweeps: the factors' CSR streams are read once for all k
+// columns instead of once per column, which is where the batched solve
+// path earns its per-RHS speedup. Column j of the result is bit-identical
+// to Apply on column j (the SpMM kernels preserve the per-column
+// accumulation order), and k = 1 is exactly Apply. The (rows × k) scratch
+// comes from the kernels size-keyed pool, so steady-state block
+// applications at a fixed k allocate nothing.
+//
+// Like Apply, ApplyBlock is not safe for concurrent use of one
+// Preconditioner.
+func (p *Preconditioner) ApplyBlock(z, r []float64, k int) {
+	if k == 1 {
+		p.Apply(z, r)
+		return
+	}
+	w := p.Workers
+	if w <= 0 {
+		w = parallel.MaxWorkers()
+	}
+	if need := p.G.Rows * k; len(p.btmp) != need {
+		if p.btmp != nil {
+			kernels.PutBlockScratch(p.btmp)
+		}
+		p.btmp = kernels.GetBlockScratch(need)
+	}
+	if w == 1 {
+		p.G.MulMat(p.btmp, r, k)
+		p.GT.MulMat(z, p.btmp, k)
+		return
+	}
+	if p.eng == nil || p.eng.Workers() != w {
+		p.eng = kernels.New(p.G.Rows, w)
+		p.eng.SetLabelContext(p.lctx)
+	}
+	p.eng.SpMM(p.G, p.btmp, r, k)
+	p.eng.SpMM(p.GT, z, p.btmp, k)
 }
 
 // initApply pre-allocates Apply's scratch and engine (and the partition

@@ -50,7 +50,15 @@ import (
 //	   model's roofs, the matrix's rolling bandwidth baseline and the
 //	   low-bandwidth flag. The numbers mirror the roofline_* Prometheus
 //	   gauges for the same job.
-const RunReportSchemaVersion = 6
+//	7: adds multi-RHS accounting (all optional): the per-entry "nrhs"
+//	   (right-hand sides solved together; absent/0 means 1) and the "batch"
+//	   section for entries produced as one column of the solve daemon's
+//	   batched block solve (batch id, block width, amortized per-RHS wall
+//	   time, achieved spmm arithmetic intensity). Roofline kernels gain the
+//	   "spmm" class for batched solves, and the top-level "op_classes"
+//	   section splits the op/byte counters by kernel class
+//	   (spmv/spmm/blas1).
+const RunReportSchemaVersion = 7
 
 // RunReportMinSchemaVersion is the oldest schema ReadRunReport upgrades.
 const RunReportMinSchemaVersion = 1
@@ -77,6 +85,19 @@ type RunReport struct {
 	// SpMVOps is the sparse-kernel op/byte counter snapshot, with the
 	// measured arithmetic intensity for roofline drift checks.
 	SpMVOps *RunSpMVOps `json:"spmv_ops,omitempty"`
+
+	// OpClasses splits the counted work by kernel class (schema v7,
+	// optional): single-vector spmv sweeps, batched spmm sweeps, and the
+	// dense blas1 traffic the solver engine accounts. The aggregate SpMVOps
+	// equal spmv + spmm; blas1 is tallied only here.
+	OpClasses *RunOpClasses `json:"op_classes,omitempty"`
+}
+
+// RunOpClasses is the per-kernel-class op-counter split (schema v7).
+type RunOpClasses struct {
+	SpMV  RunSpMVOps `json:"spmv"`
+	SpMM  RunSpMVOps `json:"spmm"`
+	BLAS1 RunSpMVOps `json:"blas1"`
 }
 
 // RunSpMVOps serializes sparse.OpCounts plus the derived intensity.
@@ -151,6 +172,34 @@ type RunEntry struct {
 	// Roofline is the live roofline placement of this solve (schema v6,
 	// optional): absent when kernel timing was not collected.
 	Roofline *RunRoofline `json:"roofline,omitempty"`
+
+	// NRHS is the number of right-hand sides solved together (schema v7,
+	// optional): 0 or absent means a single-RHS solve. Wall times are for
+	// the whole block; divide by NRHS for per-RHS cost.
+	NRHS int `json:"nrhs,omitempty"`
+
+	// Batch is the solve daemon's batching section (schema v7, optional):
+	// present when this entry's job executed as one column of a batched
+	// block solve.
+	Batch *RunBatch `json:"batch,omitempty"`
+}
+
+// RunBatch records how an fsaid job's solve cost amortized inside a batched
+// block solve (schema v7).
+type RunBatch struct {
+	// ID names the batch execution; Size its block width (number of jobs
+	// solved in one admission slot); Column this job's column index.
+	ID     string `json:"id"`
+	Size   int    `json:"size"`
+	Column int    `json:"column"`
+	// WindowWaitNS is this job's time in the open batch window; SolveWallNS
+	// the whole block solve's wall time; PerRHSNS the amortized per-job
+	// share (SolveWallNS / Size).
+	WindowWaitNS int64 `json:"window_wait_ns"`
+	SolveWallNS  int64 `json:"solve_wall_ns"`
+	PerRHSNS     int64 `json:"per_rhs_ns"`
+	// AchievedAI is the batch's spmm arithmetic intensity (flop/byte).
+	AchievedAI float64 `json:"achieved_ai,omitempty"`
 }
 
 // RunRoofline is the report's live-roofline section (schema v6): the
@@ -411,13 +460,27 @@ func BuildRunReport(c *RawCampaign, tool, machine string, reg *telemetry.Registr
 	}
 	if sparse.OpCountersEnabled() {
 		r.SetSpMVOps(sparse.ReadOpCounters())
+		r.SetOpClasses(sparse.ReadOpClassCounters())
 	}
 	return r
 }
 
 // SetSpMVOps attaches a sparse op-counter snapshot to the report.
 func (r *RunReport) SetSpMVOps(c sparse.OpCounts) {
-	r.SpMVOps = &RunSpMVOps{
+	r.SpMVOps = runOpsOf(c)
+}
+
+// SetOpClasses attaches the per-kernel-class counter split to the report.
+func (r *RunReport) SetOpClasses(c sparse.OpClassCounts) {
+	r.OpClasses = &RunOpClasses{
+		SpMV:  *runOpsOf(c.SpMV),
+		SpMM:  *runOpsOf(c.SpMM),
+		BLAS1: *runOpsOf(c.BLAS1),
+	}
+}
+
+func runOpsOf(c sparse.OpCounts) *RunSpMVOps {
+	return &RunSpMVOps{
 		Calls:       c.SpMVCalls,
 		Flops:       c.Flops,
 		MatrixBytes: c.MatrixBytes,

@@ -1,0 +1,276 @@
+// Block (multi-right-hand-side) kernels: SpMM dispatch and blocked BLAS-1
+// operations over column-major n×k vector blocks. They power the batched
+// solve path (krylov.SolveBlock): one pass over the matrix serves all k
+// columns, and the small k×k Gram products/updates of block CG run as
+// single fused sweeps instead of k² separate dots.
+//
+// Layout conventions (shared with internal/sparse and krylov):
+//   - vector blocks are column-major: column j of an n×k block b is
+//     b[j*n:(j+1)*n];
+//   - small k×k matrices are column-major: element (i,j) at a[i+j*k].
+//
+// Every block kernel delegates to the corresponding scalar kernel when
+// k == 1, so a one-column block op is bit-identical to the scalar solve
+// path by construction.
+package kernels
+
+import (
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// blockState holds the Engine's block-kernel operand slots and k-dependent
+// scratch. ensureBlock sizes the scratch once per block width, so a solve
+// that keeps k fixed performs no per-call allocation (the satellite fix:
+// scratch is keyed by chunks × k, not allocated per dispatch).
+type blockState struct {
+	k      int       // block width the scratch is currently sized for
+	gparts []float64 // per-chunk k×k partial Grams (BlockDot)
+	nparts []float64 // per-chunk per-column reduction partials (BlockXRUpdate)
+	rowbuf []float64 // per-chunk k-wide row staging (BlockXpay)
+
+	// Operand slots, valid during one kernel call.
+	a, b       []float64 // BlockDot inputs
+	alpha      []float64 // small k×k coefficient matrix
+	p, q, x, r []float64 // block update operands
+	z          []float64 // BlockXpay input
+	m          *sparse.CSR
+	my, mx     []float64 // SpMM operands
+
+	spmmBody, gramBody, xrBody, xpayBody func(chunk, lo, hi int)
+}
+
+// ensureBlock sizes the engine's block scratch for width k and binds the
+// chunk bodies on first use. Scalar-only engines never pay for it.
+func (e *Engine) ensureBlock(k int) {
+	if e.blk.spmmBody == nil {
+		e.bindBlockBodies()
+	}
+	if e.blk.k == k {
+		return
+	}
+	chunks := len(e.vbounds)/2 + 1
+	e.blk.k = k
+	e.blk.gparts = make([]float64, chunks*k*k)
+	e.blk.nparts = make([]float64, chunks*k)
+	e.blk.rowbuf = make([]float64, chunks*k)
+}
+
+func (e *Engine) bindBlockBodies() {
+	e.blk.spmmBody = func(_, lo, hi int) {
+		e.blk.m.MulMatRange(e.blk.my, e.blk.mx, e.blk.k, lo, hi)
+	}
+	e.blk.gramBody = func(c, lo, hi int) {
+		k, n := e.blk.k, e.n
+		a, b := e.blk.a, e.blk.b
+		g := e.blk.gparts[c*k*k : (c+1)*k*k]
+		blockGramRange(g, a, b, n, k, lo, hi)
+	}
+	e.blk.xrBody = func(c, lo, hi int) {
+		k, n := e.blk.k, e.n
+		s := e.blk.nparts[c*k : (c+1)*k]
+		blockXRRange(s, e.blk.alpha, e.blk.p, e.blk.q, e.blk.x, e.blk.r, n, k, lo, hi)
+	}
+	e.blk.xpayBody = func(c, lo, hi int) {
+		k, n := e.blk.k, e.n
+		buf := e.blk.rowbuf[c*k : (c+1)*k]
+		blockXpayRange(buf, e.blk.z, e.blk.alpha, e.blk.p, n, k, lo, hi)
+	}
+}
+
+// SpMM computes the k-column block product Y = m X (column-major),
+// scheduling the matrix's nnz-balanced partition plan on the pool exactly
+// like SpMV. Column j of the result is bit-identical to SpMV with column j
+// for any worker count; k == 1 is the scalar SpMV.
+func (e *Engine) SpMM(m *sparse.CSR, y, x []float64, k int) {
+	if k == 1 {
+		e.SpMV(m, y, x)
+		return
+	}
+	m.AccountSpMM(k)
+	if e.workers <= 1 {
+		m.MulMatRange(y, x, k, 0, m.Rows)
+		return
+	}
+	pl := m.PartitionPlan(e.workers)
+	if pl.NChunks() <= 1 {
+		m.MulMatRange(y, x, k, 0, m.Rows)
+		return
+	}
+	e.ensureBlock(k)
+	e.blk.m, e.blk.my, e.blk.mx = m, y, x
+	if err := e.pool.RunLabeled(pl.Bounds, e.blk.spmmBody, e.lctx); err != nil {
+		panic(err)
+	}
+	e.blk.m, e.blk.my, e.blk.mx = nil, nil, nil
+}
+
+// BlockDot computes the k×k Gram matrix out(i,j) = aᵢᵀ bⱼ over two n×k
+// column-major blocks in one fused sweep (out is column-major, len k*k).
+// Per-chunk partial Grams are combined in chunk order, so results are
+// deterministic for a fixed worker count. k == 1 delegates to Dot.
+func (e *Engine) BlockDot(a, b []float64, k int, out []float64) {
+	if k == 1 {
+		out[0] = e.Dot(a, b)
+		return
+	}
+	n := e.n
+	sparse.AccountBlas1(2*int64(n)*int64(k)*int64(k), 16*int64(n)*int64(k))
+	if !e.parallelVec(n) {
+		blockGramRange(out, a, b, n, k, 0, n)
+		return
+	}
+	e.ensureBlock(k)
+	e.blk.a, e.blk.b = a, b
+	e.run(e.blk.gramBody)
+	e.blk.a, e.blk.b = nil, nil
+	kk := k * k
+	copy(out[:kk], e.blk.gparts[:kk])
+	for c := 1; c < len(e.vbounds)/2; c++ {
+		g := e.blk.gparts[c*kk : (c+1)*kk]
+		for i := 0; i < kk; i++ {
+			out[i] += g[i]
+		}
+	}
+}
+
+// BlockXRUpdate is the fused block iterate/residual update of block CG:
+// X += P·Alpha, R -= Q·Alpha and rr[j] = ‖r_j‖² per column, in one sweep
+// over the four n×k blocks (alpha is k×k column-major). k == 1 delegates
+// to the scalar fused XRUpdate.
+func (e *Engine) BlockXRUpdate(alpha []float64, p, q, x, r []float64, k int, rr []float64) {
+	if k == 1 {
+		rr[0] = e.XRUpdate(alpha[0], p, q, x, r)
+		return
+	}
+	n := e.n
+	sparse.AccountBlas1(4*int64(n)*int64(k)*int64(k+1), 48*int64(n)*int64(k))
+	if !e.parallelVec(n) {
+		for j := range rr[:k] {
+			rr[j] = 0
+		}
+		blockXRRange(rr, alpha, p, q, x, r, n, k, 0, n)
+		return
+	}
+	e.ensureBlock(k)
+	e.blk.alpha, e.blk.p, e.blk.q, e.blk.x, e.blk.r = alpha, p, q, x, r
+	for i := range e.blk.nparts {
+		e.blk.nparts[i] = 0
+	}
+	e.run(e.blk.xrBody)
+	e.blk.alpha, e.blk.p, e.blk.q, e.blk.x, e.blk.r = nil, nil, nil, nil, nil
+	for j := 0; j < k; j++ {
+		rr[j] = 0
+	}
+	for c := 0; c < len(e.vbounds)/2; c++ {
+		s := e.blk.nparts[c*k : (c+1)*k]
+		for j := 0; j < k; j++ {
+			rr[j] += s[j]
+		}
+	}
+}
+
+// BlockXpay is the block search-direction update P = Z + P·Beta (beta k×k
+// column-major): the block analogue of Xpay, one sweep with a k-wide row
+// staging buffer so the in-place update reads the old P row. k == 1
+// delegates to the scalar Xpay.
+func (e *Engine) BlockXpay(z []float64, beta []float64, p []float64, k int) {
+	if k == 1 {
+		e.Xpay(z, beta[0], p)
+		return
+	}
+	n := e.n
+	sparse.AccountBlas1(2*int64(n)*int64(k)*int64(k), 24*int64(n)*int64(k))
+	if !e.parallelVec(n) {
+		e.ensureBlock(k)
+		blockXpayRange(e.blk.rowbuf[:k], z, beta, p, n, k, 0, n)
+		return
+	}
+	e.ensureBlock(k)
+	e.blk.z, e.blk.alpha, e.blk.p = z, beta, p
+	e.run(e.blk.xpayBody)
+	e.blk.z, e.blk.alpha, e.blk.p = nil, nil, nil
+}
+
+// blockGramRange accumulates g(i,j) += Σ_{rows} aᵢ·bⱼ over [lo,hi). g is
+// zeroed first (it is a per-chunk partial).
+func blockGramRange(g, a, b []float64, n, k, lo, hi int) {
+	for i := range g[:k*k] {
+		g[i] = 0
+	}
+	for i := lo; i < hi; i++ {
+		for jb := 0; jb < k; jb++ {
+			bv := b[jb*n+i]
+			gc := g[jb*k : (jb+1)*k]
+			for ja := 0; ja < k; ja++ {
+				gc[ja] += a[ja*n+i] * bv
+			}
+		}
+	}
+}
+
+// blockXRRange applies the fused update over rows [lo,hi), accumulating
+// per-column ‖r_j‖² into s (not zeroed: caller owns initialization).
+func blockXRRange(s, alpha, p, q, x, r []float64, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < k; j++ {
+			ac := alpha[j*k : (j+1)*k]
+			var dx, dr float64
+			for l := 0; l < k; l++ {
+				al := ac[l]
+				dx += p[l*n+i] * al
+				dr += q[l*n+i] * al
+			}
+			x[j*n+i] += dx
+			ri := r[j*n+i] - dr
+			r[j*n+i] = ri
+			s[j] += ri * ri
+		}
+	}
+}
+
+// blockXpayRange computes p_j = z_j + Σ_l p_l·beta(l,j) over rows [lo,hi),
+// staging the old P row in buf (len k) so the in-place update is safe.
+func blockXpayRange(buf, z, beta, p []float64, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for l := 0; l < k; l++ {
+			buf[l] = p[l*n+i]
+		}
+		for j := 0; j < k; j++ {
+			bc := beta[j*k : (j+1)*k]
+			s := z[j*n+i]
+			for l := 0; l < k; l++ {
+				s += buf[l] * bc[l]
+			}
+			p[j*n+i] = s
+		}
+	}
+}
+
+// blockScratch pools float64 buffers keyed by exact length, so repeated
+// block solves at the same (rows × k) reuse their work blocks instead of
+// allocating them per call.
+var blockScratch sync.Map // int -> *sync.Pool of *[]float64
+
+// GetBlockScratch returns a buffer of length n from the size-keyed pool.
+// Contents are unspecified; callers must initialize what they read.
+func GetBlockScratch(n int) []float64 {
+	p, ok := blockScratch.Load(n)
+	if !ok {
+		p, _ = blockScratch.LoadOrStore(n, &sync.Pool{New: func() any {
+			s := make([]float64, n)
+			return &s
+		}})
+	}
+	return *(p.(*sync.Pool).Get().(*[]float64))
+}
+
+// PutBlockScratch returns a buffer obtained from GetBlockScratch to its
+// size-keyed pool.
+func PutBlockScratch(s []float64) {
+	if p, ok := blockScratch.Load(len(s)); ok {
+		sc := s
+		p.(*sync.Pool).Put(&sc)
+	}
+}

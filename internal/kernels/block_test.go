@@ -1,0 +1,259 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+func blockVecs(rng *rand.Rand, n, k int) []float64 {
+	v := make([]float64, n*k)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func testMatrix(n int) *sparse.CSR {
+	b := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2.5)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+		}
+	}
+	return b.ToCSR()
+}
+
+// TestSpMMBitIdenticalToSpMV proves the pooled block product reproduces the
+// pooled single-vector product bit-for-bit per column, on the forced-pooled
+// path (parallelMinLen lowered) and across worker counts.
+func TestSpMMBitIdenticalToSpMV(t *testing.T) {
+	old := parallelMinLen
+	parallelMinLen = 64
+	defer func() { parallelMinLen = old }()
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	m := testMatrix(n)
+	for _, w := range []int{1, 2, 4} {
+		for _, k := range []int{1, 2, 3, 4, 6, 8} {
+			e := New(n, w)
+			x := blockVecs(rng, n, k)
+			y := make([]float64, n*k)
+			e.SpMM(m, y, x, k)
+			ref := make([]float64, n)
+			for j := 0; j < k; j++ {
+				e.SpMV(m, ref, x[j*n:(j+1)*n])
+				for i := range ref {
+					if y[j*n+i] != ref[i] {
+						t.Fatalf("w=%d k=%d col %d row %d: %v != %v", w, k, j, i, y[j*n+i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockDot checks the fused Gram against per-pair serial dots, pooled
+// and serial, and that k=1 delegates bit-identically to Dot.
+func TestBlockDot(t *testing.T) {
+	old := parallelMinLen
+	parallelMinLen = 64
+	defer func() { parallelMinLen = old }()
+	rng := rand.New(rand.NewSource(9))
+	n := 700
+	for _, w := range []int{1, 3} {
+		for _, k := range []int{1, 2, 4, 5} {
+			e := New(n, w)
+			a := blockVecs(rng, n, k)
+			b := blockVecs(rng, n, k)
+			g := make([]float64, k*k)
+			e.BlockDot(a, b, k, g)
+			for j := 0; j < k; j++ {
+				for i := 0; i < k; i++ {
+					want := SerialDot(a[i*n:(i+1)*n], b[j*n:(j+1)*n])
+					got := g[i+j*k]
+					if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+						t.Fatalf("w=%d k=%d G(%d,%d): got %v want %v", w, k, i, j, got, want)
+					}
+				}
+			}
+			if k == 1 && g[0] != e.Dot(a, b) {
+				t.Fatalf("k=1 BlockDot not bit-identical to Dot")
+			}
+		}
+	}
+}
+
+// TestBlockXRUpdateAndXpay checks the fused block updates against the
+// scalar reference kernels applied with an explicit small-matrix multiply.
+func TestBlockXRUpdateAndXpay(t *testing.T) {
+	old := parallelMinLen
+	parallelMinLen = 64
+	defer func() { parallelMinLen = old }()
+	rng := rand.New(rand.NewSource(13))
+	n := 400
+	for _, w := range []int{1, 4} {
+		for _, k := range []int{1, 2, 3, 8} {
+			e := New(n, w)
+			p := blockVecs(rng, n, k)
+			q := blockVecs(rng, n, k)
+			x := blockVecs(rng, n, k)
+			r := blockVecs(rng, n, k)
+			alpha := blockVecs(rng, k, k)
+			wantX := append([]float64(nil), x...)
+			wantR := append([]float64(nil), r...)
+			wantRR := make([]float64, k)
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					var dx, dr float64
+					for l := 0; l < k; l++ {
+						dx += p[l*n+i] * alpha[l+j*k]
+						dr += q[l*n+i] * alpha[l+j*k]
+					}
+					wantX[j*n+i] += dx
+					wantR[j*n+i] -= dr
+					wantRR[j] += wantR[j*n+i] * wantR[j*n+i]
+				}
+			}
+			rr := make([]float64, k)
+			e.BlockXRUpdate(alpha, p, q, x, r, k, rr)
+			for i := range wantX {
+				if math.Abs(x[i]-wantX[i]) > 1e-12*math.Max(1, math.Abs(wantX[i])) {
+					t.Fatalf("w=%d k=%d x[%d]: got %v want %v", w, k, i, x[i], wantX[i])
+				}
+				if math.Abs(r[i]-wantR[i]) > 1e-12*math.Max(1, math.Abs(wantR[i])) {
+					t.Fatalf("w=%d k=%d r[%d]: got %v want %v", w, k, i, r[i], wantR[i])
+				}
+			}
+			for j := range rr {
+				if math.Abs(rr[j]-wantRR[j]) > 1e-9*math.Max(1, wantRR[j]) {
+					t.Fatalf("w=%d k=%d rr[%d]: got %v want %v", w, k, j, rr[j], wantRR[j])
+				}
+			}
+
+			z := blockVecs(rng, n, k)
+			beta := blockVecs(rng, k, k)
+			wantP := make([]float64, n*k)
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					s := z[j*n+i]
+					for l := 0; l < k; l++ {
+						s += p[l*n+i] * beta[l+j*k]
+					}
+					wantP[j*n+i] = s
+				}
+			}
+			e.BlockXpay(z, beta, p, k)
+			for i := range wantP {
+				if math.Abs(p[i]-wantP[i]) > 1e-12*math.Max(1, math.Abs(wantP[i])) {
+					t.Fatalf("w=%d k=%d p[%d]: got %v want %v", w, k, i, p[i], wantP[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBlockScratchPoolReuse checks the size-keyed scratch pool hands back
+// buffers of the exact requested length.
+func TestBlockScratchPoolReuse(t *testing.T) {
+	for _, n := range []int{128, 128 * 8, 999} {
+		s := GetBlockScratch(n)
+		if len(s) != n {
+			t.Fatalf("GetBlockScratch(%d) returned len %d", n, len(s))
+		}
+		PutBlockScratch(s)
+		s2 := GetBlockScratch(n)
+		if len(s2) != n {
+			t.Fatalf("reused buffer has len %d want %d", len(s2), n)
+		}
+		PutBlockScratch(s2)
+	}
+}
+
+// BenchmarkBlockBlas1 is the block analogue of BenchmarkFusedBlas1: the
+// fused block kernels at k=8 on the pooled path. The scratch-pool fix is
+// asserted the same way — allocs/op must be zero in steady state (the
+// engine's k-keyed scratch is sized once, not per call).
+func BenchmarkBlockBlas1(b *testing.B) {
+	const n = 1 << 17
+	const k = 8
+	rng := rand.New(rand.NewSource(1))
+	e := New(n, parallel.MaxWorkers())
+	p := blockVecs(rng, n, k)
+	q := blockVecs(rng, n, k)
+	x := blockVecs(rng, n, k)
+	r := blockVecs(rng, n, k)
+	z := blockVecs(rng, n, k)
+	alpha := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		alpha[i+i*k] = 1e-9
+	}
+	g := make([]float64, k*k)
+	rr := make([]float64, k)
+	b.Run(fmt.Sprintf("block-dot-k=%d", k), func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(n * k * 8 * 2))
+		for i := 0; i < b.N; i++ {
+			e.BlockDot(p, q, k, g)
+		}
+	})
+	b.Run(fmt.Sprintf("block-xrupdate-k=%d", k), func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(n * k * 8 * 6))
+		for i := 0; i < b.N; i++ {
+			e.BlockXRUpdate(alpha, p, q, x, r, k, rr)
+		}
+	})
+	b.Run(fmt.Sprintf("block-xpay-k=%d", k), func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(n * k * 8 * 3))
+		for i := 0; i < b.N; i++ {
+			e.BlockXpay(z, alpha, p, k)
+		}
+	})
+}
+
+// TestBlockBlas1ZeroAllocs is the hard assertion behind the benchmark: in
+// steady state (scratch sized by a first call) the fused block kernels
+// perform zero heap allocations per invocation.
+func TestBlockBlas1ZeroAllocs(t *testing.T) {
+	old := parallelMinLen
+	parallelMinLen = 1 << 10
+	defer func() { parallelMinLen = old }()
+	n := 1 << 12
+	const k = 8
+	rng := rand.New(rand.NewSource(2))
+	e := New(n, 2)
+	m := testMatrix(n)
+	m.PartitionPlan(2)
+	p := blockVecs(rng, n, k)
+	q := blockVecs(rng, n, k)
+	x := blockVecs(rng, n, k)
+	r := blockVecs(rng, n, k)
+	alpha := make([]float64, k*k)
+	g := make([]float64, k*k)
+	rr := make([]float64, k)
+	y := make([]float64, n*k)
+	// Warm up: size the k-keyed scratch once.
+	e.BlockDot(p, q, k, g)
+	e.BlockXRUpdate(alpha, p, q, x, r, k, rr)
+	e.BlockXpay(p, alpha, q, k)
+	e.SpMM(m, y, p, k)
+	allocs := testing.AllocsPerRun(20, func() {
+		e.SpMM(m, y, p, k)
+		e.BlockDot(p, q, k, g)
+		e.BlockXRUpdate(alpha, p, q, x, r, k, rr)
+		e.BlockXpay(p, alpha, q, k)
+	})
+	if allocs != 0 {
+		t.Fatalf("block kernels allocated %.1f times per run; want 0", allocs)
+	}
+}

@@ -68,6 +68,10 @@ type Engine struct {
 	lctx context.Context
 
 	dotBody, axpyBody, xpayBody, xrBody, axpyDotBody, spmvBody func(chunk, lo, hi int)
+
+	// blk holds the block-kernel (SpMM / blocked BLAS-1) operand slots and
+	// k-dependent scratch; see block.go. Sized lazily by ensureBlock.
+	blk blockState
 }
 
 // New returns an engine for vectors of length n using the given worker
@@ -195,6 +199,7 @@ func (e *Engine) SpMV(m *sparse.CSR, y, x []float64) {
 
 // Dot returns aᵀb.
 func (e *Engine) Dot(a, b []float64) float64 {
+	sparse.AccountBlas1(2*int64(len(a)), 16*int64(len(a)))
 	if !e.parallelVec(len(a)) {
 		return SerialDot(a, b)
 	}
@@ -209,6 +214,7 @@ func (e *Engine) Norm2(a []float64) float64 { return math.Sqrt(e.Dot(a, a)) }
 
 // Axpy computes y += alpha x.
 func (e *Engine) Axpy(alpha float64, x, y []float64) {
+	sparse.AccountBlas1(2*int64(len(x)), 24*int64(len(x)))
 	if !e.parallelVec(len(x)) {
 		SerialAxpy(alpha, x, y)
 		return
@@ -220,6 +226,7 @@ func (e *Engine) Axpy(alpha float64, x, y []float64) {
 
 // Xpay computes y = x + beta y (the CG search-direction update).
 func (e *Engine) Xpay(x []float64, beta float64, y []float64) {
+	sparse.AccountBlas1(2*int64(len(x)), 24*int64(len(x)))
 	if !e.parallelVec(len(x)) {
 		SerialXpay(x, beta, y)
 		return
@@ -231,6 +238,7 @@ func (e *Engine) Xpay(x []float64, beta float64, y []float64) {
 
 // AxpyDot computes y += alpha x and returns yᵀw in the same sweep.
 func (e *Engine) AxpyDot(alpha float64, x, y, w []float64) float64 {
+	sparse.AccountBlas1(4*int64(len(x)), 32*int64(len(x)))
 	if !e.parallelVec(len(x)) {
 		return SerialAxpyDot(alpha, x, y, w)
 	}
@@ -246,6 +254,7 @@ func (e *Engine) AxpyDot(alpha float64, x, y, w []float64) float64 {
 // operation order matches the three separate reference kernels exactly, so
 // fusing changes no bits.
 func (e *Engine) XRUpdate(alpha float64, p, ap, x, r []float64) float64 {
+	sparse.AccountBlas1(6*int64(len(p)), 48*int64(len(p)))
 	if !e.parallelVec(len(p)) {
 		return SerialXRUpdate(alpha, p, ap, x, r)
 	}

@@ -1,0 +1,647 @@
+// Block (multi-right-hand-side) PCG: SolveBlock runs k solves A x_j = b_j
+// against one operator in a single iteration loop, so every sweep over A
+// (and over the FSAI factors) serves all k columns through the SpMM
+// kernels — the per-RHS matrix traffic drops k-fold, which is the
+// bandwidth→compute shift the batched service path is built on.
+//
+// Two recurrence modes:
+//
+//   - Decoupled (default): each column keeps its own scalar α/β recurrence;
+//     only the sparse sweeps are batched. Column j then executes exactly
+//     the kernel sequence of the scalar Solve, so its result is
+//     bit-identical to an unbatched solve of that column — the invariant
+//     the service batcher relies on (batched responses must equal
+//     unbatched ones bit-for-bit).
+//
+//   - Coupled (BlockOptions.Coupled): the classical O'Leary block-CG
+//     recurrence with k×k Gram matrices (α and β become small dense
+//     solves against PᵀAP and RᵀZ via Cholesky). It shares search
+//     information across columns and typically converges in fewer
+//     iterations, at the cost of bit-comparability with scalar solves.
+//     With one (remaining) column the Gram systems are 1×1 and the
+//     recurrence degenerates to the scalar one exactly.
+//
+// Both modes track convergence per column, deflate finished columns out of
+// the active block (converged, broken-down, or deadline-cancelled columns
+// stop consuming sweeps without poisoning the rest of the batch), and
+// reuse the Status/Checkpoint/Timing plumbing of the scalar solver.
+package krylov
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/prof"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// BlockPreconditioner is a Preconditioner that can apply itself to a
+// column-major block of k residuals in one batched pass. SolveBlock uses
+// it when available; otherwise it falls back to column-wise Apply (which
+// is arithmetically identical, just without the batched matrix traffic).
+type BlockPreconditioner interface {
+	Preconditioner
+	ApplyBlock(z, r []float64, k int)
+}
+
+// ApplyBlock copies each residual column (plain CG).
+func (Identity) ApplyBlock(z, r []float64, k int) { copy(z, r) }
+
+// ApplyBlock applies the diagonal scaling to each column.
+func (j *Jacobi) ApplyBlock(z, r []float64, k int) {
+	n := len(j.InvDiag)
+	for c := 0; c < k; c++ {
+		j.Apply(z[c*n:(c+1)*n], r[c*n:(c+1)*n])
+	}
+}
+
+// BlockOptions configures a block solve. The scalar fields mirror Options;
+// see there for semantics.
+type BlockOptions struct {
+	Tol     float64
+	MaxIter int
+	Workers int
+	// RecordHistory stores per-column relative residuals (in each column's
+	// Result.History) for the iterations the column was active.
+	RecordHistory bool
+	// Progress and ProgressDetail receive per-iteration snapshots carrying
+	// the worst (largest) relative residual across the still-active
+	// columns, so one batch shows up as one converging solve on live
+	// observability surfaces.
+	Progress       func(iter int, relres float64)
+	ProgressDetail func(ProgressInfo)
+	CollectTiming  bool
+	Metrics        *telemetry.Registry
+	// Ctx cancels the whole block cooperatively (all remaining columns
+	// return StatusCancelled with resumable checkpoints).
+	Ctx context.Context
+	// CancelCheckEvery is the context poll cadence in iterations (default 32).
+	CancelCheckEvery int
+	// ColumnCtx, when non-nil (length k, nil entries allowed), cancels
+	// individual columns: a column whose context expires — a batched job's
+	// client deadline — deflates out of the block with StatusCancelled and
+	// a warm checkpoint, while the remaining columns keep iterating.
+	ColumnCtx []context.Context
+	// Coupled selects the O'Leary k×k-Gram recurrence instead of the
+	// default decoupled (bit-identical per column) one.
+	Coupled bool
+}
+
+// BlockResult reports the outcome of a block solve.
+type BlockResult struct {
+	// Columns holds one scalar-shaped Result per right-hand side, in input
+	// order: iterations the column was active, its typed status, final
+	// relative residual, optional history, and a checkpoint on
+	// non-converged termination.
+	Columns []Result
+	// Iterations is the number of block iterations executed (the max over
+	// columns).
+	Iterations int
+	// Timing is the kernel-class breakdown of the whole block solve when
+	// CollectTiming is set.
+	Timing Timing
+	// AllConverged reports whether every column converged.
+	AllConverged bool
+}
+
+// SolveBlock runs preconditioned CG on A X = B for k column-major
+// right-hand sides (column j of B is b[j*n:(j+1)*n]), starting from X = 0.
+// The solutions overwrite x (same layout). See the package comment above
+// for the recurrence modes and deflation semantics.
+func SolveBlock(a *sparse.CSR, x, b []float64, k int, m Preconditioner, opt BlockOptions) BlockResult {
+	if k < 1 || len(x) != k*a.Rows || len(b) != k*a.Rows {
+		panic("krylov: SolveBlock dimensions")
+	}
+	if opt.Ctx == nil {
+		return solveBlock(a, x, b, k, m, opt)
+	}
+	var res BlockResult
+	prof.WithPhase(opt.Ctx, prof.PhaseCG, func(ctx context.Context) {
+		o := opt
+		o.Ctx = ctx
+		res = solveBlock(a, x, b, k, m, o)
+	})
+	return res
+}
+
+func solveBlock(a *sparse.CSR, x, b []float64, k int, m Preconditioner, opt BlockOptions) BlockResult {
+	n := a.Rows
+	if m == nil {
+		m = Identity{}
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10000
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.CancelCheckEvery <= 0 {
+		opt.CancelCheckEvery = 32
+	}
+	collect := opt.CollectTiming
+	var hSpMV, hPrecond, hBlas1 *telemetry.Histogram
+	var iterCtr *telemetry.Counter
+	if collect && opt.Metrics != nil {
+		buckets := telemetry.ExpBuckets(100, 10, 8)
+		hSpMV = opt.Metrics.Histogram("krylov.iter.spmv_ns", buckets)
+		hPrecond = opt.Metrics.Histogram("krylov.iter.precond_ns", buckets)
+		hBlas1 = opt.Metrics.Histogram("krylov.iter.blas1_ns", buckets)
+		iterCtr = opt.Metrics.Counter("krylov.iterations")
+	}
+	eng := kernels.New(n, opt.Workers)
+	if opt.Ctx != nil {
+		eng.SetLabelContext(opt.Ctx)
+		if lc, ok := m.(interface{ SetLabelContext(context.Context) }); ok {
+			lc.SetLabelContext(opt.Ctx)
+		}
+	}
+	var start, t0 time.Time
+	if collect {
+		start = time.Now()
+	}
+	span := trace.StartSpan(opt.Ctx, "block-cg-solve")
+
+	res := BlockResult{Columns: make([]Result, k)}
+	for c := range res.Columns {
+		res.Columns[c].RelResidual = 1
+		res.Columns[c].Status = StatusUnknown
+	}
+
+	// Work blocks from the size-keyed scratch pool: repeated batch solves
+	// at the same (rows × k) reuse them instead of allocating.
+	xw := kernels.GetBlockScratch(n * k)
+	r := kernels.GetBlockScratch(n * k)
+	z := kernels.GetBlockScratch(n * k)
+	p := kernels.GetBlockScratch(n * k)
+	q := kernels.GetBlockScratch(n * k)
+	defer func() {
+		kernels.PutBlockScratch(xw)
+		kernels.PutBlockScratch(r)
+		kernels.PutBlockScratch(z)
+		kernels.PutBlockScratch(p)
+		kernels.PutBlockScratch(q)
+	}()
+
+	// Slot bookkeeping: active columns live compacted in slots [0,nact);
+	// colOf maps a slot back to its input column. Deflation compacts
+	// stably, preserving relative column order (deterministic results).
+	colOf := make([]int, k)
+	bnorm := make([]float64, k) // indexed by input column
+	rzv := make([]float64, k)   // per-slot rᵀz (decoupled mode)
+	relv := make([]float64, k)  // per-slot current relative residual
+	nact := 0
+
+	// terminate finalizes the column in slot s (status, residual, optional
+	// checkpoint) and copies its iterate to the output block. It does NOT
+	// compact; callers mark and compact afterwards.
+	terminate := func(s int, status Status, rel float64, cp *Checkpoint) {
+		c := colOf[s]
+		res.Columns[c].Status = status
+		res.Columns[c].Converged = status == StatusConverged
+		res.Columns[c].RelResidual = rel
+		res.Columns[c].Checkpoint = cp
+		copy(x[c*n:(c+1)*n], xw[s*n:(s+1)*n])
+	}
+
+	for c := 0; c < k; c++ {
+		bc := b[c*n : (c+1)*n]
+		bnorm[c] = eng.Norm2(bc)
+		if bnorm[c] == 0 {
+			Fill(x[c*n:(c+1)*n], 0)
+			res.Columns[c].Status = StatusConverged
+			res.Columns[c].Converged = true
+			res.Columns[c].RelResidual = 0
+			continue
+		}
+		s := nact
+		colOf[s] = c
+		copy(r[s*n:(s+1)*n], bc)
+		Fill(xw[s*n:(s+1)*n], 0)
+		rel := eng.Norm2(r[s*n:(s+1)*n]) / bnorm[c]
+		relv[s] = rel
+		res.Columns[c].RelResidual = rel
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			res.Columns[c].Status = StatusNaNOrInf
+			if opt.RecordHistory {
+				res.Columns[c].History = append(res.Columns[c].History, rel)
+			}
+			copy(x[c*n:(c+1)*n], xw[s*n:(s+1)*n])
+			continue
+		}
+		if opt.RecordHistory {
+			res.Columns[c].History = append(res.Columns[c].History, rel)
+		}
+		if rel <= opt.Tol {
+			res.Columns[c].Status = StatusConverged
+			res.Columns[c].Converged = true
+			copy(x[c*n:(c+1)*n], xw[s*n:(s+1)*n])
+			continue
+		}
+		nact++
+	}
+
+	finish := func() BlockResult {
+		if collect {
+			res.Timing.Total = time.Since(start)
+		}
+		res.AllConverged = true
+		for c := range res.Columns {
+			if !res.Columns[c].Converged {
+				res.AllConverged = false
+			}
+			if res.Columns[c].Iterations > res.Iterations {
+				res.Iterations = res.Columns[c].Iterations
+			}
+		}
+		span.SetAttr("columns", fmt.Sprint(k))
+		span.SetAttr("iterations", fmt.Sprint(res.Iterations))
+		span.End()
+		return res
+	}
+
+	applyBlock := func(ka int) {
+		if collect {
+			t0 = time.Now()
+		}
+		if bp, ok := m.(BlockPreconditioner); ok {
+			bp.ApplyBlock(z[:ka*n], r[:ka*n], ka)
+		} else {
+			for s := 0; s < ka; s++ {
+				m.Apply(z[s*n:(s+1)*n], r[s*n:(s+1)*n])
+			}
+		}
+		if collect {
+			d := time.Since(t0)
+			res.Timing.Precond += d
+			hPrecond.Observe(float64(d.Nanoseconds()))
+		}
+	}
+
+	if nact == 0 {
+		return finish()
+	}
+
+	// Initial preconditioned residual, search block and Gram state.
+	applyBlock(nact)
+	var gamma, gnew, gfac, alphaM, betaM []float64
+	if opt.Coupled {
+		gamma = make([]float64, k*k)
+		gnew = make([]float64, k*k)
+		gfac = make([]float64, k*k)
+		alphaM = make([]float64, k*k)
+		betaM = make([]float64, k*k)
+	}
+	copy(p[:nact*n], z[:nact*n])
+	if opt.Coupled && nact > 1 {
+		eng.BlockDot(r[:nact*n], z[:nact*n], nact, gamma)
+		for s := 0; s < nact; s++ {
+			rzv[s] = gamma[s+s*nact]
+		}
+	} else {
+		for s := 0; s < nact; s++ {
+			rzv[s] = eng.Dot(r[s*n:(s+1)*n], z[s*n:(s+1)*n])
+		}
+		if opt.Coupled {
+			gamma[0] = rzv[0]
+		}
+	}
+
+	// dead[s] is set when slot s terminated this iteration and must be
+	// compacted out before the next one.
+	dead := make([]bool, k)
+	rr := make([]float64, k)
+
+	// compact removes dead slots, stably. In coupled mode the Gram matrix
+	// over the surviving slots is the corresponding submatrix of gamma.
+	compact := func() {
+		alive := 0
+		for s := 0; s < nact; s++ {
+			if dead[s] {
+				continue
+			}
+			if s != alive {
+				copy(xw[alive*n:(alive+1)*n], xw[s*n:(s+1)*n])
+				copy(r[alive*n:(alive+1)*n], r[s*n:(s+1)*n])
+				copy(p[alive*n:(alive+1)*n], p[s*n:(s+1)*n])
+				colOf[alive] = colOf[s]
+				rzv[alive] = rzv[s]
+				relv[alive] = relv[s]
+			}
+			alive++
+		}
+		if opt.Coupled && alive != nact {
+			// gamma indices are slot-based: extract the surviving
+			// rows/columns in their (stable) new order.
+			keep := make([]int, 0, alive)
+			for s := 0; s < nact; s++ {
+				if !dead[s] {
+					keep = append(keep, s)
+				}
+			}
+			for j, oj := range keep {
+				for i, oi := range keep {
+					gnew[i+j*alive] = gamma[oi+oj*nact]
+				}
+			}
+			copy(gamma[:alive*alive], gnew[:alive*alive])
+		}
+		for s := 0; s < nact; s++ {
+			dead[s] = false
+		}
+		nact = alive
+	}
+
+	maxIter := opt.MaxIter
+	for it := 0; nact > 0 && it < maxIter; it++ {
+		if it%opt.CancelCheckEvery == 0 {
+			if opt.Ctx != nil {
+				select {
+				case <-opt.Ctx.Done():
+					for s := 0; s < nact; s++ {
+						res.Columns[colOf[s]].Iterations = it
+						cp := snapshotCheckpoint(it, xw[s*n:(s+1)*n], r[s*n:(s+1)*n], p[s*n:(s+1)*n], rzv[s])
+						if opt.Coupled {
+							cp = warmCheckpoint(it, xw[s*n:(s+1)*n], r[s*n:(s+1)*n])
+						}
+						terminate(s, StatusCancelled, relv[s], cp)
+					}
+					nact = 0
+					return finish()
+				default:
+				}
+			}
+			if opt.ColumnCtx != nil {
+				for s := 0; s < nact; s++ {
+					cc := opt.ColumnCtx[colOf[s]]
+					if cc == nil {
+						continue
+					}
+					select {
+					case <-cc.Done():
+						// Deadline-expired column: deflate it out with a
+						// resumable checkpoint; the batch keeps going.
+						res.Columns[colOf[s]].Iterations = it
+						cp := snapshotCheckpoint(it, xw[s*n:(s+1)*n], r[s*n:(s+1)*n], p[s*n:(s+1)*n], rzv[s])
+						if opt.Coupled {
+							cp = warmCheckpoint(it, xw[s*n:(s+1)*n], r[s*n:(s+1)*n])
+						}
+						terminate(s, StatusCancelled, relv[s], cp)
+						dead[s] = true
+					default:
+					}
+				}
+				compact()
+				if nact == 0 {
+					return finish()
+				}
+			}
+		}
+		ka := nact
+
+		if collect {
+			t0 = time.Now()
+		}
+		eng.SpMM(a, q[:ka*n], p[:ka*n], ka)
+		if collect {
+			d := time.Since(t0)
+			res.Timing.SpMV += d
+			hSpMV.Observe(float64(d.Nanoseconds()))
+			t0 = time.Now()
+		}
+
+		if opt.Coupled && ka > 1 {
+			// δ = PᵀQ; Alpha = δ⁻¹γ via Cholesky. A failed factorization is
+			// the block analogue of the scalar pᵀAp breakdown: every active
+			// column ends with its last good iterate as a warm checkpoint.
+			eng.BlockDot(p[:ka*n], q[:ka*n], ka, gfac)
+			nan := hasNaN(gfac[:ka*ka])
+			if nan || !cholFactor(gfac, ka) {
+				status := StatusIndefinite
+				if nan {
+					status = StatusNaNOrInf
+				}
+				for s := 0; s < ka; s++ {
+					res.Columns[colOf[s]].Iterations = it
+					rel := eng.Norm2(r[s*n:(s+1)*n]) / bnorm[colOf[s]]
+					terminate(s, status, rel, warmCheckpoint(it, xw[s*n:(s+1)*n], r[s*n:(s+1)*n]))
+				}
+				nact = 0
+				if collect {
+					res.Timing.BLAS1 += time.Since(t0)
+				}
+				return finish()
+			}
+			copy(alphaM[:ka*ka], gamma[:ka*ka])
+			cholSolve(gfac, ka, alphaM)
+			eng.BlockXRUpdate(alphaM[:ka*ka], p[:ka*n], q[:ka*n], xw[:ka*n], r[:ka*n], ka, rr)
+			for s := 0; s < ka; s++ {
+				relv[s] = math.Sqrt(rr[s]) / bnorm[colOf[s]]
+			}
+		} else {
+			// Decoupled: per-column scalar recurrence over the batched
+			// sweeps — the exact kernel sequence of the scalar solver.
+			for s := 0; s < ka; s++ {
+				ps, qs := p[s*n:(s+1)*n], q[s*n:(s+1)*n]
+				pap := eng.Dot(ps, qs)
+				if pap <= 0 || math.IsNaN(pap) || math.IsInf(pap, 0) {
+					status := StatusIndefinite
+					if math.IsNaN(pap) || math.IsInf(pap, 0) {
+						status = StatusNaNOrInf
+					}
+					rel := eng.Norm2(r[s*n:(s+1)*n]) / bnorm[colOf[s]]
+					res.Columns[colOf[s]].Iterations = it
+					relv[s] = rel
+					if opt.RecordHistory {
+						res.Columns[colOf[s]].History = append(res.Columns[colOf[s]].History, rel)
+					}
+					terminate(s, status, rel, warmCheckpoint(it, xw[s*n:(s+1)*n], r[s*n:(s+1)*n]))
+					dead[s] = true
+					continue
+				}
+				alpha := rzv[s] / pap
+				rr[s] = eng.XRUpdate(alpha, ps, qs, xw[s*n:(s+1)*n], r[s*n:(s+1)*n])
+				relv[s] = math.Sqrt(rr[s]) / bnorm[colOf[s]]
+			}
+		}
+		if collect {
+			d := time.Since(t0)
+			res.Timing.BLAS1 += d
+			hBlas1.Observe(float64(d.Nanoseconds()))
+		}
+		iterCtr.Add(int64(ka))
+
+		// Convergence / NaN marking for the columns updated this iteration.
+		// worst tracks the largest relative residual among them (converged
+		// columns included, so the final progress emission carries the
+		// closing residual like the scalar solver's does).
+		worst := 0.0
+		for s := 0; s < ka; s++ {
+			if dead[s] {
+				continue
+			}
+			c := colOf[s]
+			rel := relv[s]
+			res.Columns[c].Iterations = it + 1
+			res.Columns[c].RelResidual = rel
+			if opt.RecordHistory {
+				res.Columns[c].History = append(res.Columns[c].History, rel)
+			}
+			if rel > worst || math.IsNaN(rel) {
+				worst = rel
+			}
+			switch {
+			case math.IsNaN(rel) || math.IsInf(rel, 0):
+				terminate(s, StatusNaNOrInf, rel, nil)
+				dead[s] = true
+			case rel <= opt.Tol:
+				terminate(s, StatusConverged, rel, nil)
+				dead[s] = true
+			}
+		}
+		compact()
+		if opt.Progress != nil {
+			opt.Progress(it+1, worst)
+		}
+		if opt.ProgressDetail != nil {
+			info := ProgressInfo{Iteration: it + 1, RelRes: worst, Converged: nact == 0, Timing: res.Timing}
+			if collect {
+				info.Timing.Total = time.Since(start)
+			}
+			opt.ProgressDetail(info)
+		}
+		if nact == 0 {
+			return finish()
+		}
+
+		applyBlock(nact)
+		if collect {
+			t0 = time.Now()
+		}
+		ka = nact
+		if opt.Coupled && ka > 1 {
+			// γ_new = RᵀZ; Beta = γ⁻¹γ_new (γ over the surviving slots).
+			eng.BlockDot(r[:ka*n], z[:ka*n], ka, gnew)
+			copy(gfac[:ka*ka], gamma[:ka*ka])
+			nan := hasNaN(gfac[:ka*ka])
+			if nan || !cholFactor(gfac, ka) {
+				status := StatusIndefinite
+				if nan {
+					status = StatusNaNOrInf
+				}
+				for s := 0; s < ka; s++ {
+					res.Columns[colOf[s]].Iterations = it + 1
+					terminate(s, status, relv[s], warmCheckpoint(it+1, xw[s*n:(s+1)*n], r[s*n:(s+1)*n]))
+				}
+				nact = 0
+				if collect {
+					res.Timing.BLAS1 += time.Since(t0)
+				}
+				return finish()
+			}
+			copy(betaM[:ka*ka], gnew[:ka*ka])
+			cholSolve(gfac, ka, betaM)
+			eng.BlockXpay(z[:ka*n], betaM[:ka*ka], p[:ka*n], ka)
+			copy(gamma[:ka*ka], gnew[:ka*ka])
+			for s := 0; s < ka; s++ {
+				rzv[s] = gamma[s+s*ka]
+			}
+		} else {
+			for s := 0; s < ka; s++ {
+				rs, zs := r[s*n:(s+1)*n], z[s*n:(s+1)*n]
+				rzNew := eng.Dot(rs, zs)
+				beta := rzNew / rzv[s]
+				eng.Xpay(zs, beta, p[s*n:(s+1)*n])
+				rzv[s] = rzNew
+			}
+			if opt.Coupled && ka == 1 {
+				gamma[0] = rzv[0]
+			}
+		}
+		if collect {
+			res.Timing.BLAS1 += time.Since(t0)
+		}
+	}
+
+	// Budget exhausted: the remaining columns carry full checkpoints so a
+	// caller can grant more budget and resume them individually.
+	for s := 0; s < nact; s++ {
+		res.Columns[colOf[s]].Iterations = maxIter
+		cp := snapshotCheckpoint(maxIter, xw[s*n:(s+1)*n], r[s*n:(s+1)*n], p[s*n:(s+1)*n], rzv[s])
+		if opt.Coupled {
+			// The coupled search directions are coupled across columns; a
+			// scalar resume can restart from the iterate but not the block
+			// recurrence.
+			cp = warmCheckpoint(maxIter, xw[s*n:(s+1)*n], r[s*n:(s+1)*n])
+		}
+		terminate(s, StatusMaxIter, relv[s], cp)
+	}
+	nact = 0
+	return finish()
+}
+
+// hasNaN reports whether the small Gram matrix picked up a NaN/Inf.
+func hasNaN(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// cholFactor factors the column-major k×k SPD matrix a in place (lower
+// triangle; the strict upper triangle is left untouched). It returns false
+// on a non-positive pivot — the breakdown-safe guard of the block
+// recurrence, the k×k analogue of the scalar pᵀAp ≤ 0 check.
+func cholFactor(a []float64, k int) bool {
+	for j := 0; j < k; j++ {
+		d := a[j+j*k]
+		for l := 0; l < j; l++ {
+			d -= a[j+l*k] * a[j+l*k]
+		}
+		if !(d > 0) || math.IsInf(d, 0) {
+			return false
+		}
+		d = math.Sqrt(d)
+		a[j+j*k] = d
+		for i := j + 1; i < k; i++ {
+			s := a[i+j*k]
+			for l := 0; l < j; l++ {
+				s -= a[i+l*k] * a[j+l*k]
+			}
+			a[i+j*k] = s / d
+		}
+	}
+	return true
+}
+
+// cholSolve solves L Lᵀ X = B in place for a column-major k×k
+// right-hand-side block B, with L the factor computed by cholFactor.
+func cholSolve(l []float64, k int, b []float64) {
+	for col := 0; col < k; col++ {
+		bc := b[col*k : (col+1)*k]
+		for i := 0; i < k; i++ {
+			s := bc[i]
+			for j := 0; j < i; j++ {
+				s -= l[i+j*k] * bc[j]
+			}
+			bc[i] = s / l[i+i*k]
+		}
+		for i := k - 1; i >= 0; i-- {
+			s := bc[i]
+			for j := i + 1; j < k; j++ {
+				s -= l[j+i*k] * bc[j]
+			}
+			bc[i] = s / l[i+i*k]
+		}
+	}
+}

@@ -112,3 +112,65 @@ func SolveEstimate(a, g *sparse.CSR, iters int, spmvNS, precondNS, blas1NS int64
 	add(KernelBLAS1, int64(iters), it*12*n, it*104*n, blas1NS)
 	return out
 }
+
+// KernelSpMM is the kernel-class name of the batched multi-vector product
+// (one matrix stream serving k right-hand-side columns).
+const KernelSpMM = "spmm"
+
+// BlockSolveEstimate is the batched counterpart of SolveEstimate for a
+// finished block-PCG solve: sweeps is the number of block iterations (matrix
+// passes), colIters the sum of per-column iteration counts (≤ sweeps×k when
+// columns deflate early). The matrix stream is charged once per sweep — the
+// whole point of batching — while vector traffic and BLAS-1 work scale with
+// colIters, so the spmm entry's AI reports the batch's achieved arithmetic
+// intensity: it rises with the effective block width colIters/sweeps.
+func BlockSolveEstimate(a, g *sparse.CSR, sweeps int, colIters int64, spmvNS, precondNS, blas1NS int64, machine arch.Arch) []Achieved {
+	if a == nil || sweeps <= 0 || colIters <= 0 {
+		return nil
+	}
+	out := make([]Achieved, 0, 3)
+	add := func(name string, calls int64, flops, bytes float64, ns int64) {
+		if ns <= 0 || flops <= 0 {
+			return
+		}
+		sec := float64(ns) / 1e9
+		k := Kernel{Name: name, Flops: flops, Bytes: bytes}
+		att := Attainable(k, machine)
+		e := Achieved{
+			Kernel:                 name,
+			Calls:                  calls,
+			Flops:                  flops,
+			Bytes:                  bytes,
+			Seconds:                sec,
+			AchievedFlops:          flops / sec,
+			AchievedBandwidthBytes: bytes / sec,
+			AI:                     k.AI(),
+			AttainableFlops:        att,
+			Bound:                  "compute",
+		}
+		if BandwidthBound(k, machine) {
+			e.Bound = "bandwidth"
+		}
+		if att > 0 {
+			e.PctOfAttainable = 100 * e.AchievedFlops / att
+		}
+		out = append(out, e)
+	}
+
+	sw := float64(sweeps)
+	ci := float64(colIters)
+	nnz := float64(a.NNZ())
+	// Matrix stream once per sweep; per-column vector gathers per column-iter.
+	matBytes := (12*nnz + 4*float64(a.Rows)) * sw
+	vecBytes := 8 * float64(a.Cols+a.Rows) * ci
+	add(KernelSpMM, int64(sweeps), 2*nnz*ci, matBytes+vecBytes, spmvNS)
+	if g != nil {
+		gnnz := float64(g.NNZ())
+		gm := 2 * (12*gnnz + 4*float64(g.Rows)) * sw
+		gv := 2 * 8 * float64(g.Cols+g.Rows) * ci
+		add(KernelApplyG, int64(sweeps), 2*2*gnnz*ci, gm+gv, precondNS)
+	}
+	n := float64(a.Rows)
+	add(KernelBLAS1, int64(sweeps), 12*n*ci, 104*n*ci, blas1NS)
+	return out
+}

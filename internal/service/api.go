@@ -158,12 +158,41 @@ type SolveResponse struct {
 	// fields describe the original job.
 	Replayed bool `json:"replayed,omitempty"`
 
+	// Batch is present when the job executed as one column of a batched
+	// block solve (the request batcher grouped it with concurrent
+	// same-fingerprint warm solves). Results are bit-identical to the
+	// unbatched solve; the section records how the cost amortized.
+	Batch *BatchInfo `json:"batch,omitempty"`
+
 	// Report is the run-report file name under /runs when the server keeps
 	// run history.
 	Report string `json:"report,omitempty"`
 
 	// X is the solution vector when ReturnSolution was set.
 	X []float64 `json:"x,omitempty"`
+}
+
+// BatchInfo is the batch section of a SolveResponse (and of the job's run
+// report): which block solve carried this job and what batching bought.
+type BatchInfo struct {
+	// ID names the batch execution (one admission slot, one block solve).
+	ID string `json:"id"`
+	// Size is the number of jobs (columns) the batch solved together.
+	Size int `json:"size"`
+	// Column is this job's column index within the block.
+	Column int `json:"column"`
+	// WindowWaitNS is time this job spent in the open batch window before
+	// the group launched.
+	WindowWaitNS int64 `json:"window_wait_ns"`
+	// SolveWallNS is the wall time of the whole block solve; PerRHSNS is
+	// SolveWallNS divided by Size — the amortized per-job solve cost the
+	// batch achieved.
+	SolveWallNS int64 `json:"solve_wall_ns"`
+	PerRHSNS    int64 `json:"per_rhs_ns"`
+	// AchievedAI is the spmm kernel's arithmetic intensity over the batch
+	// (flop/byte): one matrix stream serving Size columns raises it toward
+	// Size× the single-RHS value (see the roofline section).
+	AchievedAI float64 `json:"achieved_ai,omitempty"`
 }
 
 // JobState values of JobInfo.State.
@@ -184,6 +213,9 @@ type JobInfo struct {
 	Precond string `json:"precond"`
 	State   string `json:"state"`
 	Cache   string `json:"cache,omitempty"`
+	// Batch is the batch id when the job executed as one column of a
+	// batched block solve.
+	Batch string `json:"batch,omitempty"`
 	// Status is the typed solver termination for finished jobs; Err the
 	// failure text for failed/rejected ones.
 	Status string `json:"status,omitempty"`

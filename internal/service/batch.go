@@ -1,0 +1,539 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	fsai "repro/internal/core"
+	"repro/internal/krylov"
+	"repro/internal/obs"
+	"repro/internal/prof"
+	"repro/internal/roofline"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// The request batcher groups concurrent warm-cache solves on the same
+// operator into one block solve. A batch-eligible job holds for up to
+// Options.BatchWindow; every job that arrives in that window with the same
+// (fingerprint, setup options, tol, max_iter) joins the group, and the
+// group executes as a single krylov.SolveBlock over one admission slot —
+// one matrix stream serving all columns, which is where the per-RHS speedup
+// comes from (see docs/performance.md, "Batched solving").
+//
+// The grouping changes scheduling, never results: the block solver's
+// default decoupled mode makes every column bit-identical to the unbatched
+// scalar solve, each job keeps its own trace, idempotency entry, job-log
+// record and run report, and a column whose client deadline expires
+// deflates out of the block without poisoning the other columns.
+
+// batchMember is one job waiting in (or solved by) a batch group.
+type batchMember struct {
+	id       string
+	req      *SolveRequest
+	rm       *RegisteredMatrix
+	ji       *JobInfo
+	tr       *telemetry.Tracer
+	tc       trace.Context
+	enqueued time.Time
+	// reqCtx carries the client's propagated deadline and disconnect;
+	// timeout is the in-flight budget applied once the batch is admitted
+	// (min with reqCtx's own deadline, exactly like the unbatched path).
+	reqCtx  context.Context
+	timeout time.Duration
+	done    chan batchOutcome
+}
+
+// batchOutcome is what the batch runner hands back to each waiting job.
+type batchOutcome struct {
+	resp *SolveResponse
+	err  error // admission or setup failure; resp is nil
+	// setup distinguishes a preconditioner-build failure (HTTP 500, like an
+	// unbatched runJob error) from an admission failure (429/503/504).
+	setup bool
+}
+
+type batchGroup struct {
+	key     string
+	members []*batchMember
+	timer   *time.Timer
+}
+
+// batcher collects batch-eligible jobs into per-key groups and launches
+// each group after the window (or when it reaches max members).
+type batcher struct {
+	s      *Server
+	window time.Duration
+	max    int
+
+	mu     sync.Mutex
+	groups map[string]*batchGroup
+}
+
+func newBatcher(s *Server, window time.Duration, max int) *batcher {
+	return &batcher{s: s, window: window, max: max, groups: map[string]*batchGroup{}}
+}
+
+// batchKey extends the preconditioner cache key with the solve knobs: two
+// jobs may share a cached factor but still need separate solves when their
+// tolerances differ.
+func batchKey(fingerprint string, req *SolveRequest) string {
+	return fmt.Sprintf("%s|tol=%g|maxiter=%d", PrecondKey(fingerprint, req), req.Tol, req.MaxIter)
+}
+
+// eligible reports whether req may ride the batch path: a plain FSAI-family
+// solve whose factor is already resident (warm). Cold solves would serialize
+// the group behind a setup; resilient solves own their recovery sequence;
+// HoldMS jobs are admission-control drills and must occupy their own slot.
+func (b *batcher) eligible(req *SolveRequest, rm *RegisteredMatrix) bool {
+	if req.Resilient || req.HoldMS > 0 {
+		return false
+	}
+	switch req.Precond {
+	case "fsai", "fsaie-sp", "fsaie", "adaptive":
+	default:
+		return false
+	}
+	return b.s.cache.Contains(PrecondKey(rm.Info.Fingerprint, req))
+}
+
+// submit adds m to its group, opening one (and arming the window timer) if
+// none is collecting. The group launches when the timer fires or when it
+// reaches max members, whichever comes first.
+func (b *batcher) submit(key string, m *batchMember) {
+	b.mu.Lock()
+	g := b.groups[key]
+	if g == nil {
+		g = &batchGroup{key: key}
+		b.groups[key] = g
+		g.timer = time.AfterFunc(b.window, func() { b.launch(key, g) })
+	}
+	g.members = append(g.members, m)
+	full := len(g.members) >= b.max
+	b.mu.Unlock()
+	if full {
+		b.launch(key, g)
+	}
+}
+
+// launch removes the group from the collecting set and runs it. Guarded so
+// the window timer and a size-triggered launch cannot both run the group.
+func (b *batcher) launch(key string, g *batchGroup) {
+	b.mu.Lock()
+	if b.groups[key] != g {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.groups, key)
+	members := g.members
+	b.mu.Unlock()
+	g.timer.Stop()
+	go b.run(members)
+}
+
+// mergedDone returns a context cancelled once every member context is done:
+// the batch's admission wait gives up only when no caller is left waiting.
+func mergedDone(ctxs []context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	remaining := int64(len(ctxs))
+	var mu sync.Mutex
+	for _, c := range ctxs {
+		go func(c context.Context) {
+			select {
+			case <-c.Done():
+			case <-ctx.Done():
+			}
+			mu.Lock()
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				cancel()
+			}
+		}(c)
+	}
+	return ctx, cancel
+}
+
+// run executes one batch group end to end: one admission slot, one block
+// solve, per-member result fan-out. It runs on its own goroutine; every
+// member's handler goroutine is blocked on its done channel.
+func (b *batcher) run(members []*batchMember) {
+	s := b.s
+	k := len(members)
+	leader := members[0]
+	rm := leader.rm
+	launchedAt := time.Now()
+	batchID := fmt.Sprintf("batch-%06d", s.seq.Add(1))
+	logw := s.log.With("batch_id", batchID, "matrix", shortFP(rm.Info.Fingerprint))
+
+	fail := func(err error, setup bool) {
+		for _, m := range members {
+			m.done <- batchOutcome{err: err, setup: setup}
+		}
+	}
+
+	reqCtxs := make([]context.Context, k)
+	for i, m := range members {
+		reqCtxs[i] = m.reqCtx
+	}
+	merged, cancelMerged := mergedDone(reqCtxs)
+	defer cancelMerged()
+
+	// One admission slot for the whole batch — amortization starts at the
+	// queue. The wait carries the batch's pprof labels with phase=admission
+	// like any job; the leader's ids stand for the group.
+	var (
+		release func()
+		err     error
+	)
+	prof.Do(merged, func(lctx context.Context) {
+		release, err = s.adm.acquire(lctx)
+	}, prof.LabelJobID, batchID, prof.LabelTraceID, leader.tc.TraceID,
+		prof.LabelFingerprint, shortFP(rm.Info.Fingerprint),
+		prof.LabelPhase, prof.PhaseAdmission)
+	if err != nil {
+		logw.Warn("batch admission failed", "jobs", k, "error", err.Error())
+		fail(err, false)
+		return
+	}
+	defer release()
+	admittedAt := time.Now()
+
+	for _, m := range members {
+		m.ji.QueueWaitNS = admittedAt.Sub(m.enqueued).Nanoseconds()
+		m.ji.State = JobRunning
+		s.jobs.put(*m.ji)
+	}
+
+	// Per-column contexts: each column's in-flight budget is
+	// min(client deadline, its own timeout), applied from admission exactly
+	// like the unbatched path. An expired column deflates out of the block;
+	// the batch context (all-members-merged) only stops the solve when no
+	// caller is left.
+	colCtx := make([]context.Context, k)
+	for i, m := range members {
+		ctx, cancel := context.WithTimeout(m.reqCtx, m.timeout)
+		defer cancel()
+		colCtx[i] = ctx
+	}
+	// Kernel-level spans of the block solve land on the leader's trace; every
+	// member gets its own batched-solve span referencing the batch id.
+	batchCtx := trace.NewContext(merged, leader.tc, leader.tr)
+
+	spans := make([]*telemetry.Span, k)
+	for i, m := range members {
+		sp := m.tr.StartSpan("batched-solve")
+		sp.SetAttr("batch_id", batchID)
+		sp.SetAttr("batch_size", fmt.Sprint(k))
+		sp.SetAttr("column", fmt.Sprint(i))
+		spans[i] = sp
+	}
+
+	// The factor should be warm (eligibility checked residency), but the
+	// entry may have been evicted while the window was open — GetOrBuild
+	// handles both, single-flight, like the unbatched path.
+	req := leader.req
+	key := PrecondKey(rm.Info.Fingerprint, req)
+	a := rm.A
+	entry, hit, err := s.cache.GetOrBuild(batchCtx, key, func() (*CachedPrecond, error) {
+		t0 := time.Now()
+		fo := fsai.Options{
+			Variant:      fsai.VariantFull,
+			Filter:       req.Filter,
+			LineBytes:    req.LineBytes,
+			PatternPower: req.PatternPower,
+			ThresholdTau: req.Tau,
+			MaxRowNNZ:    512,
+			Workers:      s.opt.Workers,
+			Tracer:       trace.TracerFromContext(batchCtx),
+			Ctx:          batchCtx,
+		}
+		p, berr := buildFSAIFamily(req.Precond, a, fo)
+		if berr != nil {
+			return nil, berr
+		}
+		return &CachedPrecond{P: p, SetupNS: time.Since(t0).Nanoseconds()}, nil
+	})
+	if err != nil {
+		for _, sp := range spans {
+			sp.SetAttr("outcome", "setup-error")
+			sp.End()
+		}
+		logw.Error("batch preconditioner failed", "error", err.Error())
+		fail(fmt.Errorf("preconditioner: %v", err), true)
+		return
+	}
+	cacheOutcome := CacheHit
+	setupNS := int64(0)
+	if !hit {
+		cacheOutcome = CacheMiss
+		setupNS = entry.SetupNS
+		if s.store != nil {
+			if serr := s.store.PutFactor(key, rm.Info.Fingerprint, entry.P, entry.SetupNS); serr != nil {
+				s.log.Warn("store factor write failed",
+					"batch_id", batchID, "matrix", shortFP(rm.Info.Fingerprint), "error", serr.Error())
+			}
+		}
+	}
+
+	// Assemble the column-major RHS block; empty RHS means all-ones, same
+	// as the unbatched path.
+	n := a.Rows
+	bblk := make([]float64, n*k)
+	for i, m := range members {
+		col := bblk[i*n : (i+1)*n]
+		if len(m.req.RHS) == 0 {
+			for j := range col {
+				col[j] = 1
+			}
+		} else {
+			copy(col, m.req.RHS)
+		}
+	}
+	xblk := make([]float64, n*k)
+
+	label := rm.Info.Name
+	if label == "" {
+		label = shortFP(rm.Info.Fingerprint)
+	}
+	s.watcher.Begin(fmt.Sprintf("%s/%s[k=%d]", label, req.Precond, k), req.Tol, req.MaxIter)
+	ko := krylov.BlockOptions{
+		Tol:            req.Tol,
+		MaxIter:        req.MaxIter,
+		Workers:        s.opt.Workers,
+		CollectTiming:  true,
+		Metrics:        s.reg,
+		Ctx:            batchCtx,
+		ColumnCtx:      colCtx,
+		Progress:       s.watcher.Progress,
+		ProgressDetail: s.watcher.ProgressDetail,
+	}
+	m := entry.P.CloneForApply(s.opt.Workers)
+	t0 := time.Now()
+	br := krylov.SolveBlock(a, xblk, bblk, k, m, ko)
+	solveNS := time.Since(t0).Nanoseconds()
+	s.watcher.End(batchWatcherResult(br))
+
+	s.reg.Counter("batch.batches_total").Inc()
+	s.reg.Counter("batch.jobs_total").Add(int64(k))
+	s.reg.Histogram("batch.size", telemetry.ExpBuckets(1, 2, 6)).Observe(float64(k))
+
+	// Per-batch roofline placement: the spmm kernel's AI is the batch's
+	// achieved arithmetic intensity (matrix stream charged once per block
+	// sweep, vector traffic per column-iteration).
+	var (
+		rsol       *obs.RooflineSolve
+		achievedAI float64
+	)
+	if t := br.Timing; br.Iterations > 0 && t != (krylov.Timing{}) {
+		var colIters int64
+		for _, c := range br.Columns {
+			colIters += int64(c.Iterations)
+		}
+		est := roofline.BlockSolveEstimate(a, entry.P.G, br.Iterations, colIters,
+			t.SpMV.Nanoseconds(), t.Precond.Nanoseconds(), t.BLAS1.Nanoseconds(),
+			s.roofline.Machine())
+		for _, e := range est {
+			if e.Kernel == roofline.KernelSpMM {
+				achievedAI = e.AI
+			}
+		}
+		if len(est) > 0 {
+			rs := s.roofline.Observe(batchID, rm.Info.Fingerprint, br.Iterations, est)
+			rsol = &rs
+		}
+		s.reg.Gauge("batch.achieved_ai").Set(achievedAI)
+	}
+	logw.Info("batch solved", "jobs", k, "iterations", br.Iterations,
+		"all_converged", br.AllConverged, "cache", cacheOutcome,
+		"solve_ns", solveNS, "per_rhs_ns", solveNS/int64(k), "achieved_ai", achievedAI)
+
+	for i, mem := range members {
+		res := br.Columns[i]
+		resp := &SolveResponse{
+			JobID:      mem.id,
+			TraceID:    mem.tc.TraceID,
+			Matrix:     rm.Info.Fingerprint,
+			Precond:    req.Precond,
+			Cache:      cacheOutcome,
+			Iterations: res.Iterations,
+			Converged:  res.Converged,
+			Status:     res.Status.String(),
+			RelRes:     res.RelResidual,
+			SetupNS:    setupNS,
+			SolveNS:    solveNS,
+			Batch: &BatchInfo{
+				ID:           batchID,
+				Size:         k,
+				Column:       i,
+				WindowWaitNS: launchedAt.Sub(mem.enqueued).Nanoseconds(),
+				SolveWallNS:  solveNS,
+				PerRHSNS:     solveNS / int64(k),
+				AchievedAI:   achievedAI,
+			},
+		}
+		s.reg.Histogram("batch.window_wait_ns", telemetry.ExpBuckets(1e5, 4, 10)).
+			Observe(float64(resp.Batch.WindowWaitNS))
+		if rsol != nil {
+			resp.LowBandwidth = rsol.LowBandwidth
+		}
+		if hit && res.Converged {
+			if base := entry.BaselineIters(); IterationAnomaly(base, res.Iterations) {
+				resp.IterAnomaly = true
+				s.log.Warn("iteration-count anomaly on batched warm solve",
+					"job_id", mem.id, "batch_id", batchID,
+					"baseline_iters", base, "iterations", res.Iterations)
+			}
+		}
+		if res.Converged {
+			entry.SetBaselineIters(res.Iterations)
+		}
+		if mem.req.ReturnSolution {
+			resp.X = append([]float64(nil), xblk[i*n:(i+1)*n]...)
+		}
+		s.slo.ObserveSolve(rm.Info.Fingerprint, cacheOutcome == CacheHit,
+			setupNS+solveNS, mem.ji.QueueWaitNS)
+		if resp.IterAnomaly {
+			s.slo.RecordIterationAnomaly(rm.Info.Fingerprint)
+		}
+		if s.opt.RunsDir != "" {
+			resp.Report = s.writeJobReport(mem.id, rm, mem.req, resp, entry.P, nil, res, mem.ji, rsol)
+		}
+		spans[i].SetAttr("outcome", resp.Status)
+		spans[i].SetAttr("cache", resp.Cache)
+		spans[i].End()
+		mem.done <- batchOutcome{resp: resp}
+	}
+}
+
+// solveBatched is the handler-side half of the batch path: it enrolls the
+// job in its batch group, blocks until the group's block solve finishes,
+// and completes the job's own bookkeeping — job log, metrics, trace record,
+// HTTP response — exactly as the unbatched tail of handleSolve would. The
+// returned response (nil on failure) feeds the caller's idempotency
+// completion.
+func (s *Server) solveBatched(w http.ResponseWriter, reqCtx context.Context, clientDeadline bool, id string, rm *RegisteredMatrix, req *SolveRequest, tc trace.Context, parentSpan string, tr *telemetry.Tracer, root *telemetry.Span, logw *slog.Logger, enqueued time.Time, ji *JobInfo) *SolveResponse {
+	timeout := s.opt.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	m := &batchMember{
+		id: id, req: req, rm: rm, ji: ji, tr: tr, tc: tc,
+		enqueued: enqueued, reqCtx: reqCtx, timeout: timeout,
+		done: make(chan batchOutcome, 1),
+	}
+	// The window span covers submit-to-result; the runner nests the job's
+	// batched-solve span (batch id, column) inside it. Kernel-level solve
+	// spans land on the batch leader's trace.
+	windowSpan := tr.StartSpan("batch-window")
+	s.batch.submit(batchKey(rm.Info.Fingerprint, req), m)
+	out := <-m.done
+	windowSpan.End()
+
+	if out.err != nil {
+		ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+		if out.setup {
+			ji.State = JobFailed
+			ji.Err = out.err.Error()
+			s.jobs.put(*ji)
+			s.reg.Counter(`service.jobs{status="setup-error"}`).Inc()
+			root.SetAttr("outcome", JobFailed)
+			root.End()
+			s.recordTrace(tr, tc, parentSpan, ji, JobFailed)
+			logw.Error("job failed", "error", out.err.Error())
+			writeJSON(w, http.StatusInternalServerError, ErrorBody{
+				Error: out.err.Error(), JobID: id, TraceID: tc.TraceID})
+			return nil
+		}
+		ji.State = JobRejected
+		ji.Err = out.err.Error()
+		s.jobs.put(*ji)
+		root.SetAttr("outcome", JobRejected)
+		root.End()
+		s.recordTrace(tr, tc, parentSpan, ji, JobRejected)
+		logw.Warn("job rejected", "error", out.err.Error())
+		var sat *SaturatedError
+		if errors.As(out.err, &sat) {
+			secs := int(math.Ceil(sat.RetryAfter.Seconds()))
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+			writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+				Error: out.err.Error(), RetryAfterS: secs, JobID: id, TraceID: tc.TraceID})
+			return nil
+		}
+		if clientDeadline && errors.Is(reqCtx.Err(), context.DeadlineExceeded) {
+			s.reg.Counter("retry.deadline_expired_total").Inc()
+			logw.Warn("client deadline expired while queued")
+			writeJSON(w, http.StatusGatewayTimeout, ErrorBody{
+				Error: "client deadline expired while queued", JobID: id, TraceID: tc.TraceID})
+			return nil
+		}
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{
+			Error: out.err.Error(), JobID: id, TraceID: tc.TraceID})
+		return nil
+	}
+
+	resp := out.resp
+	total := time.Since(enqueued)
+	ji.TotalNS = total.Nanoseconds()
+	ji.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	s.adm.observe(total.Nanoseconds())
+	s.reg.Histogram("service.job.total_ns", telemetry.ExpBuckets(1e6, 2, 24)).
+		Observe(float64(total.Nanoseconds()))
+	s.reg.Histogram("service.job.queue_wait_ns", telemetry.ExpBuckets(1e4, 4, 12)).
+		Observe(float64(ji.QueueWaitNS))
+	resp.TotalNS = total.Nanoseconds()
+	resp.QueueWaitNS = ji.QueueWaitNS
+	ji.State = JobDone
+	ji.Cache = resp.Cache
+	ji.Status = resp.Status
+	ji.Iterations = resp.Iterations
+	ji.Converged = resp.Converged
+	ji.RelRes = resp.RelRes
+	ji.SetupNS = resp.SetupNS
+	ji.SolveNS = resp.SolveNS
+	ji.Batch = resp.Batch.ID
+	s.jobs.put(*ji)
+	s.reg.Counter(fmt.Sprintf("service.jobs{status=%q}", resp.Status)).Inc()
+	if clientDeadline && errors.Is(reqCtx.Err(), context.DeadlineExceeded) {
+		// The client's budget expired mid-batch; the column deflated out of
+		// the block (status "cancelled") without poisoning the other jobs.
+		s.reg.Counter("retry.deadline_expired_total").Inc()
+		logw.Warn("client deadline expired in flight", "status", resp.Status)
+	}
+	root.SetAttr("outcome", resp.Status)
+	root.SetAttr("cache", resp.Cache)
+	root.SetAttr("batch_id", resp.Batch.ID)
+	root.End()
+	s.recordTrace(tr, tc, parentSpan, ji, resp.Status)
+	logw.Info("job done",
+		"status", resp.Status, "cache", resp.Cache, "iterations", resp.Iterations,
+		"converged", resp.Converged, "queue_wait_ns", resp.QueueWaitNS,
+		"setup_ns", resp.SetupNS, "solve_ns", resp.SolveNS, "total_ns", resp.TotalNS,
+		"batch_id", resp.Batch.ID, "batch_size", resp.Batch.Size)
+	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// batchWatcherResult condenses a block result into the single-solve shape
+// the live watcher displays: the block's sweep count, converged only when
+// every column converged, status of the worst column.
+func batchWatcherResult(br krylov.BlockResult) krylov.Result {
+	out := krylov.Result{Iterations: br.Iterations, Converged: br.AllConverged}
+	out.Status = krylov.StatusConverged
+	for _, c := range br.Columns {
+		if !c.Converged {
+			out.Status = c.Status
+		}
+		if c.RelResidual > out.RelResidual {
+			out.RelResidual = c.RelResidual
+		}
+	}
+	return out
+}

@@ -599,3 +599,183 @@ func TestMalformedDeadlineHeaderIsRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedSolvesBitIdenticalToUnbatched is the batcher's core contract:
+// concurrent warm solves grouped into one block solve return exactly the
+// bits the same jobs produce unbatched — per-column solutions, iteration
+// counts, statuses and residuals all match a batching-disabled server.
+func TestBatchedSolvesBitIdenticalToUnbatched(t *testing.T) {
+	ctx := context.Background()
+	regB := telemetry.NewRegistry()
+	sb := service.New(service.Options{Workers: 2, Metrics: regB, BatchWindow: 500 * time.Millisecond})
+	hb := httptest.NewServer(sb.Handler())
+	t.Cleanup(func() { hb.Close(); _ = sb.Close() })
+	su := service.New(service.Options{Workers: 2, Metrics: telemetry.NewRegistry()})
+	hu := httptest.NewServer(su.Handler())
+	t.Cleanup(func() { hu.Close(); _ = su.Close() })
+	cb, cu := client.New(hb.URL), client.New(hu.URL)
+
+	infoB, err := cb.RegisterMatgen(ctx, "lap64x64", "")
+	if err != nil {
+		t.Fatalf("register batched: %v", err)
+	}
+	if _, err := cu.RegisterMatgen(ctx, "lap64x64", ""); err != nil {
+		t.Fatalf("register unbatched: %v", err)
+	}
+	// Prime both caches: batching is warm-only, and the comparison server
+	// must hit the same cached factor.
+	prime := service.SolveRequest{Matrix: infoB.Fingerprint, Precond: "fsaie"}
+	for _, c := range []*client.Client{cb, cu} {
+		if resp, err := c.Solve(ctx, prime); err != nil || resp.Cache != service.CacheMiss {
+			t.Fatalf("priming solve: %+v err=%v", resp, err)
+		}
+	}
+
+	const k = 4
+	rhs := make([][]float64, k)
+	for i := range rhs {
+		rhs[i] = make([]float64, infoB.Rows)
+		for j := range rhs[i] {
+			rhs[i][j] = float64((j%13)-6) * float64(i+1) / 3
+		}
+	}
+	unbatched := make([]*service.SolveResponse, k)
+	for i := range rhs {
+		r, err := cu.Solve(ctx, service.SolveRequest{
+			Matrix: infoB.Fingerprint, Precond: "fsaie", RHS: rhs[i], ReturnSolution: true})
+		if err != nil {
+			t.Fatalf("unbatched solve %d: %v", i, err)
+		}
+		if r.Cache != service.CacheHit || r.Batch != nil {
+			t.Fatalf("unbatched solve %d: cache=%s batch=%+v", i, r.Cache, r.Batch)
+		}
+		unbatched[i] = r
+	}
+
+	batched := make([]*service.SolveResponse, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range rhs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batched[i], errs[i] = cb.Solve(ctx, service.SolveRequest{
+				Matrix: infoB.Fingerprint, Precond: "fsaie", RHS: rhs[i], ReturnSolution: true})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batched solve %d: %v", i, err)
+		}
+	}
+	for i, r := range batched {
+		if r.Batch == nil {
+			t.Fatalf("batched solve %d carries no batch section: %+v", i, r)
+		}
+		if r.Batch.Size != k || r.Batch.ID != batched[0].Batch.ID {
+			t.Fatalf("solve %d: batch %+v, want size %d in batch %s", i, r.Batch, k, batched[0].Batch.ID)
+		}
+		if r.Cache != service.CacheHit || r.SetupNS != 0 {
+			t.Fatalf("batched solve %d must be warm: cache=%s setup=%d", i, r.Cache, r.SetupNS)
+		}
+		u := unbatched[i]
+		if r.Iterations != u.Iterations || r.Status != u.Status || r.RelRes != u.RelRes {
+			t.Fatalf("solve %d: batched {it=%d st=%s rel=%v} unbatched {it=%d st=%s rel=%v}",
+				i, r.Iterations, r.Status, r.RelRes, u.Iterations, u.Status, u.RelRes)
+		}
+		if len(r.X) != len(u.X) {
+			t.Fatalf("solve %d: solution lengths differ", i)
+		}
+		for j := range r.X {
+			if r.X[j] != u.X[j] {
+				t.Fatalf("solve %d x[%d]: batched %v, unbatched %v — not bit-identical",
+					i, j, r.X[j], u.X[j])
+			}
+		}
+	}
+	if got := regB.Counter("batch.jobs_total").Value(); got != k {
+		t.Fatalf("batch_jobs_total = %d, want %d", got, k)
+	}
+	if got := regB.Counter("batch.batches_total").Value(); got != 1 {
+		t.Fatalf("batch_batches_total = %d, want 1", got)
+	}
+}
+
+// TestBatchDeadlineExpiryMidBatch is the deflation drill: one member of a
+// batch has a client deadline that expires mid-batch — during the window
+// wait, before the block solve's first cancellation poll. Its column must
+// deflate out (200 with status "cancelled", zero iterations, deadline
+// counter bumped) while the other members converge normally — an expired
+// deadline never poisons the batch.
+func TestBatchDeadlineExpiryMidBatch(t *testing.T) {
+	ctx := context.Background()
+	reg := telemetry.NewRegistry()
+	s := service.New(service.Options{Workers: 2, Metrics: reg, BatchWindow: 400 * time.Millisecond})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); _ = s.Close() })
+	c := client.New(hs.URL)
+
+	info, err := c.RegisterMatgen(ctx, "lap64x64", "")
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := c.Solve(ctx, service.SolveRequest{Matrix: info.Fingerprint, Precond: "fsaie"}); err != nil {
+		t.Fatalf("priming solve: %v", err)
+	}
+
+	body, _ := json.Marshal(service.SolveRequest{
+		Matrix: info.Fingerprint, Precond: "fsaie", TimeoutMS: 10000,
+	})
+	responses := make([]service.SolveResponse, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	run := func(i int, headers map[string]string) {
+		defer wg.Done()
+		resp, out, err := rawSolve(hs.URL, body, headers)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			errs[i] = errors.New(resp.Status + ": " + string(out))
+			return
+		}
+		errs[i] = json.Unmarshal(out, &responses[i])
+	}
+	wg.Add(3)
+	go run(0, nil)
+	go run(1, nil)
+	// The doomed member's 150ms budget dies inside the 400ms batch window,
+	// so its column enters the block solve already expired.
+	go run(2, map[string]string{service.HeaderDeadlineMS: "150"})
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+
+	for i, r := range responses {
+		if r.Batch == nil || r.Batch.ID != responses[0].Batch.ID || r.Batch.Size != 3 {
+			t.Fatalf("member %d: batch %+v, want all three in one batch", i, r.Batch)
+		}
+	}
+	doomed := responses[2]
+	if doomed.Converged || doomed.Status != "cancelled" {
+		t.Fatalf("doomed member: converged=%v status=%q, want a cancelled column", doomed.Converged, doomed.Status)
+	}
+	for i, healthy := range responses[:2] {
+		if !healthy.Converged || healthy.Status != "converged" {
+			t.Fatalf("member %d: converged=%v status=%q — the expired column must not poison the batch",
+				i, healthy.Converged, healthy.Status)
+		}
+		if healthy.Iterations <= doomed.Iterations {
+			t.Fatalf("member %d iterated %d times, doomed member %d — the expired column must deflate out while others keep running",
+				i, healthy.Iterations, doomed.Iterations)
+		}
+	}
+	if got := reg.Counter("retry.deadline_expired_total").Value(); got != 1 {
+		t.Fatalf("retry_deadline_expired_total = %d, want 1", got)
+	}
+}

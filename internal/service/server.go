@@ -102,6 +102,17 @@ type Options struct {
 	// runtime.ReadMemStats.
 	MemProbe func() uint64
 
+	// BatchWindow, when positive, enables the request batcher: a warm-cache
+	// FSAI-family solve holds for up to this long so concurrent requests on
+	// the same (fingerprint, setup options, tol, max_iter) group into one
+	// block solve — one admission slot, one matrix stream for all columns.
+	// 0 (the default) disables batching; every job solves alone.
+	BatchWindow time.Duration
+	// BatchMax bounds the block width: a group launches immediately when it
+	// reaches this many jobs (default 8 — past that the per-column vector
+	// working set outgrows the cache amortization).
+	BatchMax int
+
 	// IdempotencyEntries bounds the completed-response idempotency index
 	// (default 256).
 	IdempotencyEntries int
@@ -137,6 +148,9 @@ func (o *Options) setDefaults() {
 	if o.TraceHistory <= 0 {
 		o.TraceHistory = 256
 	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 8
+	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -162,6 +176,7 @@ type Server struct {
 	store    *store.Store
 	idem     *idemIndex
 	degrade  *degrader
+	batch    *batcher
 	mux      *http.ServeMux
 	seq      atomic.Int64
 
@@ -229,6 +244,19 @@ func New(opt Options) *Server {
 	reg.Counter("retry.replays_total")
 	reg.Counter("retry.coalesced_total")
 	reg.Counter("retry.deadline_expired_total")
+
+	if opt.BatchWindow > 0 {
+		s.batch = newBatcher(s, opt.BatchWindow, opt.BatchMax)
+	}
+	reg.SetHelp("batch_batches_total", "block solves executed by the request batcher (one admission slot each)")
+	reg.SetHelp("batch_jobs_total", "solve jobs executed as columns of a batched block solve")
+	reg.SetHelp("batch_size", "jobs per executed batch (block width)")
+	reg.SetHelp("batch_window_wait_ns", "time jobs spent in the open batch window before launch")
+	reg.SetHelp("batch_achieved_ai", "spmm arithmetic intensity of the last executed batch (flop/byte)")
+	// Touch the zero counters so the batch_* families render on /metrics
+	// from the first scrape (the smoke script asserts their presence).
+	reg.Counter("batch.batches_total")
+	reg.Counter("batch.jobs_total")
 
 	s.idem = newIdemIndex(opt.IdempotencyEntries, reg)
 	s.degrade = newDegrader(opt.MemSoftLimitBytes, opt.MemProbe, s.cache, reg, s.log, s.obsSrv)
@@ -704,6 +732,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, ErrorBody{
 			Error:       fmt.Sprintf("service: shedding load, memory state %q", degradeName(state)),
 			RetryAfterS: secs, JobID: id, TraceID: tc.TraceID})
+		return
+	}
+
+	// Batched path: a warm-cache FSAI solve may group with concurrent
+	// requests on the same (fingerprint, setup options, tol, max_iter) into
+	// one block solve over a single admission slot. Results are bit-identical
+	// to the unbatched path; only scheduling changes. Idempotency completion
+	// stays with this handler via finalResp.
+	if s.batch != nil && s.batch.eligible(&req, rm) {
+		finalResp = s.solveBatched(w, reqCtx, clientDeadline, id, rm, &req,
+			tc, parentSpan, tr, root, logw, enqueued, &ji)
 		return
 	}
 
@@ -1231,6 +1270,21 @@ func (s *Server) writeJobReport(id string, rm *RegisteredMatrix, req *SolveReque
 		entry.NNZG = g.NNZ()
 		entry.ExtPct = g.ExtensionPct()
 		entry.SetupPhases = g.Stats.Phases
+	}
+	if bi := resp.Batch; bi != nil {
+		// Batched job: the entry records the block width and how the batch
+		// amortized the solve (schema v7). SolveWallNS above is the whole
+		// block's wall time; per_rhs_ns is this job's amortized share.
+		entry.NRHS = bi.Size
+		entry.Batch = &experiments.RunBatch{
+			ID:           bi.ID,
+			Size:         bi.Size,
+			Column:       bi.Column,
+			WindowWaitNS: bi.WindowWaitNS,
+			SolveWallNS:  bi.SolveWallNS,
+			PerRHSNS:     bi.PerRHSNS,
+			AchievedAI:   bi.AchievedAI,
+		}
 	}
 	entry.Resilience = experiments.RunResilienceOf(req.Precond, rout)
 	rep := &experiments.RunReport{

@@ -25,12 +25,65 @@ var opCounters struct {
 	vectorBytes atomic.Int64
 }
 
+// classCounter is one per-kernel-class tally. The aggregate opCounters
+// above keep the historical "everything the sparse kernels did" totals;
+// the class counters split the same work by kernel family so the roofline
+// attribution can distinguish single-vector SpMV sweeps from batched SpMM
+// sweeps and from the dense BLAS-1 traffic the solver engine reports.
+type classCounter struct {
+	calls       atomic.Int64
+	flops       atomic.Int64
+	matrixBytes atomic.Int64
+	vectorBytes atomic.Int64
+}
+
+func (c *classCounter) add(calls, flops, matrixBytes, vectorBytes int64) {
+	c.calls.Add(calls)
+	c.flops.Add(flops)
+	c.matrixBytes.Add(matrixBytes)
+	c.vectorBytes.Add(vectorBytes)
+}
+
+func (c *classCounter) read() OpCounts {
+	return OpCounts{
+		SpMVCalls:   c.calls.Load(),
+		Flops:       c.flops.Load(),
+		MatrixBytes: c.matrixBytes.Load(),
+		VectorBytes: c.vectorBytes.Load(),
+	}
+}
+
+func (c *classCounter) reset() {
+	c.calls.Store(0)
+	c.flops.Store(0)
+	c.matrixBytes.Store(0)
+	c.vectorBytes.Store(0)
+}
+
+var classCounters struct {
+	spmv  classCounter
+	spmm  classCounter
+	blas1 classCounter
+}
+
 // OpCounts is a snapshot of the SpMV op/byte counters.
 type OpCounts struct {
 	SpMVCalls   int64 // kernel invocations (MulVec, MulVecParallel, MulVecT)
 	Flops       int64 // 2 × stored entries per sweep
 	MatrixBytes int64 // entry values+indices and row pointers streamed
 	VectorBytes int64 // nominal input reads + output writes
+}
+
+// OpClassCounts splits the counted work by kernel class: single-vector
+// SpMV sweeps, batched k-column SpMM sweeps, and BLAS-1 vector traffic
+// reported by the solver engine via AccountBlas1. The aggregate counters
+// of ReadOpCounters equal SpMV + SpMM (BLAS-1 is tallied only here: the
+// aggregate is documented as sparse-kernel traffic and feeds the existing
+// roofline drift comparison, which must not change meaning).
+type OpClassCounts struct {
+	SpMV  OpCounts
+	SpMM  OpCounts
+	BLAS1 OpCounts
 }
 
 // Bytes returns the total counted traffic.
@@ -51,12 +104,16 @@ func EnableOpCounters(on bool) { opCounters.enabled.Store(on) }
 // OpCountersEnabled reports whether kernel op counting is on.
 func OpCountersEnabled() bool { return opCounters.enabled.Load() }
 
-// ResetOpCounters zeroes the counters (the enabled flag is unchanged).
+// ResetOpCounters zeroes the aggregate and per-class counters (the enabled
+// flag is unchanged).
 func ResetOpCounters() {
 	opCounters.calls.Store(0)
 	opCounters.flops.Store(0)
 	opCounters.matrixBytes.Store(0)
 	opCounters.vectorBytes.Store(0)
+	classCounters.spmv.reset()
+	classCounters.spmm.reset()
+	classCounters.blas1.reset()
 }
 
 // ReadOpCounters returns the current counter values.
@@ -69,6 +126,27 @@ func ReadOpCounters() OpCounts {
 	}
 }
 
+// ReadOpClassCounters returns the current per-kernel-class counter values.
+func ReadOpClassCounters() OpClassCounts {
+	return OpClassCounts{
+		SpMV:  classCounters.spmv.read(),
+		SpMM:  classCounters.spmm.read(),
+		BLAS1: classCounters.blas1.read(),
+	}
+}
+
+// AccountBlas1 charges a dense BLAS-1 sweep (flops and bytes as counted by
+// the roofline descriptors) to the blas1 class counter. The solver engine
+// calls it per kernel invocation; no-op when counting is disabled. BLAS-1
+// work is deliberately kept out of the aggregate SpMV counters, whose
+// meaning (sparse-sweep traffic vs the perfmodel estimate) predates it.
+func AccountBlas1(flops, bytes int64) {
+	if !opCounters.enabled.Load() {
+		return
+	}
+	classCounters.blas1.add(1, flops, 0, bytes)
+}
+
 // countSpMV charges one sweep of m to the op counters (no-op when disabled).
 func (m *CSR) countSpMV() {
 	if !opCounters.enabled.Load() {
@@ -79,4 +157,25 @@ func (m *CSR) countSpMV() {
 	opCounters.flops.Add(2 * nnz)
 	opCounters.matrixBytes.Add(12*nnz + 4*int64(m.Rows))
 	opCounters.vectorBytes.Add(8 * int64(m.Cols+m.Rows))
+	classCounters.spmv.add(1, 2*nnz, 12*nnz+4*int64(m.Rows), 8*int64(m.Cols+m.Rows))
+}
+
+// countSpMM charges one k-column block sweep of m: the matrix stream is
+// read once, the vector traffic scales with k. The same work lands in the
+// aggregate counters (as one call) so existing totals keep covering all
+// sparse sweeps.
+func (m *CSR) countSpMM(k int) {
+	if !opCounters.enabled.Load() {
+		return
+	}
+	nnz := int64(m.NNZ())
+	kk := int64(k)
+	flops := 2 * nnz * kk
+	mb := 12*nnz + 4*int64(m.Rows)
+	vb := 8 * int64(m.Cols+m.Rows) * kk
+	opCounters.calls.Add(1)
+	opCounters.flops.Add(flops)
+	opCounters.matrixBytes.Add(mb)
+	opCounters.vectorBytes.Add(vb)
+	classCounters.spmm.add(1, flops, mb, vb)
 }

@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMulMatMatchesMulVec proves every column of the k-column block product
+// is bit-identical to the single-vector product of that column, across odd
+// widths that exercise the 4/2/1-column kernel groups.
+func TestMulMatMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][2]int{{40, 40}, {63, 31}, {17, 90}} {
+		m := randomCSR(rng, dims[0], dims[1], 0.15)
+		for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
+			x := make([]float64, k*m.Cols)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			y := make([]float64, k*m.Rows)
+			m.MulMat(y, x, k)
+			ref := make([]float64, m.Rows)
+			for j := 0; j < k; j++ {
+				m.MulVec(ref, x[j*m.Cols:(j+1)*m.Cols])
+				for i, want := range ref {
+					if got := y[j*m.Rows+i]; got != want {
+						t.Fatalf("%dx%d k=%d col %d row %d: got %v want %v (not bit-identical)",
+							dims[0], dims[1], k, j, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulMatTMatchesMulVecT checks the transposed block product against
+// per-column MulVecT within floating-point tolerance (the multi-column
+// scatter does not skip individual zero rows, so accumulation may differ
+// in the last bits only through signed zeros — values must agree exactly
+// here because both paths add the same terms in the same row order).
+func TestMulMatTMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomCSR(rng, 45, 60, 0.12)
+	for _, k := range []int{1, 2, 4, 6, 9} {
+		x := make([]float64, k*m.Rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, k*m.Cols)
+		m.MulMatT(y, x, k)
+		ref := make([]float64, m.Cols)
+		for j := 0; j < k; j++ {
+			m.MulVecT(ref, x[j*m.Rows:(j+1)*m.Rows])
+			for i, want := range ref {
+				got := y[j*m.Cols+i]
+				if math.Abs(got-want) > 1e-13*math.Max(1, math.Abs(want)) {
+					t.Fatalf("k=%d col %d entry %d: got %v want %v", k, j, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMulMatRangeChunks proves range-chunked evaluation (the pooled
+// dispatch pattern) assembles the same bits as the whole-matrix call.
+func TestMulMatRangeChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 70, 70, 0.1)
+	const k = 5
+	x := make([]float64, k*m.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, k*m.Rows)
+	m.MulMat(want, x, k)
+	got := make([]float64, k*m.Rows)
+	for lo := 0; lo < m.Rows; lo += 13 {
+		hi := lo + 13
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		m.MulMatRange(got, x, k, lo, hi)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpMMOpClassCounters checks the per-class counter split: an SpMM sweep
+// charges the matrix stream once and the vector traffic k times, and lands
+// in both the aggregate and the spmm class.
+func TestSpMMOpClassCounters(t *testing.T) {
+	m, err := NewCSRFromTriplets(3, 3, []Triplet{
+		{0, 0, 2}, {0, 1, -1}, {1, 1, 2}, {2, 1, -1}, {2, 2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	EnableOpCounters(true)
+	defer EnableOpCounters(false)
+	ResetOpCounters()
+	const k = 4
+	x := make([]float64, k*3)
+	y := make([]float64, k*3)
+	m.MulMat(y, x, k)
+	m.MulVec(y[:3], x[:3])
+	AccountBlas1(6, 48)
+
+	nnz := int64(m.NNZ())
+	cls := ReadOpClassCounters()
+	if cls.SpMM.SpMVCalls != 1 || cls.SpMM.Flops != 2*nnz*k {
+		t.Fatalf("spmm class: %+v", cls.SpMM)
+	}
+	if want := 12*nnz + 4*3; cls.SpMM.MatrixBytes != want {
+		t.Fatalf("spmm matrix bytes: got %d want %d (must not scale with k)", cls.SpMM.MatrixBytes, want)
+	}
+	if want := int64(8*(3+3)) * k; cls.SpMM.VectorBytes != want {
+		t.Fatalf("spmm vector bytes: got %d want %d", cls.SpMM.VectorBytes, want)
+	}
+	if cls.SpMV.SpMVCalls != 1 || cls.SpMV.Flops != 2*nnz {
+		t.Fatalf("spmv class: %+v", cls.SpMV)
+	}
+	if cls.BLAS1.SpMVCalls != 1 || cls.BLAS1.Flops != 6 || cls.BLAS1.VectorBytes != 48 {
+		t.Fatalf("blas1 class: %+v", cls.BLAS1)
+	}
+	agg := ReadOpCounters()
+	if agg.Flops != cls.SpMV.Flops+cls.SpMM.Flops {
+		t.Fatalf("aggregate flops %d != spmv+spmm %d", agg.Flops, cls.SpMV.Flops+cls.SpMM.Flops)
+	}
+	if agg.SpMVCalls != 2 {
+		t.Fatalf("aggregate calls: %d", agg.SpMVCalls)
+	}
+}
+
+// BenchmarkSpMM measures per-RHS SpMM throughput across block widths. The
+// figure of merit is ns/op divided by k: at k=8 the matrix stream is read
+// once for eight columns, so per-RHS time should drop well below the k=1
+// (plain SpMV) cost — the acceptance gate asks for ≥1.5×.
+func BenchmarkSpMM(b *testing.B) {
+	m := benchMatrix(20000)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(benchName(k), func(b *testing.B) {
+			x := make([]float64, k*m.Cols)
+			y := make([]float64, k*m.Rows)
+			for i := range x {
+				x[i] = float64(i % 7)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(m.NNZ()*12) + int64(8*k*(m.Rows+m.Cols)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MulMat(y, x, k)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/rhs")
+		})
+	}
+}
+
+func benchName(k int) string {
+	return fmt.Sprintf("k=%d", k)
+}

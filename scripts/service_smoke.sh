@@ -208,6 +208,68 @@ grep -q '"slo"' "$workdir/warmreport.json" || { echo "FAIL: warm run report miss
 grep -q '"roofline"' "$workdir/warmreport.json" || { echo "FAIL: warm run report missing roofline section"; cat "$workdir/warmreport.json"; fail=1; }
 grep -q '"achieved_bandwidth_bytes"' "$workdir/warmreport.json" || { echo "FAIL: roofline section has no achieved bandwidth"; fail=1; }
 
+echo "== batched multi-RHS solving =="
+# A second daemon with the batcher armed: concurrent warm solves on the
+# same fingerprint must coalesce into one block solve (batch size >= 2),
+# every member's response and run report must carry the batch section, and
+# the batch_* metric families must render with # HELP/# TYPE headers.
+"$workdir/fsaid" serve -listen 127.0.0.1:0 -runs-dir "$workdir/bruns" \
+    -batch-window 300ms -batch-max 8 2>"$workdir/bstderr.log" &
+bpid=$!
+baddr=""
+for _ in $(seq 1 100); do
+    baddr=$(sed -n 's#.*msg="fsaid listening" addr=http://\([^ ]*\).*#\1#p' "$workdir/bstderr.log" | head -1)
+    [ -n "$baddr" ] && break
+    kill -0 "$bpid" 2>/dev/null || { echo "batching fsaid exited early:"; cat "$workdir/bstderr.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$baddr" ] || { echo "no listen address announced by batching fsaid"; cat "$workdir/bstderr.log"; exit 1; }
+"$workdir/fsaid" register -addr "$baddr" -matgen lap64x64 -name lap >/dev/null
+# Prime the cache: batching is warm-only, so the cold solve runs alone.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"matrix":"lap","precond":"fsaie"}' \
+    "http://$baddr/api/v1/solve" >"$workdir/bprime.json"
+grep -q '"cache": *"miss"' "$workdir/bprime.json" || { echo "FAIL: batch priming solve not a miss"; cat "$workdir/bprime.json"; fail=1; }
+batchpids=""
+for i in 1 2 3; do
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"matrix":"lap","precond":"fsaie"}' \
+        "http://$baddr/api/v1/solve" >"$workdir/batch$i.json" &
+    batchpids="$batchpids $!"
+done
+for p in $batchpids; do
+    wait "$p" || { echo "FAIL: batched solve request failed"; fail=1; }
+done
+bid=$(json_str "$workdir/batch1.json" id)
+[ -n "$bid" ] || { echo "FAIL: batched solve response has no batch id:"; cat "$workdir/batch1.json"; fail=1; }
+for i in 1 2 3; do
+    grep -q '"cache": *"hit"' "$workdir/batch$i.json" || { echo "FAIL: batched solve $i not warm"; cat "$workdir/batch$i.json"; fail=1; }
+    grep -q '"converged": *true' "$workdir/batch$i.json" || { echo "FAIL: batched solve $i did not converge"; fail=1; }
+    grep -q "\"id\": *\"$bid\"" "$workdir/batch$i.json" || { echo "FAIL: batched solve $i not in batch $bid"; cat "$workdir/batch$i.json"; fail=1; }
+    grep -q '"size": *3' "$workdir/batch$i.json" || { echo "FAIL: batched solve $i reports wrong batch size"; cat "$workdir/batch$i.json"; fail=1; }
+done
+curl -fsS "http://$baddr/metrics" >"$workdir/bmetrics.txt"
+for fam in \
+    batch_batches_total:counter batch_jobs_total:counter batch_size:histogram \
+    batch_window_wait_ns:histogram batch_achieved_ai:gauge; do
+    name=${fam%:*}; kind=${fam#*:}
+    grep -q "^# HELP $name " "$workdir/bmetrics.txt" || { echo "FAIL: missing # HELP for $name"; fail=1; }
+    grep -q "^# TYPE $name $kind\$" "$workdir/bmetrics.txt" || { echo "FAIL: missing # TYPE $name $kind"; fail=1; }
+done
+grep -q '^batch_jobs_total [2-9]' "$workdir/bmetrics.txt" || { echo "FAIL: batch_jobs_total < 2:"; grep '^batch_' "$workdir/bmetrics.txt" || true; fail=1; }
+grep -q '^batch_batches_total [1-9]' "$workdir/bmetrics.txt" || { echo "FAIL: batch_batches_total not incremented"; fail=1; }
+# The members' run reports carry the multi-RHS accounting: nrhs and the
+# batch section with the amortized per-RHS wall time.
+batchreport=$(grep -l "\"$bid\"" "$workdir/bruns"/*.json | head -1)
+[ -n "$batchreport" ] || { echo "FAIL: no run report references batch $bid"; ls "$workdir/bruns"; fail=1; }
+if [ -n "$batchreport" ]; then
+    grep -q '"nrhs": *3' "$batchreport" || { echo "FAIL: batched run report missing nrhs=3"; cat "$batchreport"; fail=1; }
+    grep -q '"batch"' "$batchreport" || { echo "FAIL: batched run report missing batch section"; fail=1; }
+    grep -q '"per_rhs_ns"' "$batchreport" || { echo "FAIL: batch section missing per_rhs_ns"; fail=1; }
+fi
+kill "$bpid" 2>/dev/null || true
+wait "$bpid" 2>/dev/null || true
+
 echo "== fsaid solve CLI surfaces its trace id =="
 "$workdir/fsaid" solve -addr "$addr" -matrix lap -precond fsaie >"$workdir/cli.out"
 grep -q 'trace=[0-9a-f]\{32\}' "$workdir/cli.out" || { echo "FAIL: fsaid solve output has no trace id:"; cat "$workdir/cli.out"; fail=1; }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-smoke bench-nrhs clean obs-smoke service-smoke crash-drill compare-baseline chaos prof-overhead-guard
+.PHONY: all build test race vet fmt lint check bench bench-smoke bench-nrhs clean obs-smoke service-smoke crash-drill cluster-drill compare-baseline chaos prof-overhead-guard
 
 all: check
 
@@ -72,6 +72,15 @@ service-smoke:
 # quarantined without taking the daemon down (docs/robustness.md).
 crash-drill:
 	./scripts/crash_drill.sh
+
+# Distributed-fleet drill: three store-backed shards behind a consistent-hash
+# router, register/solve through the router, hot-factor replication to the
+# replica, SIGKILL the primary mid-traffic with zero failed client requests
+# and a bit-identical failover solve, shard restart and rebalance, and a
+# routed-vs-direct warm overhead record into BENCH_history.json
+# (docs/cluster.md).
+cluster-drill:
+	./scripts/cluster_drill.sh
 
 # Perf-regression gate: reproduce the committed BENCH_baseline.json run and
 # diff the deterministic metrics with fsaicompare.

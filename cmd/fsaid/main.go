@@ -41,6 +41,21 @@
 //	  -prof-gap D       pause between capture windows (default 50s)
 //	  -prof-keep N      profiling windows retained for /profiles (default 32)
 //
+//	fsaid route [flags]            run the cluster router in front of a fleet
+//	  -listen ADDR      listen address (default :7575; ":0" picks a free port)
+//	  -peers LIST       comma-separated shard addresses (required), e.g.
+//	                    127.0.0.1:7474,127.0.0.1:7475,127.0.0.1:7476
+//	  -replicas N       replica shards per matrix beyond the primary (default 1)
+//	  -vnodes N         virtual nodes per shard on the hash ring (default 160)
+//	  -bounded-load F   bounded-load placement factor c (default 1.25)
+//	  -warm-threshold N routed cache-hit solves on one matrix before its
+//	                    factor is replicated to the replicas (default 3;
+//	                    negative disables warming)
+//	  -probe-interval D per-peer health-probe period (default 1s)
+//	  -name NAME        router name in the X-Fsaid-Forwarded-By loop-guard
+//	                    header (default fsaid-router)
+//	  -log-level L -log-format F -trace-history N   as for serve
+//
 //	fsaid register [flags]         register a matrix with a running daemon
 //	  -addr URL         daemon address (default http://127.0.0.1:7474)
 //	  -matgen NAME      register a generator-suite matrix by spec name
@@ -88,6 +103,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/service"
@@ -105,6 +121,8 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "route":
+		cmdRoute(os.Args[2:])
 	case "register":
 		cmdRegister(os.Args[2:])
 	case "solve":
@@ -126,6 +144,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: fsaid <subcommand> [flags]
 
   serve      run the solve daemon
+  route      run the cluster router in front of a fleet of daemons
   register   register a matrix with a running daemon
   solve      submit a solve job and wait for the result
   stats      print daemon registry/cache/queue statistics
@@ -250,6 +269,84 @@ func cmdServe(args []string) {
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown failed", "error", err.Error())
 		_ = srv.Close()
+		os.Exit(1)
+	}
+}
+
+// cmdRoute runs the cluster router: the daemon API unchanged, fanned out
+// over a fleet of shards by consistent-hash placement with failover.
+func cmdRoute(args []string) {
+	fs := flag.NewFlagSet("fsaid route", flag.ExitOnError)
+	var (
+		listen        = fs.String("listen", ":7575", "listen address (\":0\" picks a free port)")
+		peers         = fs.String("peers", "", "comma-separated shard addresses (required)")
+		replicas      = fs.Int("replicas", 0, "replica shards per matrix beyond the primary (default 1)")
+		vnodes        = fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (default 160)")
+		boundedLoad   = fs.Float64("bounded-load", 0, "bounded-load placement factor (default 1.25)")
+		warmThreshold = fs.Int("warm-threshold", 0, "cache-hit solves before replica warming (default 3; negative: off)")
+		probeInterval = fs.Duration("probe-interval", 0, "per-peer health-probe period (default 1s)")
+		name          = fs.String("name", "", "router name in the loop-guard header (default fsaid-router)")
+		logLevel      = fs.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		logFormat     = fs.String("log-format", "text", "structured-log format: text|json")
+		traceHistory  = fs.Int("trace-history", 256, "finished routing traces kept for /traces")
+	)
+	_ = fs.Parse(args)
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsaid route: %v\n", err)
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "fsaid route: -peers is required (comma-separated shard addresses)")
+		os.Exit(2)
+	}
+
+	metrics := telemetry.NewRegistry()
+	stopRuntime := telemetry.StartRuntimeMetrics(metrics, 0)
+	defer stopRuntime()
+	recorder := trace.NewRecorder(*traceHistory, "", metrics)
+
+	ring := cluster.NewRing(*vnodes)
+	members := cluster.NewMembership(addrs, ring, cluster.MembershipOptions{
+		ProbeInterval: *probeInterval,
+		Logger:        logger,
+		Registry:      metrics,
+	})
+	router := cluster.NewRouter(cluster.RouterOptions{
+		Name:          *name,
+		Replicas:      *replicas,
+		BoundedLoad:   *boundedLoad,
+		WarmThreshold: *warmThreshold,
+		Membership:    members,
+		Ring:          ring,
+		Logger:        logger,
+		Registry:      metrics,
+		Traces:        recorder,
+	})
+	addr, err := router.Start(*listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	logger.Info("fsaid router listening",
+		"addr", "http://"+addr.String(), "peers", strings.Join(addrs, ","))
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	<-sigCtx.Done()
+	stopSignals()
+
+	logger.Info("router shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := router.Shutdown(ctx); err != nil {
+		logger.Error("shutdown failed", "error", err.Error())
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,11 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine leaks: the membership prober and
+// the router's warming goroutines all have explicit shutdown paths.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service/client"
+	"repro/internal/telemetry"
+)
+
+// Peer states. A peer degrades before it is ejected so that one dropped
+// probe (GC pause, transient packet loss) does not trigger a rebalance:
+// degraded peers keep their ring positions and keep receiving traffic
+// (the router just prefers healthier replicas), ejected peers leave the
+// ring and their keys remap to the survivors.
+const (
+	PeerHealthy  = "healthy"
+	PeerDegraded = "degraded"
+	PeerEjected  = "ejected"
+)
+
+// MembershipOptions tunes the prober and the state machine.
+type MembershipOptions struct {
+	// ProbeInterval is the health-probe period per peer (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz round trip (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the number of consecutive probe failures that
+	// degrade a healthy peer (default 2).
+	FailThreshold int
+	// EjectThreshold is the number of consecutive probe failures that
+	// eject a peer from the ring (default 5). Must be > FailThreshold.
+	EjectThreshold int
+	// RecoverThreshold is the number of consecutive probe successes an
+	// unhealthy peer needs to rejoin as healthy (default 2) — hysteresis,
+	// so a flapping peer doesn't thrash the ring.
+	RecoverThreshold int
+	// Logger receives membership transitions; nil discards them.
+	Logger *slog.Logger
+	// Registry receives the cluster_peer_* series; nil disables them.
+	Registry *telemetry.Registry
+	// HTTPClient, when non-nil, replaces each peer client's transport
+	// (tests inject failures here).
+	HTTPClient *http.Client
+}
+
+func (o *MembershipOptions) fill() {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.EjectThreshold <= o.FailThreshold {
+		o.EjectThreshold = o.FailThreshold + 3
+	}
+	if o.RecoverThreshold <= 0 {
+		o.RecoverThreshold = 2
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// PeerStatus is one peer's row in the /cluster topology document.
+type PeerStatus struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Module is the peer's Go module path from /version; a mismatch with
+	// the router's own module ejects the peer as incompatible.
+	Module string `json:"module,omitempty"`
+	// ConsecutiveFailures / ConsecutiveSuccesses expose where the peer sits
+	// in the degrade/recover hysteresis.
+	ConsecutiveFailures  int    `json:"consecutive_failures,omitempty"`
+	ConsecutiveSuccesses int    `json:"consecutive_successes,omitempty"`
+	LastError            string `json:"last_error,omitempty"`
+	LastProbe            string `json:"last_probe,omitempty"`
+	Incompatible         bool   `json:"incompatible,omitempty"`
+}
+
+type peer struct {
+	addr   string
+	client *client.Client
+
+	state        string
+	fails        int // consecutive probe failures
+	oks          int // consecutive probe successes
+	lastErr      string
+	lastProbe    time.Time
+	module       string
+	incompatible bool
+}
+
+// Membership owns the static peer set: it probes each peer's /healthz,
+// runs the healthy→degraded→ejected state machine, and mutates the ring
+// on ejection/recovery so placement only ever targets live shards. The
+// data path feeds observed transport failures back via ReportFailure —
+// a peer that drops connections gets ejected without waiting for the
+// prober to notice.
+type Membership struct {
+	mu    sync.Mutex
+	ring  *Ring
+	peers map[string]*peer
+	opt   MembershipOptions
+
+	// module is the router's own module path; peers reporting a different
+	// module path from /version are ejected as incompatible.
+	module string
+
+	// epoch increments on every ring mutation (ejection or rejoin); the
+	// router uses it to invalidate placement-dependent caches (warming
+	// dedup) after a rebalance.
+	epoch uint64
+
+	onChange func() // invoked (without the lock) after every ring mutation
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewMembership builds the membership over a static -peers list. All
+// peers start healthy and in the ring; the prober corrects that within
+// FailThreshold probes of startup if any are down.
+func NewMembership(addrs []string, ring *Ring, opt MembershipOptions) *Membership {
+	opt.fill()
+	m := &Membership{
+		ring:   ring,
+		peers:  map[string]*peer{},
+		opt:    opt,
+		module: obs.Version().Module,
+		stop:   make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		if _, dup := m.peers[addr]; dup {
+			continue
+		}
+		c := client.New(addr)
+		if opt.HTTPClient != nil {
+			c.SetHTTPClient(opt.HTTPClient)
+		}
+		m.peers[c.Base()] = &peer{addr: c.Base(), client: c, state: PeerHealthy}
+		ring.Add(c.Base())
+	}
+	m.publishGauges()
+	return m
+}
+
+// OnChange registers the rebalance hook, called after every ring
+// mutation. Set it before Start.
+func (m *Membership) OnChange(fn func()) { m.onChange = fn }
+
+// Start launches the background prober. Close stops it.
+func (m *Membership) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.opt.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.ProbeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober and waits for it.
+func (m *Membership) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}
+
+// ProbeAll probes every peer once, concurrently. Exposed so tests and
+// startup can force a probe round instead of waiting out the ticker.
+func (m *Membership) ProbeAll() {
+	m.mu.Lock()
+	peers := make([]*peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			m.probeOne(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (m *Membership) probeOne(p *peer) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.opt.ProbeTimeout)
+	defer cancel()
+	h, err := p.client.Healthz(ctx)
+	if err == nil && h.Status == obs.HealthFailing {
+		err = fmt.Errorf("peer /healthz reports failing: %s", h.Reason)
+	}
+	var module string
+	if err == nil && p.module == "" {
+		// First successful contact: check build compatibility once.
+		if v, verr := p.client.Version(ctx); verr == nil {
+			module = v.Module
+		}
+	}
+	m.mu.Lock()
+	p.lastProbe = time.Now()
+	if module != "" {
+		p.module = module
+		if m.module != "" && module != m.module {
+			p.incompatible = true
+			p.lastErr = fmt.Sprintf("incompatible build: module %q (want %q)", module, m.module)
+			m.opt.Registry.Counter("cluster.probe_incompatible").Inc()
+			m.transitionLocked(p, PeerEjected)
+			m.mu.Unlock()
+			m.changed()
+			return
+		}
+	}
+	if p.incompatible {
+		// Incompatible peers stay ejected until the operator restarts the
+		// router with a matched fleet; probes keep running only to refresh
+		// the topology document.
+		m.mu.Unlock()
+		return
+	}
+	if err != nil {
+		m.opt.Registry.Counter("cluster.probe_failures").Inc()
+		changed := m.failureLocked(p, err.Error())
+		m.mu.Unlock()
+		if changed {
+			m.changed()
+		}
+		return
+	}
+	changed := m.successLocked(p)
+	m.mu.Unlock()
+	if changed {
+		m.changed()
+	}
+}
+
+// ReportFailure feeds a data-path transport error into the state machine.
+// Forwarding sees a dead peer before the prober does; counting those
+// failures here means failover and ejection converge faster than the
+// probe interval.
+func (m *Membership) ReportFailure(addr string, err error) {
+	m.mu.Lock()
+	p, ok := m.peers[addr]
+	if !ok || p.incompatible {
+		m.mu.Unlock()
+		return
+	}
+	m.opt.Registry.Counter("cluster.forward_failures").Inc()
+	changed := m.failureLocked(p, err.Error())
+	m.mu.Unlock()
+	if changed {
+		m.changed()
+	}
+}
+
+// ReportSuccess feeds a successful forward into the state machine (a peer
+// that serves traffic is alive regardless of what the last probe said).
+func (m *Membership) ReportSuccess(addr string) {
+	m.mu.Lock()
+	p, ok := m.peers[addr]
+	if !ok || p.incompatible {
+		m.mu.Unlock()
+		return
+	}
+	changed := m.successLocked(p)
+	m.mu.Unlock()
+	if changed {
+		m.changed()
+	}
+}
+
+// failureLocked counts one failure and applies the degrade/eject
+// thresholds. Returns whether the ring changed.
+func (m *Membership) failureLocked(p *peer, errMsg string) bool {
+	p.fails++
+	p.oks = 0
+	p.lastErr = errMsg
+	switch {
+	case p.state != PeerEjected && p.fails >= m.opt.EjectThreshold:
+		return m.transitionLocked(p, PeerEjected)
+	case p.state == PeerHealthy && p.fails >= m.opt.FailThreshold:
+		return m.transitionLocked(p, PeerDegraded)
+	}
+	return false
+}
+
+// successLocked counts one success and applies the recovery threshold.
+// Returns whether the ring changed.
+func (m *Membership) successLocked(p *peer) bool {
+	p.oks++
+	p.fails = 0
+	if p.state != PeerHealthy && p.oks >= m.opt.RecoverThreshold {
+		p.lastErr = ""
+		return m.transitionLocked(p, PeerHealthy)
+	}
+	return false
+}
+
+// transitionLocked moves a peer between states, updating the ring on the
+// ejected boundary. Returns whether the ring changed (i.e. keys remapped).
+func (m *Membership) transitionLocked(p *peer, to string) bool {
+	from := p.state
+	if from == to {
+		return false
+	}
+	p.state = to
+	m.opt.Logger.Info("cluster peer state change",
+		slog.String("peer", p.addr), slog.String("from", from), slog.String("to", to),
+		slog.String("last_error", p.lastErr))
+	ringChanged := false
+	if to == PeerEjected {
+		m.ring.Remove(p.addr)
+		ringChanged = true
+	} else if from == PeerEjected {
+		m.ring.Add(p.addr)
+		ringChanged = true
+	}
+	if ringChanged {
+		m.epoch++
+		m.opt.Registry.Counter("cluster.rebalances").Inc()
+	}
+	m.publishGaugesLocked()
+	return ringChanged
+}
+
+func (m *Membership) changed() {
+	if m.onChange != nil {
+		m.onChange()
+	}
+}
+
+func (m *Membership) publishGauges() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.publishGaugesLocked()
+}
+
+func (m *Membership) publishGaugesLocked() {
+	counts := map[string]int{PeerHealthy: 0, PeerDegraded: 0, PeerEjected: 0}
+	for _, p := range m.peers {
+		counts[p.state]++
+	}
+	for state, n := range counts {
+		m.opt.Registry.Gauge(fmt.Sprintf("cluster.peers{state=%q}", state)).Set(float64(n))
+	}
+}
+
+// Client returns the client for a peer address.
+func (m *Membership) Client(addr string) (*client.Client, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok {
+		return nil, false
+	}
+	return p.client, true
+}
+
+// Epoch returns the ring-mutation counter; it changes exactly when key
+// placement may have changed.
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// State returns a peer's current state ("" for unknown peers).
+func (m *Membership) State(addr string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok {
+		return ""
+	}
+	return p.state
+}
+
+// Peers returns the status of every peer, sorted by address.
+func (m *Membership) Peers() []PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerStatus, 0, len(m.peers))
+	for _, p := range m.peers {
+		st := PeerStatus{
+			Addr:                 p.addr,
+			State:                p.state,
+			Module:               p.module,
+			ConsecutiveFailures:  p.fails,
+			ConsecutiveSuccesses: p.oks,
+			LastError:            p.lastErr,
+			Incompatible:         p.incompatible,
+		}
+		if !p.lastProbe.IsZero() {
+			st.LastProbe = p.lastProbe.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Health folds the peer states into the router's own /healthz answer:
+// every shard unreachable is failing (no request can be served), any
+// shard degraded or ejected is degraded (capacity and replication are
+// reduced), all healthy is ok.
+func (m *Membership) Health() (status, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	healthy, trouble := 0, 0
+	for _, p := range m.peers {
+		if p.state == PeerHealthy {
+			healthy++
+		} else {
+			trouble++
+		}
+	}
+	switch {
+	case healthy == 0:
+		return obs.HealthFailing, "no healthy shards"
+	case trouble > 0:
+		return obs.HealthDegraded, fmt.Sprintf("%d of %d shards unhealthy", trouble, healthy+trouble)
+	}
+	return obs.HealthOK, ""
+}

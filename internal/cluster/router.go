@@ -1,0 +1,974 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/sparse"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// routerMaxBody bounds request bodies the router reads (matches the
+// shard's own upload bound).
+const routerMaxBody = 64 << 20
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Name marks forwarded requests via the X-Fsaid-Forwarded-By header
+	// (default "fsaid-router"). A router receiving a request already
+	// bearing the header answers 508 instead of forwarding — the loop
+	// guard.
+	Name string
+	// Replicas is the number of replica shards per matrix beyond the
+	// primary (default 1). The effective replica count is capped by the
+	// fleet size.
+	Replicas int
+	// BoundedLoad is the bounded-load factor c of the consistent-hashing-
+	// with-bounded-loads placement: no shard takes more than
+	// ceil(c * keys/shards) primaries (default 1.25).
+	BoundedLoad float64
+	// WarmThreshold is the number of routed cache-hit solves on one
+	// fingerprint after which the router replicates the hot factor to the
+	// replica shards via setup_only solves (default 3; 0 keeps the
+	// default, negative disables warming).
+	WarmThreshold int
+	// Membership owns the peer set (required).
+	Membership *Membership
+	// Ring is the placement ring shared with Membership (required).
+	Ring *Ring
+	// Logger receives routing decisions; nil discards them.
+	Logger *slog.Logger
+	// Registry receives the cluster_* series and backs the obs /metrics.
+	Registry *telemetry.Registry
+	// Traces retains the router-side span trees (stamped Node "router"),
+	// stitching with the executing shard's traces by shared trace id.
+	Traces *trace.Recorder
+}
+
+// matrixRecord is the router's catalog entry for one registered matrix:
+// enough to place it on the ring and to re-register it on a shard that
+// lost it (restart without durable data, or a rebalance moving the key to
+// a shard that never saw it).
+type matrixRecord struct {
+	fp          string
+	name        string
+	body        []byte // raw registration payload, replayable verbatim
+	contentType string
+	info        service.MatrixInfo
+}
+
+// Router fronts a fleet of fsaid shards with the daemon's own HTTP/JSON
+// API: clients talk to the router exactly as they would to a single
+// daemon, and the router places each matrix on the ring, forwards
+// register/solve/delete to the owning shard, fails over to replicas, and
+// replicates hot preconditioners so a failover lands on a warm cache.
+type Router struct {
+	opt     RouterOptions
+	ring    *Ring
+	members *Membership
+	log     *slog.Logger
+	reg     *telemetry.Registry
+	traces  *trace.Recorder
+
+	obs *obs.Server
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	byFP     map[string]*matrixRecord
+	names    map[string]string // alias -> fingerprint
+	warmHits map[string]int    // routed cache-hit solves per fingerprint
+	warmed   map[string]bool   // fingerprints already replicated this epoch
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	hs   *http.Server
+}
+
+// NewRouter builds the router and its embedded observability server. Call
+// Start to serve, or mount Handler on an existing listener.
+func NewRouter(opt RouterOptions) *Router {
+	if opt.Name == "" {
+		opt.Name = "fsaid-router"
+	}
+	if opt.Replicas <= 0 {
+		opt.Replicas = 1
+	}
+	if opt.BoundedLoad <= 1 {
+		opt.BoundedLoad = 1.25
+	}
+	if opt.WarmThreshold == 0 {
+		opt.WarmThreshold = 3
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	rt := &Router{
+		opt:      opt,
+		ring:     opt.Ring,
+		members:  opt.Membership,
+		log:      opt.Logger,
+		reg:      opt.Registry,
+		traces:   opt.Traces,
+		byFP:     map[string]*matrixRecord{},
+		names:    map[string]string{},
+		warmHits: map[string]int{},
+		warmed:   map[string]bool{},
+	}
+	rt.traces.SetNode("router")
+	rt.reg.SetHelp("cluster_requests", "requests routed, by api")
+	rt.reg.SetHelp("cluster_forwards", "forward attempts to shards, by outcome")
+	rt.reg.SetHelp("cluster_failovers", "solves that failed over past the primary shard")
+	rt.reg.SetHelp("cluster_loop_rejects", "requests rejected by the forwarding loop guard (508)")
+	rt.reg.SetHelp("cluster_warmups", "replica cache-warming setup_only solves, by outcome")
+	rt.reg.SetHelp("cluster_reregistrations", "matrices replayed to shards that lost them")
+	rt.reg.SetHelp("cluster_peers", "peers by membership state")
+	rt.reg.SetHelp("cluster_rebalances", "ring mutations (ejections and rejoins)")
+	rt.reg.SetHelp("cluster_probe_failures", "failed peer health probes")
+	rt.reg.SetHelp("cluster_forward_failures", "data-path transport failures reported to membership")
+	rt.reg.SetHelp("cluster_probe_incompatible", "peers ejected for mismatched build module")
+
+	rt.obs = obs.NewServer(obs.Options{
+		Registry: opt.Registry,
+		Traces:   opt.Traces,
+		Cluster:  rt,
+	})
+	rt.members.OnChange(rt.onMembershipChange)
+	rt.onMembershipChange()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/matrices", rt.handleMatrices)
+	mux.HandleFunc("/api/v1/matrices/", rt.handleMatrix)
+	mux.HandleFunc("/api/v1/solve", rt.handleSolve)
+	mux.HandleFunc("/api/v1/jobs", rt.handleJobs)
+	mux.HandleFunc("/api/v1/jobs/", rt.handleJob)
+	mux.HandleFunc("/api/v1/stats", rt.handleStats)
+	mux.Handle("/", rt.obs.Handler())
+	rt.mux = mux
+	return rt
+}
+
+// Handler returns the router's full HTTP handler (API plus observability).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start listens on addr, launches the membership prober, and serves in the
+// background. It returns the bound address.
+func (rt *Router) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: rt.mux}
+	rt.lnMu.Lock()
+	rt.ln, rt.hs = ln, hs
+	rt.lnMu.Unlock()
+	rt.members.Start()
+	go func() { _ = hs.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains the router: the prober stops, then the HTTP server.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.members.Close()
+	rt.lnMu.Lock()
+	hs := rt.hs
+	rt.hs, rt.ln = nil, nil
+	rt.lnMu.Unlock()
+	_ = rt.obs.Shutdown(ctx)
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// onMembershipChange runs after every ring mutation: placement may have
+// changed, so the warming dedup resets (hot factors re-replicate onto the
+// new replica sets) and the router's /healthz reflects the fleet state.
+func (rt *Router) onMembershipChange() {
+	rt.mu.Lock()
+	rt.warmed = map[string]bool{}
+	rt.mu.Unlock()
+	status, reason := rt.members.Health()
+	if status == obs.HealthOK {
+		rt.obs.SetHealth(obs.HealthOK, "")
+		return
+	}
+	rt.obs.SetHealth(status, reason)
+}
+
+// owners places a key on the ring: primary first, then the replicas, under
+// the bounded-load constraint computed from the router's catalog. The load
+// measure excludes the key itself — a key must never be displaced by its
+// own weight, or re-placing an already-placed key would shift it.
+func (rt *Router) owners(key string) []string {
+	loads := rt.primaryLoads(key)
+	return rt.ring.PlaceBounded(key, 1+rt.opt.Replicas, func(addr string) int {
+		return loads[addr]
+	}, rt.opt.BoundedLoad)
+}
+
+// primaryLoads counts how many cataloged matrices other than except each
+// shard currently owns as primary — the load measure of the bounded-load
+// placement.
+func (rt *Router) primaryLoads(except string) map[string]int {
+	rt.mu.Lock()
+	fps := make([]string, 0, len(rt.byFP))
+	for fp := range rt.byFP {
+		if fp != except {
+			fps = append(fps, fp)
+		}
+	}
+	rt.mu.Unlock()
+	loads := map[string]int{}
+	for _, fp := range fps {
+		if own := rt.ring.Place(fp, 1); len(own) > 0 {
+			loads[own[0]]++
+		}
+	}
+	return loads
+}
+
+// resolve maps a matrix reference (fingerprint or alias) to the placement
+// fingerprint. Unknown references place by the reference itself — the
+// shard answers the 404, keeping error semantics identical to a direct
+// request.
+func (rt *Router) resolve(ref string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.byFP[ref]; ok {
+		return ref
+	}
+	if fp, ok := rt.names[ref]; ok {
+		return fp
+	}
+	return ref
+}
+
+func (rt *Router) record(fp string) (*matrixRecord, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rec, ok := rt.byFP[fp]
+	return rec, ok
+}
+
+// ---- solve ----
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		rt.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if !rt.loopGuard(w, r) {
+		return
+	}
+	rt.reg.Counter(`cluster.requests{api="solve"}`).Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, routerMaxBody))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "reading solve request: %v", err)
+		return
+	}
+	var peek struct {
+		Matrix string `json:"matrix"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		rt.writeError(w, http.StatusBadRequest, "bad solve request: %v", err)
+		return
+	}
+	fp := rt.resolve(peek.Matrix)
+
+	// Continue the client's trace, or originate one so the routing hop and
+	// the shard's execution stitch under a single trace id either way.
+	tc := trace.Context{}
+	if h := r.Header.Get("traceparent"); h != "" {
+		if parsed, perr := trace.ParseTraceparent(h); perr == nil {
+			tc = parsed
+		} else {
+			rt.traces.MalformedHeader()
+		}
+	}
+	originated := false
+	if !tc.Valid() {
+		tc = trace.New()
+		originated = true
+	}
+	extra := http.Header{}
+	extra.Set(service.HeaderForwardedBy, rt.opt.Name)
+	if originated {
+		extra.Set("traceparent", tc.Traceparent())
+	}
+
+	tr := telemetry.NewTracer(nil)
+	root := tr.StartSpan("route-solve")
+	root.SetAttr("matrix", fp)
+
+	candidates := rt.owners(fp)
+	if len(candidates) == 0 {
+		root.End()
+		rt.recordRouteTrace(tr, tc, fp, "", "unrouteable")
+		rt.writeError(w, http.StatusServiceUnavailable, "no shards available")
+		return
+	}
+
+	var backpressure time.Duration
+	sawBackpressure := false
+	for i, addr := range candidates {
+		span := tr.StartSpan("forward")
+		span.SetAttr("peer", addr)
+		res, ferr := rt.forwardSolve(r.Context(), addr, body, r.Header, extra, fp)
+		span.End()
+		if ferr != nil {
+			rt.reg.Counter(`cluster.forwards{outcome="transport-error"}`).Inc()
+			rt.members.ReportFailure(addr, ferr)
+			rt.log.Warn("solve forward failed, trying next replica",
+				"peer", addr, "attempt", i+1, "error", ferr.Error())
+			continue
+		}
+		if res.StatusCode == http.StatusTooManyRequests || res.StatusCode == http.StatusServiceUnavailable {
+			// Shard backpressure spills to the next replica; if everyone is
+			// saturated, the lowest Retry-After propagates to the client.
+			rt.reg.Counter(`cluster.forwards{outcome="backpressure"}`).Inc()
+			ra := res.RetryAfter()
+			if !sawBackpressure || (ra > 0 && ra < backpressure) {
+				backpressure = ra
+			}
+			sawBackpressure = true
+			continue
+		}
+		rt.members.ReportSuccess(addr)
+		if i > 0 {
+			rt.reg.Counter("cluster.failovers").Inc()
+		}
+		rt.reg.Counter(`cluster.forwards{outcome="ok"}`).Inc()
+		root.End()
+		rt.finishSolve(w, res, fp, addr, tc, tr, body)
+		return
+	}
+	root.End()
+	rt.recordRouteTrace(tr, tc, fp, "", "unrouteable")
+	if sawBackpressure {
+		secs := int(backpressure.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		rt.writeErrorBody(w, http.StatusTooManyRequests, service.ErrorBody{
+			Error:       "all shards saturated",
+			RetryAfterS: secs,
+			TraceID:     tc.TraceID,
+		})
+		return
+	}
+	rt.writeErrorBody(w, http.StatusServiceUnavailable, service.ErrorBody{
+		Error:   "no shard could serve the solve",
+		TraceID: tc.TraceID,
+	})
+}
+
+// forwardSolve relays one solve to one shard, replaying the matrix
+// registration once if the shard answers 404 for a matrix the router has
+// cataloged (the shard restarted without durable data, or a rebalance
+// moved the key to a shard that never saw it).
+func (rt *Router) forwardSolve(ctx context.Context, addr string, body []byte, hdr, extra http.Header, fp string) (*client.ForwardResult, error) {
+	cl, ok := rt.members.Client(addr)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %s", addr)
+	}
+	res, err := cl.Forward(ctx, http.MethodPost, "/api/v1/solve", body, hdr, extra)
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode != http.StatusNotFound {
+		return res, nil
+	}
+	rec, known := rt.record(fp)
+	if !known {
+		return res, nil // genuinely unknown matrix: the 404 is the answer
+	}
+	if rerr := rt.registerOn(ctx, cl, rec); rerr != nil {
+		return res, nil // replay failed; surface the original 404
+	}
+	rt.reg.Counter("cluster.reregistrations").Inc()
+	rt.log.Info("replayed matrix registration to shard",
+		"peer", addr, "fingerprint", trace.Short(fp))
+	return cl.Forward(ctx, http.MethodPost, "/api/v1/solve", body, hdr, extra)
+}
+
+// finishSolve passes the shard's response through byte-for-byte and feeds
+// the warm-replication tracker.
+func (rt *Router) finishSolve(w http.ResponseWriter, res *client.ForwardResult, fp, addr string, tc trace.Context, tr *telemetry.Tracer, body []byte) {
+	var env struct {
+		JobID  string `json:"job_id"`
+		Matrix string `json:"matrix"`
+		Cache  string `json:"cache"`
+		Status string `json:"status"`
+	}
+	if res.StatusCode >= 200 && res.StatusCode < 300 {
+		_ = json.Unmarshal(res.Body, &env)
+	}
+	rt.passThrough(w, res)
+	if env.Matrix != "" {
+		fp = env.Matrix
+	}
+	status := env.Status
+	if status == "" {
+		status = fmt.Sprintf("http-%d", res.StatusCode)
+	}
+	rt.recordRouteTraceJob(tr, tc, fp, addr, status, env.JobID)
+	if env.Cache == service.CacheHit {
+		rt.noteWarmHit(fp, body)
+	}
+}
+
+// passThrough writes a forwarded response to the client unmodified:
+// status, allowlisted headers, raw body bytes. This is what makes routed
+// responses byte-for-byte identical to direct-shard responses.
+func (rt *Router) passThrough(w http.ResponseWriter, res *client.ForwardResult) {
+	for name, vals := range res.Header {
+		for _, v := range vals {
+			w.Header().Add(name, v)
+		}
+	}
+	w.WriteHeader(res.StatusCode)
+	_, _ = w.Write(res.Body)
+}
+
+func (rt *Router) recordRouteTrace(tr *telemetry.Tracer, tc trace.Context, fp, addr, status string) {
+	rt.recordRouteTraceJob(tr, tc, fp, addr, status, "")
+}
+
+func (rt *Router) recordRouteTraceJob(tr *telemetry.Tracer, tc trace.Context, fp, addr, status, jobID string) {
+	report := tr.Report()
+	if len(report) == 0 {
+		return
+	}
+	name := "route"
+	if addr != "" {
+		name = "route->" + addr
+	}
+	rt.traces.Record(&trace.Trace{
+		TraceID:     tc.TraceID,
+		SpanID:      tc.SpanID,
+		JobID:       jobID,
+		Fingerprint: fp,
+		Name:        name,
+		Status:      status,
+		Root:        report[0],
+	})
+}
+
+// ---- hot-factor replication ----
+
+// noteWarmHit counts a routed cache-hit solve; once a fingerprint crosses
+// the warm threshold, its factor is replicated to the replica shards so a
+// failover lands on a warm cache instead of paying setup again.
+func (rt *Router) noteWarmHit(fp string, body []byte) {
+	if rt.opt.WarmThreshold < 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.warmHits[fp]++
+	hit := rt.warmHits[fp] >= rt.opt.WarmThreshold && !rt.warmed[fp]
+	if hit {
+		rt.warmed[fp] = true
+	}
+	rt.mu.Unlock()
+	if hit {
+		go rt.warmReplicas(fp, body)
+	}
+}
+
+// warmReplicas replays the hot solve as setup_only against every replica
+// shard: the replica builds (and caches, and stores) the same factor the
+// primary serves, keyed identically because the setup knobs come from the
+// triggering request.
+func (rt *Router) warmReplicas(fp string, body []byte) {
+	var req map[string]any
+	if err := json.Unmarshal(body, &req); err != nil {
+		return
+	}
+	// Strip the per-request parts; keep the setup knobs that shape the
+	// cache key (precond, filter, line_bytes, pattern_power, tau).
+	delete(req, "rhs")
+	delete(req, "return_solution")
+	delete(req, "hold_ms")
+	delete(req, "timeout_ms")
+	req["matrix"] = fp
+	req["setup_only"] = true
+	warmBody, err := json.Marshal(req)
+	if err != nil {
+		return
+	}
+	owners := rt.owners(fp)
+	if len(owners) <= 1 {
+		return
+	}
+	extra := http.Header{}
+	extra.Set(service.HeaderForwardedBy, rt.opt.Name)
+	extra.Set("traceparent", trace.New().Traceparent())
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, addr := range owners[1:] {
+		res, err := rt.forwardSolve(ctx, addr, warmBody, hdr, extra, fp)
+		switch {
+		case err != nil:
+			rt.reg.Counter(`cluster.warmups{outcome="transport-error"}`).Inc()
+			rt.members.ReportFailure(addr, err)
+		case res.StatusCode >= 200 && res.StatusCode < 300:
+			rt.reg.Counter(`cluster.warmups{outcome="ok"}`).Inc()
+			rt.log.Info("replicated hot factor to replica",
+				"peer", addr, "fingerprint", trace.Short(fp))
+		default:
+			rt.reg.Counter(`cluster.warmups{outcome="rejected"}`).Inc()
+			rt.log.Warn("replica cache warmup rejected",
+				"peer", addr, "fingerprint", trace.Short(fp), "status", res.StatusCode)
+		}
+	}
+}
+
+// ---- registration ----
+
+func (rt *Router) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		rt.handleListMatrices(w, r)
+	case http.MethodPost:
+		rt.handleRegister(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !rt.loopGuard(w, r) {
+		return
+	}
+	rt.reg.Counter(`cluster.requests{api="register"}`).Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, routerMaxBody))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "reading register request: %v", err)
+		return
+	}
+	// Parse the payload locally — the router needs the content fingerprint
+	// to place the matrix before any shard has seen it.
+	var a *sparse.CSR
+	name := r.URL.Query().Get("name")
+	contentType := r.Header.Get("Content-Type")
+	if strings.Contains(contentType, "json") {
+		var req service.RegisterRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			rt.writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+			return
+		}
+		spec, ok := matgen.ByName(req.Matgen)
+		if !ok {
+			rt.writeError(w, http.StatusBadRequest, "unknown matgen spec %q", req.Matgen)
+			return
+		}
+		a = spec.Generate()
+		if req.Name != "" {
+			name = req.Name
+		} else if name == "" {
+			name = req.Matgen
+		}
+	} else {
+		a, err = mmio.Read(bytes.NewReader(body))
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, "bad MatrixMarket upload: %v", err)
+			return
+		}
+	}
+	fp := a.Fingerprint()
+	rec := &matrixRecord{fp: fp, name: name, body: body, contentType: contentType}
+
+	owners := rt.owners(fp)
+	if len(owners) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable, "no shards available")
+		return
+	}
+	// Register on every owner (primary and replicas): replicas must be
+	// able to serve the matrix the moment a failover reaches them.
+	var first *client.ForwardResult
+	registered := 0
+	for _, addr := range owners {
+		cl, ok := rt.members.Client(addr)
+		if !ok {
+			continue
+		}
+		res, ferr := rt.forwardRegister(r.Context(), cl, rec, r.Header)
+		if ferr != nil {
+			rt.members.ReportFailure(addr, ferr)
+			rt.log.Warn("register forward failed", "peer", addr, "error", ferr.Error())
+			continue
+		}
+		rt.members.ReportSuccess(addr)
+		if first == nil {
+			first = res
+		}
+		if res.StatusCode >= 200 && res.StatusCode < 300 {
+			registered++
+			if first.StatusCode < 200 || first.StatusCode >= 300 {
+				first = res
+			}
+		}
+	}
+	if first == nil {
+		rt.writeError(w, http.StatusServiceUnavailable, "no shard accepted the registration")
+		return
+	}
+	if registered > 0 {
+		_ = json.Unmarshal(first.Body, &rec.info)
+		rt.mu.Lock()
+		rt.byFP[fp] = rec
+		if name != "" {
+			rt.names[name] = fp
+		} else if rec.info.Name != "" {
+			rt.names[rec.info.Name] = fp
+		}
+		rt.mu.Unlock()
+		rt.log.Info("matrix registered",
+			"fingerprint", trace.Short(fp), "name", rec.info.Name,
+			"owners", strings.Join(owners, ","), "replicas", registered-1)
+	}
+	rt.passThrough(w, first)
+}
+
+// forwardRegister replays a cataloged registration to one shard.
+func (rt *Router) forwardRegister(ctx context.Context, cl *client.Client, rec *matrixRecord, hdr http.Header) (*client.ForwardResult, error) {
+	if hdr == nil {
+		hdr = http.Header{}
+		hdr.Set("Content-Type", rec.contentType)
+	}
+	path := "/api/v1/matrices"
+	if rec.name != "" {
+		path += "?name=" + urlQueryEscape(rec.name)
+	}
+	extra := http.Header{}
+	extra.Set(service.HeaderForwardedBy, rt.opt.Name)
+	return cl.Forward(ctx, http.MethodPost, path, rec.body, hdr, extra)
+}
+
+// registerOn replays a registration during solve failover (no inbound
+// request headers to relay).
+func (rt *Router) registerOn(ctx context.Context, cl *client.Client, rec *matrixRecord) error {
+	res, err := rt.forwardRegister(ctx, cl, rec, nil)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode < 200 || res.StatusCode >= 300 {
+		return fmt.Errorf("cluster: registration replay: HTTP %d", res.StatusCode)
+	}
+	return nil
+}
+
+// handleListMatrices merges the matrix listings of every live shard,
+// deduplicated by fingerprint, so the routed view equals the fleet's.
+func (rt *Router) handleListMatrices(w http.ResponseWriter, r *http.Request) {
+	byFP := map[string]service.MatrixInfo{}
+	for _, p := range rt.members.Peers() {
+		if p.State == PeerEjected {
+			continue
+		}
+		cl, ok := rt.members.Client(p.Addr)
+		if !ok {
+			continue
+		}
+		infos, err := cl.Matrices(r.Context())
+		if err != nil {
+			continue
+		}
+		for _, info := range infos {
+			info.Created = false
+			if have, dup := byFP[info.Fingerprint]; !dup || have.Name == "" {
+				byFP[info.Fingerprint] = info
+			}
+		}
+	}
+	out := make([]service.MatrixInfo, 0, len(byFP))
+	for _, info := range byFP {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	rt.writeJSON(w, http.StatusOK, out)
+}
+
+// handleMatrix forwards GET (with failover) and DELETE (fanned out to all
+// owners) for one matrix reference.
+func (rt *Router) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	if !rt.loopGuard(w, r) {
+		return
+	}
+	ref := strings.TrimPrefix(r.URL.Path, "/api/v1/matrices/")
+	if ref == "" {
+		rt.writeError(w, http.StatusNotFound, "missing matrix reference")
+		return
+	}
+	fp := rt.resolve(ref)
+	owners := rt.owners(fp)
+	if len(owners) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable, "no shards available")
+		return
+	}
+	extra := http.Header{}
+	extra.Set(service.HeaderForwardedBy, rt.opt.Name)
+	path := "/api/v1/matrices/" + urlQueryEscape(ref)
+	switch r.Method {
+	case http.MethodGet:
+		for _, addr := range owners {
+			cl, ok := rt.members.Client(addr)
+			if !ok {
+				continue
+			}
+			res, err := cl.Forward(r.Context(), http.MethodGet, path, nil, r.Header, extra)
+			if err != nil {
+				rt.members.ReportFailure(addr, err)
+				continue
+			}
+			rt.members.ReportSuccess(addr)
+			rt.passThrough(w, res)
+			return
+		}
+		rt.writeError(w, http.StatusServiceUnavailable, "no shard could serve the matrix")
+	case http.MethodDelete:
+		rt.reg.Counter(`cluster.requests{api="delete"}`).Inc()
+		var first *client.ForwardResult
+		for _, addr := range owners {
+			cl, ok := rt.members.Client(addr)
+			if !ok {
+				continue
+			}
+			res, err := cl.Forward(r.Context(), http.MethodDelete, path, nil, r.Header, extra)
+			if err != nil {
+				rt.members.ReportFailure(addr, err)
+				continue
+			}
+			rt.members.ReportSuccess(addr)
+			if first == nil || (res.StatusCode >= 200 && res.StatusCode < 300 &&
+				(first.StatusCode < 200 || first.StatusCode >= 300)) {
+				first = res
+			}
+		}
+		rt.mu.Lock()
+		if rec, ok := rt.byFP[fp]; ok {
+			delete(rt.byFP, fp)
+			if rec.name != "" {
+				delete(rt.names, rec.name)
+			}
+			if rec.info.Name != "" {
+				delete(rt.names, rec.info.Name)
+			}
+		}
+		delete(rt.warmHits, fp)
+		delete(rt.warmed, fp)
+		rt.mu.Unlock()
+		if first == nil {
+			rt.writeError(w, http.StatusServiceUnavailable, "no shard could delete the matrix")
+			return
+		}
+		rt.passThrough(w, first)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+// ---- jobs and stats ----
+
+// handleJobs merges the job logs of every live shard, most recent first.
+func (rt *Router) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	all := []service.JobInfo{}
+	for _, p := range rt.members.Peers() {
+		if p.State == PeerEjected {
+			continue
+		}
+		cl, ok := rt.members.Client(p.Addr)
+		if !ok {
+			continue
+		}
+		jobs, err := cl.Jobs(r.Context())
+		if err != nil {
+			continue
+		}
+		all = append(all, jobs...)
+	}
+	// EnqueuedAt is RFC 3339 with nanoseconds: lexical order is time order.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].EnqueuedAt > all[j].EnqueuedAt })
+	rt.writeJSON(w, http.StatusOK, all)
+}
+
+// handleJob finds one job record on whichever shard executed it.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		rt.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	extra := http.Header{}
+	extra.Set(service.HeaderForwardedBy, rt.opt.Name)
+	for _, p := range rt.members.Peers() {
+		if p.State == PeerEjected {
+			continue
+		}
+		cl, ok := rt.members.Client(p.Addr)
+		if !ok {
+			continue
+		}
+		res, err := cl.Forward(r.Context(), http.MethodGet, "/api/v1/jobs/"+urlQueryEscape(id), nil, r.Header, extra)
+		if err != nil || res.StatusCode == http.StatusNotFound {
+			continue
+		}
+		rt.passThrough(w, res)
+		return
+	}
+	rt.writeError(w, http.StatusNotFound, "no job %q on any shard", id)
+}
+
+// ClusterStats is the router's GET /api/v1/stats document: the per-shard
+// stats keyed by address, plus the router's own catalog size.
+type ClusterStats struct {
+	Router   string                   `json:"router"`
+	Matrices int                      `json:"matrices"`
+	Peers    map[string]service.Stats `json:"peers"`
+	// Unreachable lists peers whose stats could not be fetched.
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	n := len(rt.byFP)
+	rt.mu.Unlock()
+	out := ClusterStats{Router: rt.opt.Name, Matrices: n, Peers: map[string]service.Stats{}}
+	for _, p := range rt.members.Peers() {
+		cl, ok := rt.members.Client(p.Addr)
+		if !ok {
+			continue
+		}
+		st, err := cl.Stats(r.Context())
+		if err != nil {
+			out.Unreachable = append(out.Unreachable, p.Addr)
+			continue
+		}
+		out.Peers[p.Addr] = st
+	}
+	rt.writeJSON(w, http.StatusOK, out)
+}
+
+// ---- topology ----
+
+// MatrixPlacement is one cataloged matrix's row in the topology document.
+type MatrixPlacement struct {
+	Fingerprint string   `json:"fingerprint"`
+	Name        string   `json:"name,omitempty"`
+	Owners      []string `json:"owners"`
+	WarmHits    int      `json:"warm_hits,omitempty"`
+	Replicated  bool     `json:"replicated,omitempty"`
+}
+
+// Topology is the GET /cluster document.
+type Topology struct {
+	Router      string            `json:"router"`
+	Replicas    int               `json:"replicas"`
+	VNodes      int               `json:"vnodes"`
+	BoundedLoad float64           `json:"bounded_load"`
+	Epoch       uint64            `json:"epoch"`
+	Peers       []PeerStatus      `json:"peers"`
+	Matrices    []MatrixPlacement `json:"matrices"`
+}
+
+// Topology implements obs.TopologyReporter.
+func (rt *Router) Topology() any {
+	top := Topology{
+		Router:      rt.opt.Name,
+		Replicas:    rt.opt.Replicas,
+		VNodes:      rt.ring.VNodes(),
+		BoundedLoad: rt.opt.BoundedLoad,
+		Epoch:       rt.members.Epoch(),
+		Peers:       rt.members.Peers(),
+		Matrices:    []MatrixPlacement{},
+	}
+	rt.mu.Lock()
+	recs := make([]*matrixRecord, 0, len(rt.byFP))
+	for _, rec := range rt.byFP {
+		recs = append(recs, rec)
+	}
+	warmHits := make(map[string]int, len(rt.warmHits))
+	for fp, n := range rt.warmHits {
+		warmHits[fp] = n
+	}
+	warmed := make(map[string]bool, len(rt.warmed))
+	for fp, v := range rt.warmed {
+		warmed[fp] = v
+	}
+	rt.mu.Unlock()
+	for _, rec := range recs {
+		top.Matrices = append(top.Matrices, MatrixPlacement{
+			Fingerprint: rec.fp,
+			Name:        rec.info.Name,
+			Owners:      rt.owners(rec.fp),
+			WarmHits:    warmHits[rec.fp],
+			Replicated:  warmed[rec.fp],
+		})
+	}
+	sort.Slice(top.Matrices, func(i, j int) bool {
+		return top.Matrices[i].Fingerprint < top.Matrices[j].Fingerprint
+	})
+	return top
+}
+
+// ---- plumbing ----
+
+// loopGuard rejects requests that already crossed a router: forwarding
+// again could loop forever in a misconfigured topology (a router listed as
+// another router's peer). Returns false when the request was rejected.
+func (rt *Router) loopGuard(w http.ResponseWriter, r *http.Request) bool {
+	if by := r.Header.Get(service.HeaderForwardedBy); by != "" {
+		rt.reg.Counter("cluster.loop_rejects").Inc()
+		rt.writeError(w, http.StatusLoopDetected,
+			"request already forwarded by %q: routing loop", by)
+		return false
+	}
+	return true
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	rt.writeErrorBody(w, code, service.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (rt *Router) writeErrorBody(w http.ResponseWriter, code int, body service.ErrorBody) {
+	rt.writeJSON(w, code, body)
+}
+
+func urlQueryEscape(s string) string { return url.PathEscape(s) }

@@ -1,0 +1,363 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// testShard is one in-process fsaid daemon behind an httptest listener.
+type testShard struct {
+	srv *service.Server
+	hs  *httptest.Server
+}
+
+func (s *testShard) kill() { s.hs.CloseClientConnections(); s.hs.Close() }
+
+func startShard(t *testing.T) *testShard {
+	t.Helper()
+	srv := service.New(service.Options{Workers: 2})
+	hs := httptest.NewServer(srv.Handler())
+	sh := &testShard{srv: srv, hs: hs}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		hs.Close()
+	})
+	return sh
+}
+
+// testCluster is a router fronting n in-process shards.
+type testCluster struct {
+	shards  []*testShard
+	members *cluster.Membership
+	router  *cluster.Router
+	hs      *httptest.Server
+}
+
+func startCluster(t *testing.T, n int, opt cluster.RouterOptions) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	peers := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		sh := startShard(t)
+		tc.shards = append(tc.shards, sh)
+		peers = append(peers, sh.hs.URL)
+	}
+	reg := telemetry.NewRegistry()
+	ring := cluster.NewRing(0)
+	tc.members = cluster.NewMembership(peers, ring, cluster.MembershipOptions{
+		ProbeInterval:    50 * time.Millisecond,
+		FailThreshold:    1,
+		EjectThreshold:   3,
+		RecoverThreshold: 1,
+		Registry:         reg,
+	})
+	opt.Membership = tc.members
+	opt.Ring = ring
+	opt.Registry = reg
+	opt.Traces = trace.NewRecorder(64, "", reg)
+	tc.router = cluster.NewRouter(opt)
+	tc.hs = httptest.NewServer(tc.router.Handler())
+	t.Cleanup(func() {
+		tc.hs.Close()
+		tc.members.Close()
+	})
+	return tc
+}
+
+func (tc *testCluster) client() *client.Client { return client.New(tc.hs.URL) }
+
+// shardFor returns the test shard listening at addr.
+func (tc *testCluster) shardFor(t *testing.T, addr string) *testShard {
+	t.Helper()
+	for _, sh := range tc.shards {
+		if sh.hs.URL == addr {
+			return sh
+		}
+	}
+	t.Fatalf("no shard at %s", addr)
+	return nil
+}
+
+// topology fetches the router's /cluster document.
+func (tc *testCluster) topology(t *testing.T) cluster.Topology {
+	t.Helper()
+	resp, err := http.Get(tc.hs.URL + "/cluster")
+	if err != nil {
+		t.Fatalf("GET /cluster: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /cluster: HTTP %d", resp.StatusCode)
+	}
+	var top cluster.Topology
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		t.Fatalf("decode /cluster: %v", err)
+	}
+	return top
+}
+
+// TestRouterRegisterSolveAndPlacement drives the unchanged client API
+// through the router: register places the matrix on primary+replica,
+// solve executes on the owning shard, and a repeat solve is a cache hit.
+func TestRouterRegisterSolveAndPlacement(t *testing.T) {
+	tc := startCluster(t, 3, cluster.RouterOptions{Replicas: 1, WarmThreshold: -1})
+	c := tc.client()
+	ctx := context.Background()
+
+	info, err := c.RegisterMatgen(ctx, "lap64x64", "lap")
+	if err != nil {
+		t.Fatalf("register through router: %v", err)
+	}
+	if !info.Created || info.Fingerprint == "" {
+		t.Fatalf("register info: %+v", info)
+	}
+
+	top := tc.topology(t)
+	if len(top.Matrices) != 1 || len(top.Matrices[0].Owners) != 2 {
+		t.Fatalf("topology after register: %+v", top.Matrices)
+	}
+	owners := top.Matrices[0].Owners
+
+	// Both owners must already hold the matrix (replica readiness).
+	for _, addr := range owners {
+		if _, err := client.New(addr).Matrix(ctx, info.Fingerprint); err != nil {
+			t.Fatalf("owner %s missing matrix: %v", addr, err)
+		}
+	}
+
+	resp, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie"})
+	if err != nil {
+		t.Fatalf("solve through router: %v", err)
+	}
+	if !resp.Converged || resp.Cache != service.CacheMiss || resp.Matrix != info.Fingerprint {
+		t.Fatalf("cold routed solve: %+v", resp)
+	}
+	resp2, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie"})
+	if err != nil {
+		t.Fatalf("warm solve through router: %v", err)
+	}
+	if resp2.Cache != service.CacheHit {
+		t.Fatalf("repeat routed solve cache = %q, want hit (same shard must serve it)", resp2.Cache)
+	}
+}
+
+// TestRouterEnvelopePassThrough pins the byte-level compatibility
+// contract: job_id, trace_id and the idempotent-replay marker arrive at
+// the client exactly as the shard produced them.
+func TestRouterEnvelopePassThrough(t *testing.T) {
+	tc := startCluster(t, 2, cluster.RouterOptions{Replicas: 1, WarmThreshold: -1})
+	ctx := context.Background()
+	if _, err := tc.client().RegisterMatgen(ctx, "lap64x64", "lap"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	body := []byte(`{"matrix":"lap","precond":"fsaie"}`)
+	tcx := trace.New()
+	post := func() (*http.Response, service.SolveResponse) {
+		req, _ := http.NewRequest(http.MethodPost, tc.hs.URL+"/api/v1/solve", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", tcx.Traceparent())
+		req.Header.Set(service.HeaderIdempotencyKey, "router-pass-through-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve: HTTP %d: %s", resp.StatusCode, raw)
+		}
+		var out service.SolveResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return resp, out
+	}
+
+	_, first := post()
+	if first.JobID == "" || first.TraceID != tcx.TraceID {
+		t.Fatalf("first response envelope: job_id=%q trace_id=%q want trace %q",
+			first.JobID, first.TraceID, tcx.TraceID)
+	}
+	hresp, second := post()
+	if hresp.Header.Get(service.HeaderIdempotentReplay) != "1" {
+		t.Fatal("replayed response lost the X-Fsaid-Idempotent-Replay header in transit")
+	}
+	if !second.Replayed || second.JobID != first.JobID || second.TraceID != first.TraceID {
+		t.Fatalf("replay envelope altered: %+v vs %+v", second, first)
+	}
+
+	// The routing hop and the shard execution stitch under one trace id:
+	// the router keeps its own span tree for the same id.
+	resp, err := http.Get(tc.hs.URL + "/traces/" + tcx.TraceID)
+	if err != nil {
+		t.Fatalf("GET /traces: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router kept no trace for %s: HTTP %d", tcx.TraceID, resp.StatusCode)
+	}
+	var tr trace.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if tr.Node != "router" {
+		t.Fatalf("router trace node = %q, want router", tr.Node)
+	}
+}
+
+// TestRouterLoopGuard pins the forwarding loop guard: a request already
+// bearing X-Fsaid-Forwarded-By is answered 508, not forwarded.
+func TestRouterLoopGuard(t *testing.T) {
+	tc := startCluster(t, 1, cluster.RouterOptions{WarmThreshold: -1})
+	req, _ := http.NewRequest(http.MethodPost, tc.hs.URL+"/api/v1/solve",
+		bytes.NewReader([]byte(`{"matrix":"x"}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.HeaderForwardedBy, "another-router")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusLoopDetected {
+		t.Fatalf("forwarded request got HTTP %d, want 508", resp.StatusCode)
+	}
+}
+
+// TestRouterFailover kills the primary shard and asserts the next solve
+// lands on the replica with no client-visible failure — and that the
+// trace id survives the failover hop.
+func TestRouterFailover(t *testing.T) {
+	tc := startCluster(t, 2, cluster.RouterOptions{Replicas: 1, WarmThreshold: -1})
+	c := tc.client()
+	ctx := context.Background()
+	info, err := c.RegisterMatgen(ctx, "lap64x64", "lap")
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie"}); err != nil {
+		t.Fatalf("solve before failover: %v", err)
+	}
+
+	top := tc.topology(t)
+	primary := top.Matrices[0].Owners[0]
+	tc.shardFor(t, primary).kill()
+
+	tcx := trace.New()
+	resp, _, err := c.SolveTraced(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie"}, tcx)
+	if err != nil {
+		t.Fatalf("solve during primary outage must fail over, got: %v", err)
+	}
+	if !resp.Converged || resp.Matrix != info.Fingerprint {
+		t.Fatalf("failover solve: %+v", resp)
+	}
+	if resp.TraceID != tcx.TraceID {
+		t.Fatalf("failover lost the trace id: %q want %q", resp.TraceID, tcx.TraceID)
+	}
+	if st := tc.members.State(primary); st == cluster.PeerHealthy {
+		t.Fatalf("killed primary still %q after data-path failure", st)
+	}
+}
+
+// TestRouterWarmReplication pins the hot-factor replication path: once a
+// fingerprint's routed solves keep hitting the cache, the replica shard
+// builds the same factor via setup_only, so a failover lands warm.
+func TestRouterWarmReplication(t *testing.T) {
+	tc := startCluster(t, 2, cluster.RouterOptions{Replicas: 1, WarmThreshold: 1})
+	c := tc.client()
+	ctx := context.Background()
+	if _, err := c.RegisterMatgen(ctx, "lap64x64", "lap"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// First solve: miss on the primary. Second: hit, crossing the warm
+	// threshold and triggering replication.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie"}); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	top := tc.topology(t)
+	replica := top.Matrices[0].Owners[1]
+	rc := client.New(replica)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := rc.Stats(ctx)
+		if err == nil && st.Cache.Entries >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s never cached the hot factor (stats: %+v, err: %v)", replica, st, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The replica's warm copy must produce the bit-identical solution: kill
+	// the primary and compare X against the primary's answer.
+	want, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie", ReturnSolution: true})
+	if err != nil {
+		t.Fatalf("solve for reference X: %v", err)
+	}
+	tc.shardFor(t, top.Matrices[0].Owners[0]).kill()
+	got, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie", ReturnSolution: true})
+	if err != nil {
+		t.Fatalf("failover solve: %v", err)
+	}
+	if got.Cache != service.CacheHit {
+		t.Fatalf("failover solve cache = %q, want hit from the replicated factor", got.Cache)
+	}
+	if len(got.X) != len(want.X) {
+		t.Fatalf("solution lengths differ: %d vs %d", len(got.X), len(want.X))
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("X[%d] differs after failover: %v vs %v (factors not bit-identical)",
+				i, got.X[i], want.X[i])
+		}
+	}
+}
+
+// TestRouterSetupOnly pins the warming primitive on the shard API itself:
+// setup_only builds and caches the factor without running CG.
+func TestRouterSetupOnly(t *testing.T) {
+	sh := startShard(t)
+	c := client.New(sh.hs.URL)
+	ctx := context.Background()
+	if _, err := c.RegisterMatgen(ctx, "lap64x64", "lap"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	resp, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie", SetupOnly: true})
+	if err != nil {
+		t.Fatalf("setup_only: %v", err)
+	}
+	if resp.Status != service.StatusSetupOnly || resp.Iterations != 0 || resp.Cache != service.CacheMiss {
+		t.Fatalf("setup_only response: %+v", resp)
+	}
+	warm, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "fsaie"})
+	if err != nil {
+		t.Fatalf("solve after setup_only: %v", err)
+	}
+	if warm.Cache != service.CacheHit || !warm.Converged {
+		t.Fatalf("solve after setup_only should be warm: %+v", warm)
+	}
+	// Invalid combinations are rejected up front.
+	if _, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Precond: "jacobi", SetupOnly: true}); err == nil {
+		t.Fatal("setup_only with jacobi must be rejected")
+	}
+	if _, err := c.Solve(ctx, service.SolveRequest{Matrix: "lap", Resilient: true, SetupOnly: true}); err == nil {
+		t.Fatal("setup_only with resilient must be rejected")
+	}
+}

@@ -47,6 +47,18 @@ type Options struct {
 	Profiles *prof.Sampler
 	// Roofline backs GET /roofline and the roofline_* gauges.
 	Roofline *RooflineMonitor
+	// Cluster backs GET /cluster with the fleet topology when this server
+	// fronts a cluster router (internal/cluster). Nil (every plain shard):
+	// the route answers 404.
+	Cluster TopologyReporter
+}
+
+// TopologyReporter is what a cluster router exposes to /cluster: a
+// JSON-encodable topology document (peers, states, ring placement). An
+// interface keeps obs free of a dependency on internal/cluster, which
+// imports this package.
+type TopologyReporter interface {
+	Topology() any
 }
 
 // Server serves the observability endpoints. Construct with NewServer, then
@@ -88,6 +100,8 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("/profiles", s.handleProfiles)
 	s.mux.HandleFunc("/profiles/", s.handleProfileByID)
 	s.mux.HandleFunc("/roofline", s.handleRoofline)
+	s.mux.HandleFunc("/version", s.handleVersion)
+	s.mux.HandleFunc("/cluster", s.handleCluster)
 	// Wire the stdlib profiler explicitly — the package-level init only
 	// registers on http.DefaultServeMux, which we deliberately avoid.
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -168,6 +182,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
                     /profiles/<id>/{cpu,heap,goroutine,mutex} for raw .pb.gz
   /roofline         live roofline: achieved GB/s and GFLOP/s per kernel vs the
                     machine roofs, per-matrix bandwidth baselines and flags
+  /version          build info (module, version, go toolchain, vcs revision);
+                    the cluster router checks it for shard compatibility
+  /cluster          fleet topology when this process is a cluster router
+                    (peers, health states, ring placement); 404 on shards
 `)
 }
 

@@ -80,6 +80,14 @@ type SolveRequest struct {
 	// service-smoke script saturate the queue deterministically with it);
 	// production clients leave it zero.
 	HoldMS int64 `json:"hold_ms,omitempty"`
+
+	// SetupOnly builds (or finds cached) the FSAI-family preconditioner and
+	// returns without running CG: the cache-warming primitive. The cluster
+	// router uses it to replicate hot factors onto replica shards so a
+	// failover lands on a warm cache. Requires an FSAI-family Precond;
+	// incompatible with Resilient. The response's Status is "setup-only"
+	// and Iterations is 0.
+	SetupOnly bool `json:"setup_only,omitempty"`
 }
 
 // Header names of the client-resilience protocol.
@@ -100,7 +108,17 @@ const (
 	// HeaderIdempotentReplay is "1" on responses served from the
 	// idempotency index instead of a fresh execution.
 	HeaderIdempotentReplay = "X-Fsaid-Idempotent-Replay"
+	// HeaderForwardedBy marks a request forwarded by a cluster router,
+	// carrying the router's name. A router that receives a request already
+	// bearing it answers 508 Loop Detected instead of forwarding again —
+	// the guard against routing loops in misconfigured topologies (a
+	// router listed as another router's peer).
+	HeaderForwardedBy = "X-Fsaid-Forwarded-By"
 )
+
+// StatusSetupOnly is the SolveResponse.Status of a setup_only request: the
+// preconditioner was built (or found cached), no CG ran.
+const StatusSetupOnly = "setup-only"
 
 // Cache-outcome values reported in SolveResponse.Cache and the run report's
 // service section.

@@ -92,7 +92,7 @@ func batchKey(fingerprint string, req *SolveRequest) string {
 // the group behind a setup; resilient solves own their recovery sequence;
 // HoldMS jobs are admission-control drills and must occupy their own slot.
 func (b *batcher) eligible(req *SolveRequest, rm *RegisteredMatrix) bool {
-	if req.Resilient || req.HoldMS > 0 {
+	if req.Resilient || req.HoldMS > 0 || req.SetupOnly {
 		return false
 	}
 	switch req.Precond {

@@ -351,6 +351,10 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	s.mu.Lock()
 	s.ln, s.hs = ln, hs
 	s.mu.Unlock()
+	// The bound address names this process in distributed traces: one
+	// routed request's trace id resolves on both the router ("router") and
+	// the shard that executed (this address).
+	s.traces.SetNode(ln.Addr().String())
 	s.profiler.Start()
 	go func() { _ = hs.Serve(ln) }()
 	return ln.Addr(), nil
@@ -419,6 +423,14 @@ func normalizeSolveRequest(req *SolveRequest) error {
 	}
 	if req.Resilient && resilience.Chain(req.Precond) == nil {
 		return fmt.Errorf("resilient solves need a recovery rung, not %q", req.Precond)
+	}
+	if req.SetupOnly {
+		switch {
+		case req.Resilient:
+			return errors.New("setup_only is incompatible with resilient (the recovery chain owns setup)")
+		case req.Precond == "none" || req.Precond == "jacobi":
+			return fmt.Errorf("setup_only needs a cacheable FSAI-family preconditioner, not %q", req.Precond)
+		}
 	}
 	if req.Filter == 0 {
 		req.Filter = 0.01
@@ -1009,6 +1021,14 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 		solveNS int64
 	)
 
+	if req.SetupOnly {
+		// Cache-warming primitive (the cluster router's replication path):
+		// build or find the factor, write it through to the store, run no
+		// CG. The watcher is never engaged — a warm-up is not a solve and
+		// must not flip /healthz or the SLO series.
+		return s.runSetupOnly(ctx, id, rm, req, resp, fo, ji)
+	}
+
 	switch {
 	case req.Resilient:
 		resp.Cache = CacheBypass
@@ -1176,6 +1196,60 @@ func (s *Server) runJob(ctx context.Context, id string, rm *RegisteredMatrix, re
 
 	if s.opt.RunsDir != "" {
 		resp.Report = s.writeJobReport(id, rm, req, resp, g, rout, res, ji, rsol)
+	}
+	return resp, nil
+}
+
+// runSetupOnly executes a setup_only job: the preconditioner lands in the
+// cache (and the store) and the response reports the cache outcome, but no
+// CG runs. A warm fleet replica answers these in microseconds — the router
+// calls it repeatedly without occupying shard solve capacity for long.
+func (s *Server) runSetupOnly(ctx context.Context, id string, rm *RegisteredMatrix, req *SolveRequest, resp *SolveResponse, fo fsai.Options, ji *JobInfo) (*SolveResponse, error) {
+	key := PrecondKey(rm.Info.Fingerprint, req)
+	cacheSpan := trace.StartSpan(ctx, "precond-cache")
+	entry, hit, err := s.cache.GetOrBuild(ctx, key, func() (*CachedPrecond, error) {
+		t0 := time.Now()
+		p, err := buildFSAIFamily(req.Precond, rm.A, fo)
+		if err != nil {
+			return nil, err
+		}
+		return &CachedPrecond{P: p, SetupNS: time.Since(t0).Nanoseconds()}, nil
+	})
+	if err != nil {
+		cacheSpan.SetAttr("cache", "error")
+		cacheSpan.End()
+		return nil, fmt.Errorf("preconditioner: %v", err)
+	}
+	if hit {
+		resp.Cache = CacheHit
+	} else {
+		resp.Cache = CacheMiss
+		resp.SetupNS = entry.SetupNS
+		if s.store != nil {
+			if serr := s.store.PutFactor(key, rm.Info.Fingerprint, entry.P, entry.SetupNS); serr != nil {
+				s.log.Warn("store factor write failed",
+					"job_id", id, "matrix", shortFP(rm.Info.Fingerprint), "error", serr.Error())
+			}
+		}
+		// Same delete-race sweep as the solving path: if a concurrent
+		// unregister removed the matrix while we built, nothing of ours may
+		// survive it.
+		if _, ok := s.matrices.Get(rm.Info.Fingerprint); !ok {
+			s.cache.EvictMatrix(rm.Info.Fingerprint)
+			if s.store != nil {
+				_ = s.store.DeleteMatrix(rm.Info.Fingerprint)
+			}
+		}
+	}
+	cacheSpan.SetAttr("cache", resp.Cache)
+	cacheSpan.SetAttr("setup_only", "1")
+	cacheSpan.End()
+	resp.Status = StatusSetupOnly
+	if tcc, ok := trace.FromContext(ctx); ok {
+		resp.TraceID = tcc.TraceID
+	}
+	if s.opt.RunsDir != "" {
+		resp.Report = s.writeJobReport(id, rm, req, resp, entry.P, nil, krylov.Result{}, ji, nil)
 	}
 	return resp, nil
 }

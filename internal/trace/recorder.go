@@ -30,6 +30,13 @@ type Trace struct {
 	// "rejected"/"failed" for jobs that never solved).
 	Status string `json:"status,omitempty"`
 
+	// Node names the process that recorded this span tree ("router", or a
+	// shard's listen address). One distributed request is stitched from the
+	// traces sharing a trace id across nodes: GET /traces/<id> on the
+	// router shows the routing tree (which peer executed, failover hops),
+	// and the same id on that peer shows the execution tree.
+	Node string `json:"node,omitempty"`
+
 	RecordedAt string `json:"recorded_at,omitempty"`
 
 	// Root is the span tree (root span plus nested children).
@@ -63,6 +70,7 @@ type Recorder struct {
 
 	jsonlPath string
 	reg       *telemetry.Registry
+	node      string
 }
 
 // NewRecorder returns a recorder keeping at most capacity traces
@@ -94,6 +102,20 @@ func (r *Recorder) MalformedHeader() {
 	r.reg.Counter("trace.malformed_traceparent").Inc()
 }
 
+// SetNode names the process whose traces this recorder keeps; every
+// subsequently recorded trace without its own Node is stamped with it. The
+// solve daemon sets its listen address here once bound, the cluster router
+// sets "router" — the stamp is what tells the two halves of one
+// distributed trace apart. Nil-safe.
+func (r *Recorder) SetNode(node string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.node = node
+	r.mu.Unlock()
+}
+
 // Record stores a finished trace, notifies subscribers and appends the
 // JSONL export line. Nil-safe (no-op on a nil recorder or nil trace).
 func (r *Recorder) Record(t *Trace) {
@@ -104,6 +126,9 @@ func (r *Recorder) Record(t *Trace) {
 		t.RecordedAt = time.Now().UTC().Format(time.RFC3339Nano)
 	}
 	r.mu.Lock()
+	if t.Node == "" {
+		t.Node = r.node
+	}
 	if _, ok := r.byID[t.TraceID]; !ok {
 		r.order = append(r.order, t.TraceID)
 	}

@@ -1,0 +1,324 @@
+#!/usr/bin/env bash
+# Distributed-fleet drill for the fsaid cluster router (docs/cluster.md):
+#
+#   1. start three store-backed shards and a router fronting them
+#      (replication factor 1, aggressive warm threshold);
+#   2. register and solve through the router with the unchanged client API:
+#      cold solve is a miss on the owning shard, repeat solve a warm hit,
+#      and the hot factor is replicated to the replica shard;
+#   3. SIGKILL the primary mid-traffic: every client request keeps
+#      succeeding (failover to the warm replica), the traced solve keeps
+#      its trace id across the failover hop, and the failover solution is
+#      bit-identical to the pre-kill X;
+#   4. restart the killed shard on the same address and data dir: the
+#      membership prober re-admits it (rebalance), and routed solves still
+#      answer warm;
+#   5. record the routed-vs-direct warm solve overhead to
+#      BENCH_history.json via fsaicompare -record.
+#
+# Run via `make cluster-drill`. With SMOKE_ARTIFACTS_DIR set, the drill's
+# solve responses and the router topology snapshots are kept for upload.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do
+        [ -n "$p" ] && { kill -9 "$p" && wait "$p"; } 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# json_num FILE KEY -> first numeric value of "KEY": N
+json_num() {
+    sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9]*\).*/\1/p' "$1" | head -1
+}
+
+# json_str FILE KEY -> first string value of "KEY": "..."
+json_str() {
+    sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+# start_shard LABEL [ADDR] -> launches fsaid serve with a per-shard durable
+# data dir and sets SHARD_PID/SHARD_ADDR. Runs in the parent shell (no
+# command substitution) so the pid lands in the cleanup array and stays a
+# waitable child. A second argument pins the listen address (the restart
+# phase reuses the original).
+SHARD_PID=""
+SHARD_ADDR=""
+start_shard() {
+    local label=$1 listen=${2:-127.0.0.1:0}
+    local log="$workdir/shard-$label.log"
+    "$workdir/fsaid" serve -listen "$listen" -data-dir "$workdir/data-$label" \
+        -runs-dir "$workdir/runs-$label" 2>"$log" &
+    SHARD_PID=$!
+    pids+=("$SHARD_PID")
+    SHARD_ADDR=""
+    for _ in $(seq 1 100); do
+        SHARD_ADDR=$(sed -n 's#.*msg="fsaid listening" addr=http://\([^ ]*\).*#\1#p' "$log" | head -1)
+        [ -n "$SHARD_ADDR" ] && return 0
+        kill -0 "$SHARD_PID" 2>/dev/null || { echo "shard $label exited early:" >&2; cat "$log" >&2; exit 1; }
+        sleep 0.1
+    done
+    echo "shard $label announced no address" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+# same_x A.json B.json -> 0 iff both solve responses carry bit-identical
+# solution vectors (same comparison as the crash drill).
+same_x() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$1" "$2" <<'EOF'
+import json, struct, sys
+vec = lambda p: b"".join(struct.pack("<d", v) for v in json.load(open(p))["x"])
+sys.exit(0 if vec(sys.argv[1]) == vec(sys.argv[2]) else 1)
+EOF
+    else
+        sed -n '/"x": \[/,/\]/p' "$1" >"$workdir/xa.txt"
+        sed -n '/"x": \[/,/\]/p' "$2" >"$workdir/xb.txt"
+        [ -s "$workdir/xa.txt" ] && cmp -s "$workdir/xa.txt" "$workdir/xb.txt"
+    fi
+}
+
+now_ns() { date +%s%N; }
+
+echo "== building fsaid and fsaicompare =="
+go build -o "$workdir/fsaid" ./cmd/fsaid
+go build -o "$workdir/fsaicompare" ./cmd/fsaicompare
+
+fail=0
+
+echo "== phase 1: three shards + router =="
+start_shard 1
+pid1=$SHARD_PID addr1=$SHARD_ADDR
+start_shard 2
+pid2=$SHARD_PID addr2=$SHARD_ADDR
+start_shard 3
+pid3=$SHARD_PID addr3=$SHARD_ADDR
+rlog="$workdir/router.log"
+"$workdir/fsaid" route -listen 127.0.0.1:0 -peers "$addr1,$addr2,$addr3" \
+    -replicas 1 -warm-threshold 1 -probe-interval 200ms 2>"$rlog" &
+rpid=$!
+pids+=("$rpid")
+router=""
+for _ in $(seq 1 100); do
+    router=$(sed -n 's#.*msg="fsaid router listening" addr=http://\([^ ]*\).*#\1#p' "$rlog" | head -1)
+    [ -n "$router" ] && break
+    kill -0 "$rpid" 2>/dev/null || { echo "router exited early:"; cat "$rlog"; exit 1; }
+    sleep 0.1
+done
+[ -n "$router" ] || { echo "router announced no address"; cat "$rlog"; exit 1; }
+echo "router at $router, shards at $addr1 $addr2 $addr3"
+
+echo "== phase 2: register and solve through the router =="
+"$workdir/fsaid" register -addr "$router" -matgen lap64x64 -name lap
+curl -fsS "http://$router/cluster" >"$workdir/topology-1.json"
+grep -q '"fingerprint"' "$workdir/topology-1.json" || { echo "FAIL: /cluster lists no matrices"; cat "$workdir/topology-1.json"; fail=1; }
+
+solve_body='{"matrix":"lap","precond":"fsaie","return_solution":true}'
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+    "http://$router/api/v1/solve" >"$workdir/cold.json"
+grep -q '"cache": *"miss"' "$workdir/cold.json" || { echo "FAIL: cold routed solve not a miss"; cat "$workdir/cold.json"; fail=1; }
+grep -q '"converged": *true' "$workdir/cold.json" || { echo "FAIL: cold routed solve did not converge"; fail=1; }
+
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+    "http://$router/api/v1/solve" >"$workdir/warm.json"
+grep -q '"cache": *"hit"' "$workdir/warm.json" || { echo "FAIL: repeat routed solve not a warm hit"; cat "$workdir/warm.json"; fail=1; }
+
+# The owning pair comes from the topology document: primary first.
+primary=$(python3 -c '
+import json, sys
+top = json.load(open(sys.argv[1]))
+print(top["matrices"][0]["owners"][0].removeprefix("http://"))' "$workdir/topology-1.json" 2>/dev/null) || primary=""
+replica=$(python3 -c '
+import json, sys
+top = json.load(open(sys.argv[1]))
+print(top["matrices"][0]["owners"][1].removeprefix("http://"))' "$workdir/topology-1.json" 2>/dev/null) || replica=""
+if [ -z "$primary" ] || [ -z "$replica" ]; then
+    # No python3: fall back to the first two shard addresses mentioned in
+    # the owners array.
+    primary=$(sed -n 's/.*"owners": *\[ *"http:\/\/\([^"]*\)".*/\1/p' "$workdir/topology-1.json" | head -1)
+    replica=$(tr ',' '\n' <"$workdir/topology-1.json" | sed -n 's/.*"http:\/\/\([^"]*\)".*/\1/p' | sed -n 2p)
+fi
+[ -n "$primary" ] && [ -n "$replica" ] || { echo "FAIL: could not read owners from /cluster"; cat "$workdir/topology-1.json"; exit 1; }
+echo "primary=$primary replica=$replica"
+
+# The warm hit happened on the owning shard, not anywhere else.
+curl -fsS "http://$primary/api/v1/stats" >"$workdir/primary-stats.json"
+hits=$(json_num "$workdir/primary-stats.json" hits)
+[ "${hits:-0}" -ge 1 ] || { echo "FAIL: owning shard reports no cache hit (hits=$hits)"; fail=1; }
+
+echo "== phase 3: hot factor replicates to the replica shard =="
+replicated=0
+for _ in $(seq 1 100); do
+    curl -fsS "http://$replica/api/v1/stats" >"$workdir/replica-stats.json" 2>/dev/null || true
+    if [ "$(json_num "$workdir/replica-stats.json" entries)" -ge 1 ] 2>/dev/null; then
+        replicated=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$replicated" -eq 1 ] || { echo "FAIL: replica never cached the hot factor"; cat "$workdir/replica-stats.json"; fail=1; }
+echo "replica cache warmed"
+
+echo "== phase 4: SIGKILL the primary mid-traffic =="
+# Sustained client traffic across the kill: every request must succeed.
+primary_pid=""
+primary_label=""
+for pair in "1 $pid1 $addr1" "2 $pid2 $addr2" "3 $pid3 $addr3"; do
+    read -r l p a <<<"$pair"
+    if [ "$a" = "$primary" ]; then
+        primary_pid=$p
+        primary_label=$l
+    fi
+done
+[ -n "$primary_pid" ] || { echo "FAIL: primary pid not found"; exit 1; }
+
+traffic_fail=0
+for i in $(seq 1 12); do
+    if [ "$i" -eq 4 ]; then
+        { kill -9 "$primary_pid" && wait "$primary_pid"; } 2>/dev/null || true
+        echo "primary killed at request $i"
+    fi
+    if ! curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+        "http://$router/api/v1/solve" >"$workdir/traffic-$i.json"; then
+        echo "FAIL: routed request $i failed during the outage"
+        traffic_fail=1
+        continue
+    fi
+    grep -q '"converged": *true' "$workdir/traffic-$i.json" \
+        || { echo "FAIL: routed request $i did not converge"; traffic_fail=1; }
+done
+[ "$traffic_fail" -eq 0 ] || fail=1
+[ "$traffic_fail" -eq 0 ] && echo "zero failed client requests across the kill"
+
+# A traced solve during the outage keeps its trace id, serves from the
+# replica's warm cache, and returns the bit-identical solution.
+tid="11112222333344445555666677778888"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -H "traceparent: 00-$tid-aaaabbbbccccdddd-01" -d "$solve_body" \
+    "http://$router/api/v1/solve" >"$workdir/failover.json"
+[ "$(json_str "$workdir/failover.json" trace_id)" = "$tid" ] \
+    || { echo "FAIL: failover solve lost the trace id"; cat "$workdir/failover.json"; fail=1; }
+grep -q '"cache": *"hit"' "$workdir/failover.json" \
+    || { echo "FAIL: failover solve not warm (replica cache missing)"; cat "$workdir/failover.json"; fail=1; }
+if same_x "$workdir/cold.json" "$workdir/failover.json"; then
+    echo "failover X bit-identical to the pre-kill solution"
+else
+    echo "FAIL: failover X differs from the pre-kill solution"
+    fail=1
+fi
+# The same trace id resolves on the router (routing hop) and on the shard
+# that executed the solve (span stitching across nodes).
+curl -fsS "http://$router/traces/$tid" >/dev/null \
+    || { echo "FAIL: router kept no trace for $tid"; fail=1; }
+curl -fsS "http://$replica/traces/$tid" >/dev/null \
+    || { echo "FAIL: executing shard kept no trace for $tid"; fail=1; }
+
+echo "== phase 5: restart the killed shard, expect rebalance =="
+# Same address AND same durable data dir: the restarted shard rehydrates
+# its registry from the store instead of coming back empty.
+start_shard "$primary_label" "$primary"
+rejoined=0
+for _ in $(seq 1 150); do
+    curl -fsS "http://$router/cluster" >"$workdir/topology-2.json" 2>/dev/null || true
+    if python3 -c '
+import json, sys
+top = json.load(open(sys.argv[1]))
+states = {p["addr"].removeprefix("http://"): p["state"] for p in top["peers"]}
+sys.exit(0 if states.get(sys.argv[2]) == "healthy" else 1)' \
+        "$workdir/topology-2.json" "$primary" 2>/dev/null; then
+        rejoined=1
+        break
+    fi
+    grep -q '"addr": *"http://'"$primary"'"' "$workdir/topology-2.json" 2>/dev/null \
+        && grep -q '"state": *"healthy"' "$workdir/topology-2.json" 2>/dev/null \
+        && ! command -v python3 >/dev/null 2>&1 && { rejoined=1; break; }
+    sleep 0.2
+done
+[ "$rejoined" -eq 1 ] || { echo "FAIL: restarted shard never rejoined"; cat "$workdir/topology-2.json"; fail=1; }
+echo "restarted shard rejoined the ring"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+    "http://$router/api/v1/solve" >"$workdir/rebalanced.json"
+grep -q '"converged": *true' "$workdir/rebalanced.json" \
+    || { echo "FAIL: solve after rebalance did not converge"; cat "$workdir/rebalanced.json"; fail=1; }
+if same_x "$workdir/cold.json" "$workdir/rebalanced.json"; then
+    echo "post-rebalance X bit-identical"
+else
+    echo "FAIL: post-rebalance X differs"
+    fail=1
+fi
+
+echo "== phase 6: routed-vs-direct warm overhead into BENCH_history.json =="
+# Both solves are warm cache hits; the difference is the router hop. Wall
+# time is measured client-side (the shard's total_ns excludes routing).
+t0=$(now_ns)
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$solve_body" \
+    "http://$router/api/v1/solve" >"$workdir/routed-warm.json"
+t1=$(now_ns)
+routed_ns=$((t1 - t0))
+direct_target=$(json_str "$workdir/routed-warm.json" matrix)
+t0=$(now_ns)
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"matrix":"'"$direct_target"'","precond":"fsaie","return_solution":true}' \
+    "http://$replica/api/v1/solve" >"$workdir/direct-warm.json"
+t1=$(now_ns)
+direct_ns=$((t1 - t0))
+grep -q '"cache": *"hit"' "$workdir/routed-warm.json" || { echo "FAIL: routed bench solve not warm"; fail=1; }
+grep -q '"cache": *"hit"' "$workdir/direct-warm.json" || { echo "FAIL: direct bench solve not warm"; fail=1; }
+echo "routed warm: ${routed_ns}ns, direct warm: ${direct_ns}ns"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$workdir" "$routed_ns" "$direct_ns" <<'EOF'
+import json, sys
+wd, routed_ns, direct_ns = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+def entry(variant, wall_ns, resp):
+    return {
+        "matrix_id": 0, "matrix": "cluster-smoke-lap64x64",
+        "rows": 4096, "nnz": 0, "variant": variant, "filter": 0.01,
+        "nnz_g": 0, "ext_pct": 0,
+        "iterations": resp["iterations"], "converged": resp["converged"],
+        "setup_wall_ns": resp["setup_ns"], "solve_wall_ns": wall_ns,
+    }
+routed = json.load(open(f"{wd}/routed-warm.json"))
+direct = json.load(open(f"{wd}/direct-warm.json"))
+rep = {"schema_version": 7, "tool": "cluster-drill", "entries": [
+    entry("routed-warm", routed_ns, routed),
+    entry("direct-warm", direct_ns, direct),
+]}
+json.dump(rep, open(f"{wd}/cluster_smoke.json", "w"), indent=2)
+EOF
+    "$workdir/fsaicompare" -record "$ROOT/BENCH_history.json" \
+        "$workdir/cluster_smoke.json" "$workdir/cluster_smoke.json" \
+        || { echo "FAIL: fsaicompare -record rejected the cluster smoke report"; fail=1; }
+else
+    echo "python3 not found; skipping the BENCH_history.json record"
+fi
+
+echo "== router health and metrics =="
+curl -fsS "http://$router/healthz" >"$workdir/router-health.json" || true
+curl -fsS "http://$router/metrics" >"$workdir/router-metrics.txt"
+grep -q '^cluster_failovers [1-9]' "$workdir/router-metrics.txt" \
+    || { echo "FAIL: cluster_failovers not counted"; grep '^cluster_' "$workdir/router-metrics.txt" || true; fail=1; }
+grep -q '^cluster_warmups{outcome="ok"} [1-9]' "$workdir/router-metrics.txt" \
+    || { echo "FAIL: cluster_warmups ok not counted"; grep '^cluster_warmups' "$workdir/router-metrics.txt" || true; fail=1; }
+curl -fsS "http://$router/version" >/dev/null || { echo "FAIL: router /version unreachable"; fail=1; }
+
+if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
+    mkdir -p "$SMOKE_ARTIFACTS_DIR/cluster"
+    cp -f "$workdir"/topology-*.json "$workdir"/cold.json "$workdir"/failover.json \
+        "$workdir"/router-metrics.txt "$workdir"/cluster_smoke.json \
+        "$SMOKE_ARTIFACTS_DIR/cluster/" 2>/dev/null || true
+    echo "cluster-drill artifacts kept in $SMOKE_ARTIFACTS_DIR/cluster"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "cluster drill FAILED"
+    exit 1
+fi
+echo "cluster drill OK"
